@@ -1,0 +1,89 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out (beyond those embedded in the
+// figure benches: Cubic-vs-fixed in fig8, polling-vs-blockable in micro_scheduler, zero-copy
+// threshold in micro_memory):
+//   1. NIC checksum offload on/off — what software checksums cost the Catnip TCP echo path.
+//   2. Delayed acks — the ack_delay knob's latency/segment-count trade on a closed loop.
+//   3. Catmint send-window credits — how small credit windows throttle pipelined messaging.
+
+#include "bench/bench_common.h"
+
+namespace demi {
+namespace bench {
+namespace {
+
+constexpr uint64_t kIters = 8000;
+
+void ChecksumOffloadAblation() {
+  std::printf("\n-- checksum offload (Catnip TCP echo, 1024 B) --\n");
+  for (bool offload : {true, false}) {
+    MonotonicClock clock;
+    SimNetwork net(LinkConfig{}, 1);
+    Catnip::Config scfg{kServerMac, kServerIp, TcpConfig{}, nullptr};
+    scfg.checksum_offload = offload;
+    Catnip::Config ccfg{kClientMac, kClientIp, TcpConfig{}, nullptr};
+    ccfg.checksum_offload = offload;
+    Catnip server(net, scfg, clock);
+    Catnip client(net, ccfg, clock);
+    server.ethernet().arp().Insert(kClientIp, kClientMac);
+    client.ethernet().arp().Insert(kServerIp, kServerMac);
+    auto r = DuetEcho({server, client, {kServerIp, 6001}, SocketType::kStream}, 1024, kIters);
+    PrintLatencyRow(offload ? "  offloaded (device)" : "  software checksums", r.rtt,
+                    offload ? "DPDK-style TX/RX offload" : "RFC 1071 in software, both sides");
+  }
+}
+
+void AckDelayAblation() {
+  std::printf("\n-- delayed acks (Catnip TCP echo, 64 B closed loop) --\n");
+  for (DurationNs delay : {DurationNs{0}, 5 * kMicrosecond, 50 * kMicrosecond}) {
+    TcpConfig tcp;
+    tcp.ack_delay = delay;
+    CatnipPair pair(LinkConfig{}, nullptr, tcp);
+    auto r = DuetEcho({*pair.server, *pair.client, {kServerIp, 6002}, SocketType::kStream}, 64,
+                      kIters / 2);
+    char name[48];
+    std::snprintf(name, sizeof(name), "  ack_delay=%lluus",
+                  static_cast<unsigned long long>(delay / kMicrosecond));
+    PrintLatencyRow(name, r.rtt,
+                    delay == 0 ? "ack on next scheduler round" : "coalesces acks, adds latency");
+  }
+}
+
+void CatmintCreditAblation() {
+  std::printf("\n-- Catmint send-window credits (64 B, window-16 pipelined) --\n");
+  for (size_t credits : {size_t{2}, size_t{8}, size_t{64}}) {
+    MonotonicClock clock;
+    SimNetwork net(LinkConfig{}, 1);
+    Catmint::Config scfg{kServerMac, kServerIp};
+    Catmint::Config ccfg{kClientMac, kClientIp};
+    scfg.send_window_msgs = credits;
+    ccfg.send_window_msgs = credits;
+    Catmint server(net, scfg, clock);
+    Catmint client(net, ccfg, clock);
+    server.AddPeer(kClientIp, kClientMac);
+    client.AddPeer(kServerIp, kServerMac);
+    auto r = DuetWindowedEcho({server, client, {kServerIp, 6003}}, 64, 16, kIters);
+    char name[48];
+    std::snprintf(name, sizeof(name), "  credits=%zu", credits);
+    PrintThroughputRow(name, r.OpsPerSec() / 1e3, "kops/s",
+                       credits < 16 ? "credit-bound: sender blocks on window updates"
+                                    : "credit-rich: pipeline runs free");
+  }
+}
+
+}  // namespace
+
+void Main() {
+  PrintHeader("Ablations: checksum offload, delayed acks, Catmint credits",
+              "design-choice costs the paper discusses but does not plot");
+  ChecksumOffloadAblation();
+  AckDelayAblation();
+  CatmintCreditAblation();
+}
+
+}  // namespace bench
+}  // namespace demi
+
+int main() {
+  demi::bench::Main();
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "bench/bench_common.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace demi {
+namespace bench {
+
+uint16_t UniquePort() {
+  static std::atomic<uint16_t> next{
+      static_cast<uint16_t>(22000 + (::getpid() % 997) * 37 % 20000)};
+  return next++;
+}
+
+EchoClientResult DuetEcho(const EchoSetup& setup, size_t message_size, uint64_t iterations) {
+  EchoServerOptions sopts{setup.server_addr, setup.type};
+  sopts.log_to_disk = setup.log_to_disk;
+  EchoServerApp app(setup.server_os, sopts);
+  setup.client_os.SetExternalPump([&] {
+    setup.server_os.PollOnce();
+    app.Pump();
+  });
+
+  EchoClientOptions copts;
+  copts.server = setup.server_addr;
+  copts.type = setup.type;
+  copts.message_size = message_size;
+  copts.iterations = iterations;
+  copts.warmup = std::min<uint64_t>(iterations / 10 + 1, 200);
+  auto result = RunEchoClient(setup.client_os, copts);
+  setup.client_os.SetExternalPump(nullptr);
+  return result;
+}
+
+WindowedEchoResult DuetWindowedEcho(const EchoSetup& setup, size_t message_size, size_t window,
+                                    uint64_t ops) {
+  WindowedEchoResult result;
+  EchoServerOptions sopts{setup.server_addr, setup.type};
+  EchoServerApp app(setup.server_os, sopts);
+  LibOS& os = setup.client_os;
+  os.SetExternalPump([&] {
+    setup.server_os.PollOnce();
+    app.Pump();
+  });
+
+  auto sock = os.Socket(setup.type);
+  DEMI_CHECK(sock.ok());
+  auto connect_qt = os.Connect(*sock, setup.server_addr);
+  DEMI_CHECK(connect_qt.ok());
+  auto conn_r = os.Wait(*connect_qt, 5 * kSecond);
+  DEMI_CHECK(conn_r.ok() && conn_r->status == Status::kOk);
+
+  Clock& clock = os.clock();
+  std::deque<TimeNs> send_times;  // FIFO: replies come back in order on a stream
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  size_t partial_bytes = 0;
+  const TimeNs start = clock.Now();
+
+  auto send_one = [&] {
+    void* buf = os.DmaMalloc(message_size);
+    std::memset(buf, static_cast<int>(sent & 0xFF), message_size);
+    auto push = os.Push(*sock, Sgarray::Of(buf, static_cast<uint32_t>(message_size)));
+    os.DmaFree(buf);
+    DEMI_CHECK(push.ok());
+    send_times.push_back(clock.Now());
+    sent++;
+  };
+
+  while (completed < ops) {
+    while (sent < ops && sent - completed < window) {
+      send_one();
+    }
+    auto pop = os.Pop(*sock);
+    DEMI_CHECK(pop.ok());
+    auto r = os.Wait(*pop, 10 * kSecond);
+    if (!r.ok() || r->status != Status::kOk) {
+      break;
+    }
+    partial_bytes += r->sga.TotalBytes();
+    os.FreeSga(r->sga);
+    // A stream may coalesce or split replies; count completions by whole messages.
+    while (partial_bytes >= message_size) {
+      partial_bytes -= message_size;
+      completed++;
+      if (!send_times.empty()) {
+        result.latency.Record(clock.Now() - send_times.front());
+        send_times.pop_front();
+      }
+    }
+  }
+  result.completed = completed;
+  result.elapsed = clock.Now() - start;
+  os.Close(*sock);
+  os.SetExternalPump(nullptr);
+  return result;
+}
+
+void PrintHeader(const char* title, const char* paper_note, bool latency_columns) {
+  std::printf("\n=== %s ===\n", title);
+  if (paper_note != nullptr && paper_note[0] != '\0') {
+    std::printf("%s\n", paper_note);
+  }
+  if (latency_columns) {
+    std::printf("%-28s %12s %12s %12s %12s  %s\n", "system", "mean(us)", "p50(us)", "p99(us)",
+                "p99.9(us)", "note");
+  }
+}
+
+void PrintLatencyRow(const std::string& name, const Histogram& h, const char* note) {
+  std::printf("%-28s %12.2f %12.2f %12.2f %12.2f  %s\n", name.c_str(), h.Mean() / 1e3,
+              static_cast<double>(h.P50()) / 1e3, static_cast<double>(h.P99()) / 1e3,
+              static_cast<double>(h.P999()) / 1e3, note);
+}
+
+void PrintThroughputRow(const std::string& name, double value, const char* unit,
+                        const char* note) {
+  std::printf("%-28s %12.2f %-10s  %s\n", name.c_str(), value, unit, note);
+}
+
+}  // namespace bench
+}  // namespace demi

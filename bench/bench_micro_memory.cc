@@ -1,0 +1,129 @@
+// §5.3 microbenchmarks: the DMA-capable heap.
+//
+// What must hold: alloc/free are a few tens of ns (pool LIFO); inc_ref/dec_ref are ~bitmap
+// flips; get_rkey after first use is a mask+load (superblock-cached, the paper's design);
+// and the 1 kB zero-copy threshold ablation shows why small buffers are copied — below ~1 kB
+// the memcpy is cheaper than reference bookkeeping amortized over I/O, above it zero-copy wins
+// and its cost stays flat with size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "src/memory/buffer.h"
+#include "src/memory/pool_allocator.h"
+
+namespace demi {
+namespace {
+
+void BM_AllocFree(benchmark::State& state) {
+  PoolAllocator alloc;
+  const size_t size = static_cast<size_t>(state.range(0));
+  // Prime the superblock.
+  alloc.Free(alloc.Alloc(size));
+  for (auto _ : state) {
+    void* p = alloc.Alloc(size);
+    benchmark::DoNotOptimize(p);
+    alloc.Free(p);
+  }
+}
+BENCHMARK(BM_AllocFree)->Arg(16)->Arg(64)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_IncDecRef(benchmark::State& state) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(2048);
+  for (auto _ : state) {
+    alloc.IncRef(p);
+    alloc.DecRef(p);
+  }
+  alloc.Free(p);
+}
+BENCHMARK(BM_IncDecRef);
+
+void BM_IncDecRefOverflow(benchmark::State& state) {
+  // Second reference onward hits the side table (rare path: same buffer on multiple I/Os).
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(2048);
+  alloc.IncRef(p);
+  for (auto _ : state) {
+    alloc.IncRef(p);
+    alloc.DecRef(p);
+  }
+  alloc.DecRef(p);
+  alloc.Free(p);
+}
+BENCHMARK(BM_IncDecRefOverflow);
+
+void BM_GetRkeyCached(benchmark::State& state) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(4096);
+  alloc.GetRkey(p);  // registers once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc.GetRkey(p));  // the per-I/O path: mask + cached load
+  }
+  alloc.Free(p);
+}
+BENCHMARK(BM_GetRkeyCached);
+
+void BM_DeferredFreeCycle(benchmark::State& state) {
+  // The UAF-protection cycle: app frees while the libOS holds a reference; recycling happens
+  // at DecRef. This is the common TCP-unacked-buffer pattern.
+  PoolAllocator alloc;
+  for (auto _ : state) {
+    void* p = alloc.Alloc(2048);
+    alloc.IncRef(p);
+    alloc.Free(p);    // deferred
+    alloc.DecRef(p);  // actual recycle
+  }
+}
+BENCHMARK(BM_DeferredFreeCycle);
+
+// Zero-copy threshold ablation: Buffer::FromApp copies below kZeroCopyThreshold and
+// reference-counts above it. Sweeping sizes across the boundary shows the copy cost growing
+// linearly while the zero-copy cost stays flat — the crossover justifies the 1 kB choice.
+void BM_BufferFromApp(benchmark::State& state) {
+  PoolAllocator alloc;
+  const size_t size = static_cast<size_t>(state.range(0));
+  void* p = alloc.Alloc(size);
+  std::memset(p, 1, size);
+  for (auto _ : state) {
+    Buffer b = Buffer::FromApp(alloc, p, size);
+    benchmark::DoNotOptimize(b.data());
+  }
+  alloc.Free(p);
+  state.SetLabel(size >= PoolAllocator::kZeroCopyThreshold ? "zero-copy (refcount)"
+                                                           : "copied");
+}
+BENCHMARK(BM_BufferFromApp)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1023)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(65536);
+
+void BM_BufferSliceChain(benchmark::State& state) {
+  // The TCP send path slices app pushes into MSS segments: measure per-slice cost.
+  PoolAllocator alloc;
+  Buffer base = Buffer::Allocate(alloc, 64 * 1024);
+  for (auto _ : state) {
+    Buffer s = base.Slice(1460, 1460);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_BufferSliceChain);
+
+void BM_HugeAlloc(benchmark::State& state) {
+  PoolAllocator alloc;
+  for (auto _ : state) {
+    void* p = alloc.Alloc(1 << 20);
+    benchmark::DoNotOptimize(p);
+    alloc.Free(p);
+  }
+  state.SetLabel("1 MB dedicated-superblock path");
+}
+BENCHMARK(BM_HugeAlloc);
+
+}  // namespace
+}  // namespace demi

@@ -1,0 +1,90 @@
+// Table 3 reproduction: lines of code for the POSIX and Demikernel (PDPIX) versions of each
+// µs-scale application.
+//
+// Paper result (their apps): echo 328 POSIX vs 291 Demikernel; UDP relay 1731 vs 2076; Redis
+// 52954 vs 54332; TxnStore 13430 vs 12610 — i.e., porting to PDPIX costs roughly nothing in
+// code size. We count the analogous split in this repository's app sources at build time:
+// functions/classes implementing the POSIX variant vs the PDPIX variant of the same app.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef DEMI_SOURCE_DIR
+#define DEMI_SOURCE_DIR "."
+#endif
+
+namespace {
+
+struct Span {
+  const char* begin_marker;  // first line of the variant's implementation
+  const char* end_marker;    // line that ends it (exclusive)
+};
+
+// Counts non-blank lines between two marker substrings in a file (end may be null = EOF).
+int CountRegion(const std::string& path, const char* begin, const char* end) {
+  std::ifstream in(path);
+  if (!in) {
+    return -1;
+  }
+  std::string line;
+  bool active = false;
+  int count = 0;
+  while (std::getline(in, line)) {
+    if (!active && line.find(begin) != std::string::npos) {
+      active = true;
+    }
+    if (active && end != nullptr && line.find(end) != std::string::npos) {
+      break;
+    }
+    if (active && line.find_first_not_of(" \t") != std::string::npos) {
+      count++;
+    }
+  }
+  return active ? count : -1;
+}
+
+}  // namespace
+
+int main() {
+  const std::string src = std::string(DEMI_SOURCE_DIR) + "/src/apps/";
+  std::printf("\n=== Table 3: LoC for POSIX vs Demikernel app versions ===\n");
+  std::printf("echo 328/291, relay 1731/2076, Redis 52954/54332, TxnStore 13430/12610 — "
+              "porting costs ~nothing\n");
+  std::printf("%-14s %14s %18s\n", "app", "POSIX LoC", "Demikernel LoC");
+
+  struct Entry {
+    const char* name;
+    std::string file;
+    Span posix;
+    Span pdpix;
+  };
+  const Entry entries[] = {
+      {"echo", src + "echo.cc",
+       {"void RunPosixEchoServer", nullptr},
+       {"EchoServerApp::EchoServerApp", "// --- POSIX variants"}},
+      {"udp relay", src + "udp_relay.cc",
+       {"void RunPosixUdpRelay", "RelayLoadResult RunRelayLoadGenerator"},
+       {"UdpRelayApp::UdpRelayApp", "void RunPosixUdpRelay"}},
+      {"minikv", src + "minikv.cc",
+       {"void RunPosixMiniKvServer", nullptr},
+       {"struct MiniKvServerApp::Impl", "// --- POSIX variants"}},
+      {"txnstore", src + "txnstore.cc",
+       {"YcsbResult RunPosixYcsbFClient", "// --- Custom raw-RDMA"},
+       {"YcsbResult RunYcsbFClient", "// --- POSIX YCSB client"}},
+  };
+  for (const Entry& e : entries) {
+    const int posix = CountRegion(e.file, e.posix.begin_marker, e.posix.end_marker);
+    const int pdpix = CountRegion(e.file, e.pdpix.begin_marker, e.pdpix.end_marker);
+    if (posix < 0 || pdpix < 0) {
+      std::printf("%-14s %14s %18s  (source not found at %s)\n", e.name, "?", "?",
+                  e.file.c_str());
+      continue;
+    }
+    std::printf("%-14s %14d %18d\n", e.name, posix, pdpix);
+  }
+  std::printf("(counted from this repo's app sources; both variants share the protocol and "
+              "workload code, mirroring the paper's methodology)\n");
+  return 0;
+}

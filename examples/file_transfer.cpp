@@ -1,0 +1,94 @@
+// Bulk zero-copy transfer over Catnip TCP: pushes an 8 MB file as large sgarray segments and
+// measures goodput. Shows MSS segmentation, Cubic congestion-window growth, and the heap's
+// UAF protection holding the file's buffers until the receiver acks each segment.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/liboses/catnip.h"
+
+int main() {
+  using namespace demi;
+
+  MonotonicClock clock;
+  SimNetwork network(LinkConfig{}, 13);
+  const Ipv4Addr tx_ip = Ipv4Addr::FromOctets(10, 0, 0, 1);
+  const Ipv4Addr rx_ip = Ipv4Addr::FromOctets(10, 0, 0, 2);
+  Catnip sender(network, Catnip::Config{MacAddr{0x1}, tx_ip, TcpConfig{}, nullptr}, clock);
+  Catnip receiver(network, Catnip::Config{MacAddr{0x2}, rx_ip, TcpConfig{}, nullptr}, clock);
+
+  // Receiver: bind, listen, arm an accept.
+  auto listen_sock = receiver.Socket(SocketType::kStream);
+  if (receiver.Bind(*listen_sock, {rx_ip, 9090}) != Status::kOk ||
+      receiver.Listen(*listen_sock, 4) != Status::kOk) {
+    std::fprintf(stderr, "listen failed\n");
+    return 1;
+  }
+  auto accept_qt = receiver.Accept(*listen_sock);
+
+  // Duet: each side's waits pump the other (PollOnce is non-blocking, so this can't recurse).
+  sender.SetExternalPump([&] { receiver.PollOnce(); });
+  receiver.SetExternalPump([&] { sender.PollOnce(); });
+
+  auto sock = sender.Socket(SocketType::kStream);
+  auto connect_qt = sender.Connect(*sock, {rx_ip, 9090});
+  auto conn = sender.Wait(*connect_qt);
+  if (!conn.ok() || conn->status != Status::kOk) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+  // The server-side accept completes when the handshake's final ACK lands; pump until then.
+  while (!receiver.IsDone(*accept_qt)) {
+    receiver.PollOnce();
+    sender.PollOnce();
+  }
+  auto accepted = receiver.TryTake(*accept_qt);
+  if (!accepted.ok() || accepted->status != Status::kOk) {
+    std::fprintf(stderr, "accept failed\n");
+    return 1;
+  }
+  const QueueDesc rx_conn = accepted->new_qd;
+
+  // The "file": 8 MB in 64 kB chunks allocated from the DMA-capable heap.
+  constexpr size_t kFileSize = 8 * 1024 * 1024;
+  constexpr size_t kChunk = 64 * 1024;
+  std::vector<void*> chunks;
+  for (size_t off = 0; off < kFileSize; off += kChunk) {
+    void* c = sender.DmaMalloc(kChunk);
+    std::memset(c, static_cast<int>(off / kChunk), kChunk);
+    chunks.push_back(c);
+  }
+
+  const TimeNs start = clock.Now();
+  for (void* c : chunks) {
+    auto push = sender.Push(*sock, Sgarray::Of(c, kChunk));
+    sender.DmaFree(c);  // UAF protection: the stack holds each chunk until acked
+    (void)push;
+  }
+
+  // Drain on the receiver until the whole file arrived; keep both stacks running.
+  size_t received = 0;
+  while (received < kFileSize) {
+    auto pop = receiver.Pop(rx_conn);
+    if (!pop.ok()) {
+      break;
+    }
+    auto r = receiver.Wait(*pop, 2 * kSecond);
+    sender.PollOnce();  // the sender's send-window/retransmit fibers need cycles too
+    if (!r.ok() || r->status != Status::kOk) {
+      continue;
+    }
+    received += r->sga.TotalBytes();
+    receiver.FreeSga(r->sga);
+  }
+  const DurationNs elapsed = clock.Now() - start;
+
+  const double gbps = static_cast<double>(kFileSize) * 8.0 / static_cast<double>(elapsed);
+  std::printf("transferred %zu MB in %.2f ms: %.2f Gbps goodput\n", kFileSize >> 20,
+              static_cast<double>(elapsed) / 1e6, gbps);
+  std::printf("sender sent %llu TCP segments; deferred frees outstanding: %zu\n",
+              static_cast<unsigned long long>(sender.tcp().stats().segments_tx),
+              sender.allocator().GetStats().deferred_frees);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Echo server and client (paper §7.2): the microbenchmark application for Figures 5-9.
+//
+// The PDPIX variants are libOS-agnostic — the same code runs over Catnap, Catnip (UDP or TCP)
+// and Catmint, which is the portability claim of the paper. The server optionally logs every
+// message to a storage queue before replying (Figure 7's configuration). POSIX variants provide
+// the kernel baseline and the Table 3 LoC comparison.
+
+#ifndef SRC_APPS_ECHO_H_
+#define SRC_APPS_ECHO_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/core/libos.h"
+
+namespace demi {
+
+struct EchoServerOptions {
+  SocketAddress listen;
+  SocketType type = SocketType::kStream;
+  // If non-empty, open a storage queue and push every message to it (synchronously, before
+  // replying) — the Figure 7 configuration. Requires a libOS with storage support.
+  bool log_to_disk = false;
+  std::string log_path = "echo.log";
+};
+
+struct EchoServerStats {
+  uint64_t requests = 0;
+  uint64_t bytes = 0;
+  uint64_t connections = 0;
+};
+
+// Pumpable echo server: arm tokens at construction, then call Pump() (non-blocking) each loop
+// iteration alongside LibOS::PollOnce(). This form supports both a dedicated server thread and
+// single-thread "duet" benchmarking via LibOS::SetExternalPump.
+class EchoServerApp {
+ public:
+  EchoServerApp(LibOS& os, const EchoServerOptions& options);
+
+  // Processes every completed token once; returns the number of requests served this call.
+  size_t Pump();
+
+  const EchoServerStats& stats() const { return stats_; }
+
+ private:
+  void HandleAccept(size_t index, QResult& r);
+  void HandlePop(size_t index, QResult& r);
+
+  LibOS& os_;
+  EchoServerOptions options_;
+  EchoServerStats stats_;
+  QueueDesc log_qd_ = kInvalidQd;
+  std::vector<QToken> tokens_;
+};
+
+// Runs until `stop` becomes true. Serves any number of concurrent connections.
+void RunEchoServer(LibOS& os, const EchoServerOptions& options, std::atomic<bool>& stop,
+                   EchoServerStats* stats = nullptr);
+
+struct EchoClientOptions {
+  SocketAddress server;
+  SocketType type = SocketType::kStream;
+  size_t message_size = 64;
+  uint64_t iterations = 10000;
+  uint64_t warmup = 100;
+};
+
+struct EchoClientResult {
+  Histogram rtt;  // nanoseconds per echo round trip
+  uint64_t errors = 0;
+};
+
+// Closed-loop echo client: push + wait + pop + wait, recording RTTs.
+EchoClientResult RunEchoClient(LibOS& os, const EchoClientOptions& options);
+
+// POSIX (kernel sockets, blocking) echo pair: the "Linux" baseline of Figures 5/7 and the
+// POSIX row of Table 3. Returns like their PDPIX counterparts.
+void RunPosixEchoServer(const EchoServerOptions& options, std::atomic<bool>& stop,
+                        EchoServerStats* stats = nullptr);
+EchoClientResult RunPosixEchoClient(const EchoClientOptions& options);
+
+}  // namespace demi
+
+#endif  // SRC_APPS_ECHO_H_

@@ -1,0 +1,71 @@
+// MiniRpc: an eRPC-like specialized RPC library built DIRECTLY on the raw SimNic, bypassing
+// Demikernel entirely (DESIGN.md §2 comparator substitution).
+//
+// Like eRPC, it is carefully specialized rather than portable: its own minimal packet format on
+// raw Ethernet frames (no IP stack), run-to-completion request processing, client-managed
+// sessions, and a simple go-back-all retransmission timer for the rare loss. It exists to give
+// Figures 5 and 9 their "specialized beats portable, but barely" comparator.
+
+#ifndef SRC_APPS_MINIRPC_H_
+#define SRC_APPS_MINIRPC_H_
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/netsim/sim_network.h"
+
+namespace demi {
+
+class MiniRpcServer {
+ public:
+  // The handler receives the request payload and writes the response into `resp` (returning
+  // its length).
+  using Handler = std::function<size_t(std::span<const uint8_t> req, std::span<uint8_t> resp)>;
+
+  MiniRpcServer(SimNetwork& network, MacAddr mac, Clock& clock, Handler handler);
+
+  // Polls the NIC once, serving any requests found; returns requests served.
+  size_t PollOnce();
+  // Serves until stop.
+  void Run(std::atomic<bool>& stop);
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  SimNic nic_;
+  Clock& clock_;
+  Handler handler_;
+  uint64_t requests_served_ = 0;
+};
+
+class MiniRpcClient {
+ public:
+  MiniRpcClient(SimNetwork& network, MacAddr mac, MacAddr server, Clock& clock);
+
+  // Optional per-poll hook to pump a co-located server on the same thread (single-CPU duet
+  // benchmarking; see LibOS::SetExternalPump).
+  void SetPump(std::function<void()> pump) { pump_ = std::move(pump); }
+
+  // Synchronous call: sends `request`, busy-polls for the matching response, retransmitting on
+  // timeout. Returns response bytes (empty on hard failure).
+  std::vector<uint8_t> Call(std::span<const uint8_t> request,
+                            DurationNs timeout = 100 * kMillisecond);
+
+  // Pipelined interface for the load-throughput sweep (Figure 9): keeps up to `depth` calls in
+  // flight for `duration`, returning completed calls and recording latencies.
+  uint64_t RunClosedLoopWindow(size_t request_size, size_t depth, DurationNs duration,
+                               Histogram* latency);
+
+ private:
+  SimNic nic_;
+  MacAddr server_;
+  Clock& clock_;
+  std::function<void()> pump_;
+  uint64_t next_req_id_ = 1;
+};
+
+}  // namespace demi
+
+#endif  // SRC_APPS_MINIRPC_H_

@@ -1,0 +1,245 @@
+#include "src/apps/udp_relay.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+namespace {
+
+sockaddr_in RelaySockaddr(SocketAddress addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(addr.ip.value);
+  sa.sin_port = htons(addr.port);
+  return sa;
+}
+
+}  // namespace
+
+UdpRelayApp::UdpRelayApp(LibOS& os, const RelayOptions& options)
+    : os_(os), options_(options) {
+  auto sock = os.Socket(SocketType::kDatagram);
+  DEMI_CHECK(sock.ok());
+  DEMI_CHECK(os.Bind(*sock, options.listen) == Status::kOk);
+  sock_ = *sock;
+  auto pop = os.Pop(sock_);
+  DEMI_CHECK(pop.ok());
+  pop_ = *pop;
+}
+
+size_t UdpRelayApp::Pump() {
+  size_t forwarded = 0;
+  while (os_.IsDone(pop_)) {
+    auto r = os_.TryTake(pop_);
+    if (r.ok() && r->status == Status::kOk) {
+      stats_.forwarded++;
+      stats_.bytes += r->sga.TotalBytes();
+      forwarded++;
+      // Forward the received buffers as-is (zero-copy relay) and free immediately.
+      auto push = os_.PushTo(sock_, r->sga, options_.target);
+      os_.FreeSga(r->sga);
+      (void)push;
+    }
+    auto next = os_.Pop(sock_);
+    DEMI_CHECK(next.ok());
+    pop_ = *next;
+  }
+  return forwarded;
+}
+
+void RunUdpRelay(LibOS& os, const RelayOptions& options, std::atomic<bool>& stop,
+                 RelayStats* stats) {
+  UdpRelayApp app(os, options);
+  while (!stop.load(std::memory_order_relaxed)) {
+    os.PollOnce();
+    app.Pump();
+  }
+  if (stats != nullptr) {
+    *stats = app.stats();
+  }
+}
+
+void RunPosixUdpRelay(const RelayOptions& options, std::atomic<bool>& stop, RelayStats* stats) {
+  RelayStats local;
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  DEMI_CHECK(fd >= 0);
+  sockaddr_in sa = RelaySockaddr(options.listen);
+  DEMI_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0);
+  timeval tv{0, 2000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in target = RelaySockaddr(options.target);
+
+  std::vector<uint8_t> buf(64 * 1024);
+  while (!stop.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recvfrom(fd, buf.data(), buf.size(), 0, nullptr, nullptr);
+    if (n <= 0) {
+      continue;
+    }
+    local.forwarded++;
+    local.bytes += static_cast<uint64_t>(n);
+    ::sendto(fd, buf.data(), static_cast<size_t>(n), 0, reinterpret_cast<sockaddr*>(&target),
+             sizeof(target));
+  }
+  ::close(fd);
+  if (stats != nullptr) {
+    *stats = local;
+  }
+}
+
+void RunBatchedPosixUdpRelay(const RelayOptions& options, std::atomic<bool>& stop,
+                             RelayStats* stats) {
+  RelayStats local;
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  DEMI_CHECK(fd >= 0);
+  sockaddr_in sa = RelaySockaddr(options.listen);
+  DEMI_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0);
+  timeval tv{0, 2000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in target = RelaySockaddr(options.target);
+
+  constexpr int kBatch = 32;
+  std::vector<std::vector<uint8_t>> bufs(kBatch, std::vector<uint8_t>(2048));
+  mmsghdr rx_msgs[kBatch];
+  iovec rx_iov[kBatch];
+  mmsghdr tx_msgs[kBatch];
+  iovec tx_iov[kBatch];
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    for (int i = 0; i < kBatch; i++) {
+      rx_iov[i] = {bufs[i].data(), bufs[i].size()};
+      std::memset(&rx_msgs[i], 0, sizeof(rx_msgs[i]));
+      rx_msgs[i].msg_hdr.msg_iov = &rx_iov[i];
+      rx_msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    // MSG_WAITFORONE: return as soon as at least one datagram arrived (plain recvmmsg would
+    // block for the whole batch, adding milliseconds at low load).
+    const int n = ::recvmmsg(fd, rx_msgs, kBatch, MSG_WAITFORONE, nullptr);
+    if (n <= 0) {
+      continue;
+    }
+    for (int i = 0; i < n; i++) {
+      tx_iov[i] = {bufs[i].data(), rx_msgs[i].msg_len};
+      std::memset(&tx_msgs[i], 0, sizeof(tx_msgs[i]));
+      tx_msgs[i].msg_hdr.msg_iov = &tx_iov[i];
+      tx_msgs[i].msg_hdr.msg_iovlen = 1;
+      tx_msgs[i].msg_hdr.msg_name = &target;
+      tx_msgs[i].msg_hdr.msg_namelen = sizeof(target);
+      local.forwarded++;
+      local.bytes += rx_msgs[i].msg_len;
+    }
+    ::sendmmsg(fd, tx_msgs, static_cast<unsigned>(n), 0);
+  }
+  ::close(fd);
+  if (stats != nullptr) {
+    *stats = local;
+  }
+}
+
+RelayLoadResult RunRelayLoadGenerator(LibOS& os, const RelayLoadOptions& options) {
+  RelayLoadResult result;
+  auto tx = os.Socket(SocketType::kDatagram);
+  auto rx = os.Socket(SocketType::kDatagram);
+  DEMI_CHECK(tx.ok() && rx.ok());
+  DEMI_CHECK(os.Bind(*rx, options.sink_bind) == Status::kOk);
+
+  void* pkt = os.DmaMalloc(options.packet_size);
+  std::memset(pkt, 0x5C, options.packet_size);
+  Clock& clock = os.clock();
+  // Probe until the relay forwards (it may still be binding).
+  bool ready = false;
+  for (int probe = 0; probe < 200 && !ready; probe++) {
+    auto push = os.PushTo(*tx, Sgarray::Of(pkt, static_cast<uint32_t>(options.packet_size)),
+                          options.relay);
+    if (!push.ok()) {
+      continue;
+    }
+    auto pop = os.Pop(*rx);
+    if (!pop.ok()) {
+      continue;
+    }
+    auto r = os.Wait(*pop, 20 * kMillisecond);
+    if (r.ok() && r->status == Status::kOk) {
+      os.FreeSga(r->sga);
+      ready = true;
+      for (;;) {
+        auto extra = os.Pop(*rx);
+        if (!extra.ok()) {
+          break;
+        }
+        auto er = os.Wait(*extra, 2 * kMillisecond);
+        if (!er.ok() || er->status != Status::kOk) {
+          break;
+        }
+        os.FreeSga(er->sga);
+      }
+    }
+  }
+  DEMI_CHECK_MSG(ready, "relay load generator: relay unreachable");
+  for (uint64_t i = 0; i < options.warmup + options.packets; i++) {
+    const TimeNs start = clock.Now();
+    auto push = os.PushTo(*tx, Sgarray::Of(pkt, static_cast<uint32_t>(options.packet_size)),
+                          options.relay);
+    if (!push.ok()) {
+      result.lost++;
+      continue;
+    }
+    auto pop = os.Pop(*rx);
+    DEMI_CHECK(pop.ok());
+    auto r = os.Wait(*pop, 200 * kMillisecond);
+    if (!r.ok() || r->status != Status::kOk) {
+      result.lost++;
+      continue;
+    }
+    os.FreeSga(r->sga);
+    if (i >= options.warmup) {
+      result.latency.Record(clock.Now() - start);
+    }
+  }
+  os.DmaFree(pkt);
+  os.Close(*tx);
+  os.Close(*rx);
+  return result;
+}
+
+RelayLoadResult RunPosixRelayLoadGenerator(const RelayLoadOptions& options) {
+  RelayLoadResult result;
+  const int tx_fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  const int rx_fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  DEMI_CHECK(tx_fd >= 0 && rx_fd >= 0);
+  sockaddr_in sink = RelaySockaddr(options.sink_bind);
+  DEMI_CHECK(::bind(rx_fd, reinterpret_cast<sockaddr*>(&sink), sizeof(sink)) == 0);
+  timeval tv{0, 200'000};  // 200 ms loss timeout
+  ::setsockopt(rx_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in relay = RelaySockaddr(options.relay);
+
+  std::vector<uint8_t> pkt(options.packet_size, 0x5C);
+  std::vector<uint8_t> rx(options.packet_size + 64);
+  MonotonicClock clock;
+  for (uint64_t i = 0; i < options.warmup + options.packets; i++) {
+    const TimeNs start = clock.Now();
+    ::sendto(tx_fd, pkt.data(), pkt.size(), 0, reinterpret_cast<sockaddr*>(&relay),
+             sizeof(relay));
+    const ssize_t n = ::recvfrom(rx_fd, rx.data(), rx.size(), 0, nullptr, nullptr);
+    if (n <= 0) {
+      result.lost++;
+      continue;
+    }
+    if (i >= options.warmup) {
+      result.latency.Record(clock.Now() - start);
+    }
+  }
+  ::close(tx_fd);
+  ::close(rx_fd);
+  return result;
+}
+
+}  // namespace demi

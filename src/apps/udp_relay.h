@@ -1,0 +1,78 @@
+// UDP relay (TURN-style) server (paper §7.4, Figure 10): forwards every datagram received on
+// the relay port to a configured target — the data path of Azure's TURN relays, where
+// per-packet CPU cost is what matters.
+//
+// Three variants reproduce Figure 10's comparison: the Demikernel PDPIX relay, a plain POSIX
+// recvfrom/sendto relay ("Linux"), and a batched recvmmsg/sendmmsg relay standing in for the
+// io_uring variant (liburing is not available offline; batched msg syscalls capture the same
+// "fewer kernel crossings per packet" effect — see DESIGN.md §2).
+
+#ifndef SRC_APPS_UDP_RELAY_H_
+#define SRC_APPS_UDP_RELAY_H_
+
+#include <atomic>
+
+#include "src/common/histogram.h"
+#include "src/core/libos.h"
+
+namespace demi {
+
+struct RelayOptions {
+  SocketAddress listen;
+  SocketAddress target;
+};
+
+struct RelayStats {
+  uint64_t forwarded = 0;
+  uint64_t bytes = 0;
+};
+
+// Pumpable relay (see EchoServerApp for the pump pattern).
+class UdpRelayApp {
+ public:
+  UdpRelayApp(LibOS& os, const RelayOptions& options);
+  size_t Pump();  // non-blocking; returns packets forwarded
+  const RelayStats& stats() const { return stats_; }
+
+ private:
+  LibOS& os_;
+  RelayOptions options_;
+  RelayStats stats_;
+  QueueDesc sock_ = kInvalidQd;
+  QToken pop_ = kInvalidQToken;
+};
+
+void RunUdpRelay(LibOS& os, const RelayOptions& options, std::atomic<bool>& stop,
+                 RelayStats* stats = nullptr);
+void RunPosixUdpRelay(const RelayOptions& options, std::atomic<bool>& stop,
+                      RelayStats* stats = nullptr);
+void RunBatchedPosixUdpRelay(const RelayOptions& options, std::atomic<bool>& stop,
+                             RelayStats* stats = nullptr);
+
+// Traffic generator + sink: sends datagrams to the relay and measures generator->relay->sink
+// latency (the sink is a second socket owned by the generator, as in §7.4's methodology).
+struct RelayLoadOptions {
+  SocketAddress relay;
+  SocketAddress sink_bind;  // where relayed packets land (the relay's target)
+  size_t packet_size = 64;
+  uint64_t packets = 10'000;
+  uint64_t warmup = 100;
+};
+
+struct RelayLoadResult {
+  Histogram latency;
+  uint64_t lost = 0;
+};
+
+// POSIX traffic generator (the paper uses a non-kernel-bypass Linux generator). Usable when
+// the relay runs on the kernel path (POSIX/Catnap over loopback).
+RelayLoadResult RunPosixRelayLoadGenerator(const RelayLoadOptions& options);
+
+// PDPIX traffic generator for relays running on the simulated fabric (Catnip): sends to the
+// relay from one socket and receives the relayed packets on a second socket bound to the
+// relay's target address.
+RelayLoadResult RunRelayLoadGenerator(LibOS& os, const RelayLoadOptions& options);
+
+}  // namespace demi
+
+#endif  // SRC_APPS_UDP_RELAY_H_

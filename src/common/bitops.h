@@ -1,0 +1,41 @@
+// Bit-manipulation helpers used by the scheduler's waker blocks and the allocator's
+// reference-count bitmaps.
+//
+// The scheduler must find runnable coroutines in a few nanoseconds; following the paper (§5.4)
+// we iterate over set bits with Lemire's tzcnt-based technique rather than scanning bit by bit.
+
+#ifndef SRC_COMMON_BITOPS_H_
+#define SRC_COMMON_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace demi {
+
+// Calls `fn(index)` for every set bit in `bits`, lowest first. Lemire's iteration: strip the
+// lowest set bit each round using `bits & (bits - 1)`, locating it with tzcnt (std::countr_zero).
+template <typename Fn>
+inline void ForEachSetBit(uint64_t bits, Fn&& fn) {
+  while (bits != 0) {
+    const int index = std::countr_zero(bits);
+    fn(index);
+    bits &= bits - 1;
+  }
+}
+
+// Returns the index of the lowest set bit, or -1 if none.
+inline int LowestSetBit(uint64_t bits) {
+  if (bits == 0) {
+    return -1;
+  }
+  return std::countr_zero(bits);
+}
+
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Smallest power of two >= v (v must be >= 1 and representable).
+inline uint64_t NextPowerOfTwo(uint64_t v) { return std::bit_ceil(v); }
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_BITOPS_H_

@@ -1,0 +1,60 @@
+// Time sources.
+//
+// Catnip's TCP stack is deterministic: "Every TCP operation is parameterized on a time value"
+// (paper §6.3). All protocol code in this repo therefore takes a Clock&, so tests can drive a
+// VirtualClock through loss/retransmission scenarios reproducibly while benchmarks use the
+// monotonic system clock.
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace demi {
+
+// Nanoseconds since an arbitrary epoch.
+using TimeNs = uint64_t;
+using DurationNs = uint64_t;
+
+constexpr DurationNs kMicrosecond = 1'000;
+constexpr DurationNs kMillisecond = 1'000'000;
+constexpr DurationNs kSecond = 1'000'000'000;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimeNs Now() const = 0;
+};
+
+// Wall-clock-free monotonic time; used by benchmarks and live runs.
+class MonotonicClock final : public Clock {
+ public:
+  TimeNs Now() const override {
+    return static_cast<TimeNs>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+  }
+
+  static MonotonicClock& Global() {
+    static MonotonicClock clock;
+    return clock;
+  }
+};
+
+// Manually advanced clock for deterministic protocol tests.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(TimeNs start = 0) : now_(start) {}
+
+  TimeNs Now() const override { return now_; }
+  void Advance(DurationNs delta) { now_ += delta; }
+  void SetTime(TimeNs t) { now_ = t; }
+
+ private:
+  TimeNs now_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_CLOCK_H_

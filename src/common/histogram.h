@@ -1,0 +1,107 @@
+// Log-bucketed latency histogram for benchmark reporting (avg / p50 / p99 / p99.9).
+//
+// HDR-style: values are bucketed with ~1.5% relative precision so recording is a couple of
+// shifts and an increment — cheap enough to call on every request in a closed loop.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace demi {
+
+class Histogram {
+ public:
+  Histogram() : buckets_(kNumBuckets, 0) {}
+
+  void Record(uint64_t value) {
+    count_++;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    buckets_[BucketFor(value)]++;
+  }
+
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (size_t i = 0; i < kNumBuckets; i++) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
+  void Reset() {
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // Value at the given quantile in [0, 1]; returns the representative value of the bucket
+  // containing that rank (upper bound of the bucket, so quantiles are conservative).
+  uint64_t Quantile(double q) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; i++) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        return BucketUpperBound(i);
+      }
+    }
+    return max_;
+  }
+
+  uint64_t P50() const { return Quantile(0.50); }
+  uint64_t P99() const { return Quantile(0.99); }
+  uint64_t P999() const { return Quantile(0.999); }
+
+ private:
+  // 64 orders of magnitude (base 2) x 64 sub-buckets each.
+  static constexpr size_t kSubBucketBits = 6;
+  static constexpr size_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  static size_t BucketFor(uint64_t value) {
+    if (value < kSubBuckets) {
+      return static_cast<size_t>(value);
+    }
+    const int msb = 63 - std::countl_zero(value);
+    const int shift = msb - static_cast<int>(kSubBucketBits);
+    const size_t sub = static_cast<size_t>(value >> shift) & (kSubBuckets - 1);
+    return (static_cast<size_t>(msb - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  }
+
+  static uint64_t BucketUpperBound(size_t bucket) {
+    if (bucket < kSubBuckets) {
+      return bucket;
+    }
+    const size_t order = (bucket >> kSubBucketBits);
+    const size_t sub = bucket & (kSubBuckets - 1);
+    const int shift = static_cast<int>(order) - 1;
+    return ((static_cast<uint64_t>(kSubBuckets) + sub + 1) << shift) - 1;
+  }
+
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

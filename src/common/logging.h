@@ -1,0 +1,49 @@
+// Minimal logging, off the datapath. DEMI_LOG for rare control-path events only; hot paths must
+// stay log-free. DEMI_CHECK terminates on violated invariants (never disabled, unlike assert).
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace demi {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide log threshold; messages below it are suppressed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace demi
+
+#define DEMI_LOG(level, fmt, ...)                                                         \
+  do {                                                                                    \
+    if (static_cast<int>(level) >= static_cast<int>(::demi::GetLogLevel())) {             \
+      std::fprintf(stderr, "[demi %s:%d] " fmt "\n", __FILE__, __LINE__, ##__VA_ARGS__);  \
+    }                                                                                     \
+  } while (0)
+
+#define DEMI_LOG_DEBUG(fmt, ...) DEMI_LOG(::demi::LogLevel::kDebug, fmt, ##__VA_ARGS__)
+#define DEMI_LOG_INFO(fmt, ...) DEMI_LOG(::demi::LogLevel::kInfo, fmt, ##__VA_ARGS__)
+#define DEMI_LOG_WARN(fmt, ...) DEMI_LOG(::demi::LogLevel::kWarning, fmt, ##__VA_ARGS__)
+#define DEMI_LOG_ERROR(fmt, ...) DEMI_LOG(::demi::LogLevel::kError, fmt, ##__VA_ARGS__)
+
+#define DEMI_CHECK(cond)                                                                \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      std::fprintf(stderr, "[demi %s:%d] CHECK failed: %s\n", __FILE__, __LINE__, #cond); \
+      std::abort();                                                                     \
+    }                                                                                   \
+  } while (0)
+
+#define DEMI_CHECK_MSG(cond, fmt, ...)                                                  \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      std::fprintf(stderr, "[demi %s:%d] CHECK failed: %s: " fmt "\n", __FILE__, __LINE__, \
+                   #cond, ##__VA_ARGS__);                                               \
+      std::abort();                                                                     \
+    }                                                                                   \
+  } while (0)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,92 @@
+// Single-producer single-consumer lock-free ring buffer.
+//
+// This is the transport primitive of the simulated kernel-bypass fabric: a SimNic's rx/tx queues
+// are SPSC rings shared between the device (producer) and the libOS fast-path coroutine
+// (consumer), mirroring the descriptor rings a DPDK PMD polls. The ring is wait-free for both
+// sides and safe across two threads.
+
+#ifndef SRC_COMMON_SPSC_RING_H_
+#define SRC_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/bitops.h"
+
+namespace demi {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two; the ring holds up to `capacity` elements.
+  explicit SpscRing(size_t capacity)
+      : mask_(NextPowerOfTwo(capacity < 2 ? 2 : capacity) - 1), slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false if the ring is full.
+  bool Push(T value) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_cache_;
+    if (head - tail > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) {
+        return false;
+      }
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns nullopt if the ring is empty.
+  std::optional<T> Pop() {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) {
+        return std::nullopt;
+      }
+    }
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  // Consumer side: peeks without consuming. The reference stays valid until the next Pop.
+  const T* Front() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) {
+      return nullptr;
+    }
+    return &slots_[tail & mask_];
+  }
+
+  // Approximate element count; exact when called from either endpoint's own thread.
+  size_t SizeApprox() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<size_t>(head - tail);
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const uint64_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // written by producer
+  alignas(64) std::atomic<uint64_t> tail_{0};  // written by consumer
+  alignas(64) uint64_t tail_cache_ = 0;        // producer-local
+  alignas(64) uint64_t head_cache_ = 0;        // consumer-local
+};
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_SPSC_RING_H_

@@ -1,0 +1,144 @@
+// Status codes and a lightweight Result<T> for exception-free datapath error handling.
+//
+// Demikernel's datapath runs at ns-scale; we avoid exceptions on the hot path and return
+// Status/Result values instead (C++ Core Guidelines E.
+// "Use error codes when exceptions cannot be used").
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <string_view>
+#include <utility>
+
+namespace demi {
+
+// Error codes loosely mirroring the errno values the PDPIX prototype returns.
+enum class Status : int32_t {
+  kOk = 0,
+  kInvalidArgument,    // EINVAL
+  kBadQueueDescriptor, // EBADF
+  kBadQToken,          // stale or unknown queue token
+  kWouldBlock,         // EWOULDBLOCK: operation not complete yet
+  kConnectionRefused,  // ECONNREFUSED
+  kConnectionReset,    // ECONNRESET
+  kConnectionAborted,  // ECONNABORTED
+  kNotConnected,       // ENOTCONN
+  kAlreadyConnected,   // EISCONN
+  kAddressInUse,       // EADDRINUSE
+  kTimedOut,           // ETIMEDOUT
+  kMessageTooLong,     // EMSGSIZE
+  kNoMemory,           // ENOMEM
+  kNoBufferSpace,      // ENOBUFS
+  kQueueFull,          // transient device queue exhaustion
+  kEndOfFile,          // orderly remote close / end of log
+  kNotSupported,       // EOPNOTSUPP
+  kPermissionDenied,   // EACCES
+  kNotFound,           // ENOENT
+  kIoError,            // EIO
+  kProtocolError,      // malformed packet or protocol violation
+  kCancelled,          // operation cancelled (queue closed while pending)
+  kInternal,           // invariant violation; indicates a bug
+};
+
+constexpr std::string_view StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "Ok";
+    case Status::kInvalidArgument: return "InvalidArgument";
+    case Status::kBadQueueDescriptor: return "BadQueueDescriptor";
+    case Status::kBadQToken: return "BadQToken";
+    case Status::kWouldBlock: return "WouldBlock";
+    case Status::kConnectionRefused: return "ConnectionRefused";
+    case Status::kConnectionReset: return "ConnectionReset";
+    case Status::kConnectionAborted: return "ConnectionAborted";
+    case Status::kNotConnected: return "NotConnected";
+    case Status::kAlreadyConnected: return "AlreadyConnected";
+    case Status::kAddressInUse: return "AddressInUse";
+    case Status::kTimedOut: return "TimedOut";
+    case Status::kMessageTooLong: return "MessageTooLong";
+    case Status::kNoMemory: return "NoMemory";
+    case Status::kNoBufferSpace: return "NoBufferSpace";
+    case Status::kQueueFull: return "QueueFull";
+    case Status::kEndOfFile: return "EndOfFile";
+    case Status::kNotSupported: return "NotSupported";
+    case Status::kPermissionDenied: return "PermissionDenied";
+    case Status::kNotFound: return "NotFound";
+    case Status::kIoError: return "IoError";
+    case Status::kProtocolError: return "ProtocolError";
+    case Status::kCancelled: return "Cancelled";
+    case Status::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+// Result<T>: either a value of T or a non-Ok Status. Minimal std::expected stand-in that keeps
+// the datapath allocation-free.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(Status error) : ok_(false), error_(error) {  // NOLINT(google-explicit-constructor)
+    assert(error != Status::kOk);
+  }
+  Result(T value) : ok_(true) {  // NOLINT(google-explicit-constructor)
+    new (&storage_) T(std::move(value));
+  }
+  Result(const Result& other) : ok_(other.ok_), error_(other.error_) {
+    if (ok_) {
+      new (&storage_) T(other.value());
+    }
+  }
+  Result(Result&& other) noexcept : ok_(other.ok_), error_(other.error_) {
+    if (ok_) {
+      new (&storage_) T(std::move(other.value()));
+    }
+  }
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      this->~Result();
+      new (this) Result(other);
+    }
+    return *this;
+  }
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      this->~Result();
+      new (this) Result(std::move(other));
+    }
+    return *this;
+  }
+  ~Result() {
+    if (ok_) {
+      value().~T();
+    }
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  Status error() const { return ok_ ? Status::kOk : error_; }
+
+  T& value() {
+    assert(ok_);
+    return *std::launder(reinterpret_cast<T*>(&storage_));
+  }
+  const T& value() const {
+    assert(ok_);
+    return *std::launder(reinterpret_cast<const T*>(&storage_));
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok_ ? value() : std::move(fallback); }
+
+ private:
+  bool ok_;
+  Status error_ = Status::kOk;
+  alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,103 @@
+#include "src/core/libos.h"
+
+namespace demi {
+
+Result<QResult> LibOS::Wait(QToken qt, DurationNs timeout) {
+  if (!tokens_.IsValid(qt)) {
+    return Status::kBadQToken;
+  }
+  const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
+  for (;;) {
+    if (tokens_.IsDone(qt)) {
+      return tokens_.Take(qt);
+    }
+    sched_.Poll();
+    RunExternalPump();
+    if (deadline != 0 && clock_.Now() >= deadline && !tokens_.IsDone(qt)) {
+      return Status::kTimedOut;
+    }
+  }
+}
+
+Result<QResult> LibOS::WaitAny(std::span<const QToken> qts, size_t* index_out,
+                               DurationNs timeout) {
+  for (QToken qt : qts) {
+    if (!tokens_.IsValid(qt)) {
+      return Status::kBadQToken;
+    }
+  }
+  const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
+  for (;;) {
+    for (size_t i = 0; i < qts.size(); i++) {
+      if (tokens_.IsDone(qts[i])) {
+        if (index_out != nullptr) {
+          *index_out = i;
+        }
+        return tokens_.Take(qts[i]);
+      }
+    }
+    sched_.Poll();
+    RunExternalPump();
+    if (deadline != 0 && clock_.Now() >= deadline) {
+      for (size_t i = 0; i < qts.size(); i++) {
+        if (tokens_.IsDone(qts[i])) {
+          if (index_out != nullptr) {
+            *index_out = i;
+          }
+          return tokens_.Take(qts[i]);
+        }
+      }
+      return Status::kTimedOut;
+    }
+  }
+}
+
+size_t LibOS::WaitAnyHarvest(std::span<const QToken> qts, std::vector<QResult>* events,
+                             std::vector<size_t>* indices, DurationNs timeout) {
+  const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
+  for (;;) {
+    size_t harvested = 0;
+    for (size_t i = 0; i < qts.size(); i++) {
+      if (tokens_.IsDone(qts[i])) {
+        auto r = tokens_.Take(qts[i]);
+        if (r.ok()) {
+          if (events != nullptr) {
+            events->push_back(*r);
+          }
+          if (indices != nullptr) {
+            indices->push_back(i);
+          }
+          harvested++;
+        }
+      }
+    }
+    if (harvested > 0) {
+      return harvested;
+    }
+    sched_.Poll();
+    RunExternalPump();
+    if (deadline != 0 && clock_.Now() >= deadline) {
+      return 0;
+    }
+  }
+}
+
+Status LibOS::WaitAll(std::span<const QToken> qts, std::vector<QResult>* out,
+                      DurationNs timeout) {
+  const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
+  for (QToken qt : qts) {
+    const DurationNs left =
+        deadline == 0 ? 0
+                      : (clock_.Now() >= deadline ? 1 : deadline - clock_.Now());
+    auto r = Wait(qt, left);
+    if (!r.ok()) {
+      return r.error();
+    }
+    if (out != nullptr) {
+      out->push_back(*r);
+    }
+  }
+  return Status::kOk;
+}
+
+}  // namespace demi

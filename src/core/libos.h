@@ -1,0 +1,146 @@
+// LibOS: the abstract Demikernel datapath library OS (paper §5).
+//
+// Every concrete libOS (Catnap, Catnip, Catmint, Cattree and the network×storage integrations)
+// shares this PDPIX surface and the common machinery: a cooperative coroutine scheduler, a
+// DMA-capable heap with UAF protection, and a qtoken table. wait/wait_any/wait_all are
+// implemented here — they run the scheduler (fast-path + background coroutines) until the
+// requested tokens complete, which is how application threads donate cycles to the datapath OS
+// (cooperative scheduling, §3.2).
+
+#ifndef SRC_CORE_LIBOS_H_
+#define SRC_CORE_LIBOS_H_
+
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/qtoken_table.h"
+#include "src/core/types.h"
+#include "src/memory/buffer.h"
+#include "src/memory/pool_allocator.h"
+#include "src/runtime/scheduler.h"
+
+namespace demi {
+
+class LibOS {
+ public:
+  virtual ~LibOS() = default;
+
+  LibOS(const LibOS&) = delete;
+  LibOS& operator=(const LibOS&) = delete;
+
+  // --- Queue creation and management (PDPIX libcalls, Figure 2) ---
+  virtual Result<QueueDesc> Socket(SocketType type) = 0;
+  virtual Status Bind(QueueDesc qd, SocketAddress local) = 0;
+  virtual Status Listen(QueueDesc qd, int backlog) = 0;
+  virtual Result<QToken> Accept(QueueDesc qd) = 0;
+  virtual Result<QToken> Connect(QueueDesc qd, SocketAddress remote) = 0;
+  virtual Status Close(QueueDesc qd) = 0;
+
+  // Storage queues (libOSes without a storage engine return kNotSupported).
+  virtual Result<QueueDesc> Open(std::string_view path) { return Status::kNotSupported; }
+  virtual Status Seek(QueueDesc qd, uint64_t offset) { return Status::kNotSupported; }
+  virtual Status Truncate(QueueDesc qd, uint64_t offset) { return Status::kNotSupported; }
+
+  // Lightweight in-memory queue (PDPIX queue(), Go-channel-like).
+  virtual Result<QueueDesc> MemoryQueue() { return Status::kNotSupported; }
+
+  // --- I/O processing ---
+  // Submits a complete outgoing operation; attempts to issue it immediately (fast path).
+  // Zero-copy: ownership of sga buffers passes to the libOS until the qtoken completes; with
+  // UAF protection the app may even free them right away and the heap defers the recycle.
+  virtual Result<QToken> Push(QueueDesc qd, const Sgarray& sga) = 0;
+  virtual Result<QToken> PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to) {
+    return Status::kNotSupported;
+  }
+  // Asks for the next incoming operation; the qtoken completes with an app-owned sga.
+  virtual Result<QToken> Pop(QueueDesc qd) = 0;
+
+  // --- wait_*: PDPIX's epoll replacement (§4.2) ---
+  // Blocks the calling thread, donating it to the libOS scheduler, until `qt` completes.
+  // timeout 0 = wait forever.
+  Result<QResult> Wait(QToken qt, DurationNs timeout = 0);
+  // Waits for any of `qts`; `index_out` receives the position that completed.
+  Result<QResult> WaitAny(std::span<const QToken> qts, size_t* index_out,
+                          DurationNs timeout = 0);
+  // Waits for all tokens; results appended to `out` in token order.
+  Status WaitAll(std::span<const QToken> qts, std::vector<QResult>* out,
+                 DurationNs timeout = 0);
+
+  // The paper's full wait_any shape (Figure 2): blocks until at least one token completes,
+  // then harvests EVERY completed token into `events` (with its index in `indices`). Returns
+  // the number harvested, or 0 on timeout. Batch harvesting lets servers drain a burst of
+  // completions in one call instead of one wakeup each.
+  size_t WaitAnyHarvest(std::span<const QToken> qts, std::vector<QResult>* events,
+                        std::vector<size_t>* indices, DurationNs timeout = 0);
+
+  // Non-blocking check/claim.
+  bool IsDone(QToken qt) const { return tokens_.IsDone(qt); }
+  Result<QResult> TryTake(QToken qt) { return tokens_.Take(qt); }
+
+  // --- Memory (the DMA-capable heap, §5.3) ---
+  void* DmaMalloc(size_t size) { return alloc_.Alloc(size); }
+  void DmaFree(void* ptr) { alloc_.Free(ptr); }
+  // Frees every segment of a popped sgarray.
+  void FreeSga(Sgarray& sga) {
+    for (uint32_t i = 0; i < sga.num_segs; i++) {
+      alloc_.Free(sga.segs[i].buf);
+      sga.segs[i] = {};
+    }
+    sga.num_segs = 0;
+  }
+
+  PoolAllocator& allocator() { return alloc_; }
+  Scheduler& scheduler() { return sched_; }
+  Clock& clock() { return clock_; }
+  QTokenTable& tokens() { return tokens_; }
+
+  // Runs one scheduler round (fast-path poll + runnable coroutines) without blocking. µs-scale
+  // apps call this (or wait) at least every millisecond per the system model (§3.2).
+  size_t PollOnce() { return sched_.Poll(); }
+
+  // Single-process benchmarking hook: a function invoked on every wait_* polling round, used to
+  // pump a peer libOS (and its server application) on the same thread. This emulates the
+  // paper's two-machine topology without kernel scheduler noise — essential on small hosts
+  // where two busy-polling threads would timeslice at millisecond granularity.
+  void SetExternalPump(std::function<void()> pump) { external_pump_ = std::move(pump); }
+
+  const char* name() const { return name_; }
+
+ protected:
+  LibOS(const char* name, Clock& clock, DmaRegistrar& registrar)
+      : name_(name), clock_(clock), sched_(clock), alloc_(registrar) {}
+
+  // Completes a qtoken inline (fast path) or from a coroutine.
+  void CompleteToken(QToken qt, QResult result) { tokens_.Complete(qt, std::move(result)); }
+
+  void RunExternalPump() {
+    if (external_pump_) {
+      external_pump_();
+    }
+  }
+
+  const char* name_;
+  std::function<void()> external_pump_;
+  Clock& clock_;
+  Scheduler sched_;
+  PoolAllocator alloc_;
+  QTokenTable tokens_;
+  QueueDesc next_qd_ = 3;  // 0..2 reserved out of POSIX habit
+};
+
+// Converts a popped Buffer into an app-owned single-segment sgarray. The buffer must be a whole
+// libOS-owned heap object (which rx-path allocations are).
+inline Sgarray BufferToAppSga(Buffer&& buf) {
+  Sgarray sga;
+  const uint32_t len = static_cast<uint32_t>(buf.size());
+  sga.num_segs = 1;
+  sga.segs[0] = {buf.ReleaseToApp(), len};
+  return sga;
+}
+
+}  // namespace demi
+
+#endif  // SRC_CORE_LIBOS_H_

@@ -1,0 +1,153 @@
+// QTokenTable: slab of pending-operation states behind PDPIX qtokens.
+//
+// A qtoken encodes (slot | generation<<32): slots recycle, generations catch stale tokens.
+// The paper allocates the waiting coroutine only when the application calls wait (§5.2); here
+// the table itself is the cheap part allocated at op submission, and completion either happens
+// inline on the fast path or from a libOS coroutine.
+
+#ifndef SRC_CORE_QTOKEN_TABLE_H_
+#define SRC_CORE_QTOKEN_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/runtime/event.h"
+
+namespace demi {
+
+class QTokenTable {
+ public:
+  QToken Allocate(OpCode op, QueueDesc qd) {
+    uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(entries_.size());
+      entries_.emplace_back(new Entry());
+    }
+    Entry& e = *entries_[slot];
+    e.in_use = true;
+    e.done = false;
+    e.result = QResult{};
+    e.result.opcode = op;
+    e.result.qd = qd;
+    // Generation 0 would collide with kInvalidQToken for slot 0; start at 1.
+    if (e.generation == 0) {
+      e.generation = 1;
+    }
+    return (static_cast<uint64_t>(e.generation) << 32) | slot;
+  }
+
+  bool IsValid(QToken qt) const {
+    const Entry* e = Lookup(qt);
+    return e != nullptr;
+  }
+
+  bool IsDone(QToken qt) const {
+    const Entry* e = Lookup(qt);
+    return e != nullptr && e->done;
+  }
+
+  // Completes a pending token. Returns false if the token is stale (e.g., queue closed and the
+  // token already cancelled and consumed).
+  bool Complete(QToken qt, QResult result) {
+    Entry* e = Lookup(qt);
+    if (e == nullptr || e->done) {
+      return false;
+    }
+    // Preserve opcode/qd recorded at Allocate when the completer didn't fill them.
+    if (result.opcode == OpCode::kInvalid) {
+      result.opcode = e->result.opcode;
+    }
+    if (result.qd == kInvalidQd) {
+      result.qd = e->result.qd;
+    }
+    e->result = result;
+    e->done = true;
+    return true;
+  }
+
+  // Consumes a completed token; invalidates it.
+  Result<QResult> Take(QToken qt) {
+    Entry* e = Lookup(qt);
+    if (e == nullptr) {
+      return Status::kBadQToken;
+    }
+    if (!e->done) {
+      return Status::kWouldBlock;
+    }
+    QResult result = e->result;
+    Release(qt);
+    return result;
+  }
+
+  // Cancels a pending token (queue closed underneath it) by completing it with `status`.
+  void Cancel(QToken qt, Status status) {
+    Entry* e = Lookup(qt);
+    if (e != nullptr && !e->done) {
+      e->result.status = status;
+      e->done = true;
+    }
+  }
+
+  OpCode OpOf(QToken qt) const {
+    const Entry* e = Lookup(qt);
+    return e == nullptr ? OpCode::kInvalid : e->result.opcode;
+  }
+  QueueDesc QdOf(QToken qt) const {
+    const Entry* e = Lookup(qt);
+    return e == nullptr ? kInvalidQd : e->result.qd;
+  }
+
+  size_t NumPending() const {
+    size_t n = 0;
+    for (const auto& e : entries_) {
+      if (e->in_use && !e->done) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    uint32_t generation = 0;
+    bool in_use = false;
+    bool done = false;
+    QResult result;
+  };
+
+  Entry* Lookup(QToken qt) {
+    const uint32_t slot = static_cast<uint32_t>(qt & 0xFFFFFFFF);
+    const uint32_t gen = static_cast<uint32_t>(qt >> 32);
+    if (slot >= entries_.size()) {
+      return nullptr;
+    }
+    Entry& e = *entries_[slot];
+    if (!e.in_use || e.generation != gen) {
+      return nullptr;
+    }
+    return &e;
+  }
+  const Entry* Lookup(QToken qt) const { return const_cast<QTokenTable*>(this)->Lookup(qt); }
+
+  void Release(QToken qt) {
+    const uint32_t slot = static_cast<uint32_t>(qt & 0xFFFFFFFF);
+    Entry& e = *entries_[slot];
+    e.in_use = false;
+    e.generation++;
+    if (e.generation == 0) {
+      e.generation = 1;
+    }
+    free_.push_back(slot);
+  }
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<uint32_t> free_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_CORE_QTOKEN_TABLE_H_

@@ -1,0 +1,542 @@
+#include "src/liboses/catnip.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+Catnip::Catnip(SimNetwork& network, const Config& config, Clock& clock)
+    : LibOS("catnip", clock, NullDmaRegistrar::Global()),
+      nic_(network, config.mac, clock),
+      eth_(nic_, config.ip, config.checksum_offload),
+      udp_(eth_, alloc_),
+      tcp_(eth_, sched_, alloc_, clock, config.tcp) {
+  alloc_.SetRegistrar(nic_.registrar());
+  reap_interval_ = config.reap_interval;
+  if (config.disk != nullptr) {
+    storage_ = std::make_unique<StorageQueueEngine>(*config.disk, sched_, alloc_, tokens_);
+  }
+  sched_.Spawn(FastPathFiber());
+}
+
+Catnip::~Catnip() {
+  shutdown_ = true;
+  // Destroy fiber frames first: they hold Buffers and connection references that must release
+  // into a still-live heap (the base-class allocator outlives derived members but not fibers
+  // destroyed by the base-class scheduler's own destructor).
+  sched_.Shutdown();
+  alloc_.UnregisterAll();
+}
+
+Catnip::QueueState* Catnip::Find(QueueDesc qd) {
+  auto it = queues_.find(qd);
+  return it == queues_.end() ? nullptr : &it->second;
+}
+
+Task<void> Catnip::FastPathFiber() {
+  const uint32_t reap_interval = reap_interval_ == 0 ? 1024 : reap_interval_;
+  uint32_t iterations = 0;
+  while (!shutdown_) {
+    eth_.PollOnce();
+    if (storage_ != nullptr) {
+      // Catnip×Cattree: round-robin the fast path between NIC and disk completions (§5.5).
+      storage_->Poll();
+    }
+    // Deferred queue teardown: objects owning events are freed only once no blocked op
+    // coroutine can still touch them.
+    while (!deferred_close_.empty()) {
+      const QueueDesc qd = deferred_close_.front();
+      auto it = queues_.find(qd);
+      if (it == queues_.end()) {
+        deferred_close_.pop_front();
+        continue;
+      }
+      if (it->second.waiters > 0) {
+        break;  // retry next iteration
+      }
+      deferred_close_.pop_front();
+      FinishClose(qd, it->second);
+      queues_.erase(it);
+    }
+    if (++iterations % reap_interval == 0) {
+      tcp_.Reap();
+    }
+    co_await Scheduler::Yield{};
+  }
+}
+
+// --- Queue creation ---
+
+Result<QueueDesc> Catnip::Socket(SocketType type) {
+  const QueueDesc qd = NewQd();
+  QueueState q;
+  if (type == SocketType::kStream) {
+    q.kind = QKind::kTcpUnbound;
+  } else {
+    auto sock = udp_.Bind(0);
+    if (!sock.ok()) {
+      return sock.error();
+    }
+    q.kind = QKind::kUdp;
+    q.udp = *sock;
+  }
+  queues_[qd] = std::move(q);
+  return qd;
+}
+
+Status Catnip::Bind(QueueDesc qd, SocketAddress local) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  if (q->kind == QKind::kUdp) {
+    // Rebind the ephemeral socket onto the requested port.
+    auto sock = udp_.Bind(local.port);
+    if (!sock.ok()) {
+      return sock.error();
+    }
+    udp_.Close(q->udp);
+    q->udp = *sock;
+    return Status::kOk;
+  }
+  if (q->kind != QKind::kTcpUnbound) {
+    return Status::kInvalidArgument;
+  }
+  q->bound = local;
+  q->has_bound = true;
+  return Status::kOk;
+}
+
+Status Catnip::Listen(QueueDesc qd, int backlog) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  if (q->kind != QKind::kTcpUnbound || !q->has_bound) {
+    return Status::kInvalidArgument;
+  }
+  auto listener = tcp_.Listen(q->bound.port, static_cast<size_t>(backlog));
+  if (!listener.ok()) {
+    return listener.error();
+  }
+  q->kind = QKind::kTcpListener;
+  q->listener = *listener;
+  return Status::kOk;
+}
+
+QueueDesc Catnip::InstallConnQueue(std::shared_ptr<TcpConnection> conn) {
+  const QueueDesc qd = NewQd();
+  QueueState q;
+  q.kind = QKind::kTcpConn;
+  q.conn = std::move(conn);
+  queues_[qd] = std::move(q);
+  return qd;
+}
+
+Result<QToken> Catnip::Accept(QueueDesc qd) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing || q->kind != QKind::kTcpListener) {
+    return Status::kBadQueueDescriptor;
+  }
+  const QToken qt = tokens_.Allocate(OpCode::kAccept, qd);
+  if (q->listener->HasPending()) {
+    // Fast path: connection already established.
+    auto conn = q->listener->Accept();
+    QResult r;
+    r.status = Status::kOk;
+    r.new_qd = InstallConnQueue(conn);
+    r.remote = conn->remote();
+    CompleteToken(qt, r);
+    return qt;
+  }
+  sched_.Spawn(AcceptOp(qd, qt));
+  return qt;
+}
+
+Task<void> Catnip::AcceptOp(QueueDesc qd, QToken qt) {
+  for (;;) {
+    QueueState* q = Find(qd);
+    if (q == nullptr || q->closing || q->kind != QKind::kTcpListener) {
+      QResult r;
+      r.status = Status::kCancelled;
+      CompleteToken(qt, r);
+      co_return;
+    }
+    if (q->listener->HasPending()) {
+      auto conn = q->listener->Accept();
+      QResult r;
+      r.status = Status::kOk;
+      r.new_qd = InstallConnQueue(conn);
+      r.remote = conn->remote();
+      CompleteToken(qt, r);
+      co_return;
+    }
+    q->waiters++;
+    co_await q->listener->acceptable().Wait();
+    // Re-find: the map may have rehashed or the queue may be closing.
+    QueueState* q2 = Find(qd);
+    if (q2 != nullptr) {
+      q2->waiters--;
+    }
+  }
+}
+
+Result<QToken> Catnip::Connect(QueueDesc qd, SocketAddress remote) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  if (q->kind == QKind::kUdp) {
+    // Connected-UDP: just set the default peer; completes immediately.
+    q->udp_default_remote = remote;
+    q->udp_connected = true;
+    const QToken qt = tokens_.Allocate(OpCode::kConnect, qd);
+    QResult r;
+    r.status = Status::kOk;
+    r.remote = remote;
+    CompleteToken(qt, r);
+    return qt;
+  }
+  if (q->kind != QKind::kTcpUnbound) {
+    return Status::kAlreadyConnected;
+  }
+  auto conn = tcp_.Connect(remote);
+  if (!conn.ok()) {
+    return conn.error();
+  }
+  q->kind = QKind::kTcpConn;
+  q->conn = *conn;
+  const QToken qt = tokens_.Allocate(OpCode::kConnect, qd);
+  sched_.Spawn(ConnectOp(qd, qt, *conn));
+  return qt;
+}
+
+Task<void> Catnip::ConnectOp(QueueDesc qd, QToken qt, std::shared_ptr<TcpConnection> conn) {
+  while (conn->state() != TcpState::kEstablished && conn->state() != TcpState::kClosed) {
+    co_await conn->established_event().Wait();
+  }
+  QResult r;
+  r.status = conn->state() == TcpState::kEstablished ? Status::kOk : conn->error();
+  if (r.status == Status::kOk) {
+    r.remote = conn->remote();
+  }
+  CompleteToken(qt, r);
+}
+
+// --- Push ---
+
+Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  switch (q->kind) {
+    case QKind::kTcpConn: {
+      // Inline, run-to-completion: the stack segments and transmits as far as windows allow
+      // from within this call; the qtoken completes immediately since the stack now owns
+      // (references) the buffers.
+      Status status = Status::kOk;
+      for (uint32_t i = 0; i < sga.num_segs && status == Status::kOk; i++) {
+        status = q->conn->Push(Buffer::FromApp(alloc_, sga.segs[i].buf, sga.segs[i].len));
+      }
+      const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
+      QResult r;
+      r.status = status;
+      CompleteToken(qt, r);
+      return qt;
+    }
+    case QKind::kUdp: {
+      if (!q->udp_connected) {
+        return Status::kNotConnected;
+      }
+      return PushTo(qd, sga, q->udp_default_remote);
+    }
+    case QKind::kFile: {
+      if (storage_ == nullptr) {
+        return Status::kNotSupported;
+      }
+      const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
+      sched_.Spawn(storage_->PushOp(qt, sga));
+      return qt;
+    }
+    case QKind::kMemory: {
+      const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
+      // Copy into a libOS-owned buffer: the channel hands ownership to the popper.
+      Buffer buf = Buffer::Allocate(alloc_, sga.TotalBytes());
+      size_t off = 0;
+      for (uint32_t i = 0; i < sga.num_segs; i++) {
+        std::memcpy(buf.mutable_data() + off, sga.segs[i].buf, sga.segs[i].len);
+        off += sga.segs[i].len;
+      }
+      q->mem->items.push_back(std::move(buf));
+      q->mem->readable.Notify();
+      QResult r;
+      r.status = Status::kOk;
+      CompleteToken(qt, r);
+      return qt;
+    }
+    default:
+      return Status::kNotConnected;
+  }
+}
+
+Result<QToken> Catnip::PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  if (q->kind != QKind::kUdp) {
+    return Status::kNotSupported;
+  }
+  Status status;
+  if (sga.num_segs == 1) {
+    // Zero-copy single segment.
+    Buffer buf = Buffer::FromApp(alloc_, sga.segs[0].buf, sga.segs[0].len);
+    if (buf.size() >= PoolAllocator::kZeroCopyThreshold) {
+      buf.Rkey();
+    }
+    status = udp_.SendTo(*q->udp, to, buf);
+  } else {
+    Buffer buf = Buffer::Allocate(alloc_, sga.TotalBytes());
+    size_t off = 0;
+    for (uint32_t i = 0; i < sga.num_segs; i++) {
+      std::memcpy(buf.mutable_data() + off, sga.segs[i].buf, sga.segs[i].len);
+      off += sga.segs[i].len;
+    }
+    if (buf.size() >= PoolAllocator::kZeroCopyThreshold) {
+      buf.Rkey();
+    }
+    status = udp_.SendTo(*q->udp, to, buf);
+  }
+  const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
+  QResult r;
+  r.status = status;
+  CompleteToken(qt, r);
+  return qt;
+}
+
+// --- Pop ---
+
+void Catnip::CompleteTcpPop(QToken qt, QueueDesc qd, TcpConnection& conn) {
+  QResult r;
+  r.status = Status::kOk;
+  r.remote = conn.remote();
+  // Drain up to a full scatter-gather array per pop: cuts per-segment qtoken/coroutine costs
+  // for bulk streams while staying one op per message for request/response traffic.
+  while (r.sga.num_segs < kSgaMaxSegments && conn.HasReadyData()) {
+    auto data = conn.PopData();
+    DEMI_CHECK(data.has_value());
+    const uint32_t len = static_cast<uint32_t>(data->size());
+    r.sga.segs[r.sga.num_segs++] = {data->ReleaseToApp(), len};
+  }
+  DEMI_CHECK(r.sga.num_segs > 0);
+  CompleteToken(qt, r);
+}
+
+Result<QToken> Catnip::Pop(QueueDesc qd) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  switch (q->kind) {
+    case QKind::kTcpConn: {
+      const QToken qt = tokens_.Allocate(OpCode::kPop, qd);
+      if (q->conn->HasReadyData()) {
+        CompleteTcpPop(qt, qd, *q->conn);  // fast path: data already waiting
+      } else {
+        sched_.Spawn(PopTcpOp(qd, qt, q->conn));
+      }
+      return qt;
+    }
+    case QKind::kUdp: {
+      const QToken qt = tokens_.Allocate(OpCode::kPop, qd);
+      if (q->udp->HasData()) {
+        auto d = q->udp->PopDatagram();
+        QResult r;
+        r.status = Status::kOk;
+        r.remote = d->src;
+        r.sga = BufferToAppSga(std::move(d->payload));
+        CompleteToken(qt, r);
+      } else {
+        sched_.Spawn(PopUdpOp(qd, qt));
+      }
+      return qt;
+    }
+    case QKind::kFile: {
+      if (storage_ == nullptr) {
+        return Status::kNotSupported;
+      }
+      const QToken qt = tokens_.Allocate(OpCode::kPop, qd);
+      sched_.Spawn(storage_->PopOp(qt, &q->file_cursor));
+      return qt;
+    }
+    case QKind::kMemory: {
+      const QToken qt = tokens_.Allocate(OpCode::kPop, qd);
+      sched_.Spawn(PopMemOp(qd, qt, q->mem));
+      return qt;
+    }
+    default:
+      return Status::kNotConnected;
+  }
+}
+
+Task<void> Catnip::PopTcpOp(QueueDesc qd, QToken qt, std::shared_ptr<TcpConnection> conn) {
+  for (;;) {
+    if (conn->HasReadyData()) {
+      CompleteTcpPop(qt, qd, *conn);
+      co_return;
+    }
+    if (conn->EndOfStream()) {
+      QResult r;
+      r.status = Status::kEndOfFile;
+      r.remote = conn->remote();
+      CompleteToken(qt, r);
+      co_return;
+    }
+    if (conn->state() == TcpState::kClosed) {
+      QResult r;
+      r.status = conn->error() == Status::kOk ? Status::kEndOfFile : conn->error();
+      CompleteToken(qt, r);
+      co_return;
+    }
+    co_await conn->readable().Wait();
+  }
+}
+
+Task<void> Catnip::PopUdpOp(QueueDesc qd, QToken qt) {
+  for (;;) {
+    QueueState* q = Find(qd);
+    if (q == nullptr || q->closing || q->kind != QKind::kUdp) {
+      QResult r;
+      r.status = Status::kCancelled;
+      CompleteToken(qt, r);
+      co_return;
+    }
+    if (q->udp->HasData()) {
+      auto d = q->udp->PopDatagram();
+      QResult r;
+      r.status = Status::kOk;
+      r.remote = d->src;
+      r.sga = BufferToAppSga(std::move(d->payload));
+      CompleteToken(qt, r);
+      co_return;
+    }
+    q->waiters++;
+    co_await q->udp->readable().Wait();
+    QueueState* q2 = Find(qd);
+    if (q2 != nullptr) {
+      q2->waiters--;
+    }
+  }
+}
+
+Task<void> Catnip::PopMemOp(QueueDesc qd, QToken qt, std::shared_ptr<MemChannel> mem) {
+  for (;;) {
+    if (!mem->items.empty()) {
+      Buffer buf = std::move(mem->items.front());
+      mem->items.pop_front();
+      QResult r;
+      r.status = Status::kOk;
+      r.sga = BufferToAppSga(std::move(buf));
+      CompleteToken(qt, r);
+      co_return;
+    }
+    if (mem->closed) {
+      QResult r;
+      r.status = Status::kEndOfFile;
+      CompleteToken(qt, r);
+      co_return;
+    }
+    co_await mem->readable.Wait();
+  }
+}
+
+// --- Storage and memory queues ---
+
+Result<QueueDesc> Catnip::Open(std::string_view path) {
+  if (storage_ == nullptr) {
+    return Status::kNotSupported;
+  }
+  const QueueDesc qd = NewQd();
+  QueueState q;
+  q.kind = QKind::kFile;
+  q.file_cursor = storage_->log().head();
+  queues_[qd] = std::move(q);
+  return qd;
+}
+
+Status Catnip::Seek(QueueDesc qd, uint64_t offset) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing || q->kind != QKind::kFile) {
+    return Status::kBadQueueDescriptor;
+  }
+  return storage_->Seek(&q->file_cursor, offset);
+}
+
+Status Catnip::Truncate(QueueDesc qd, uint64_t offset) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing || q->kind != QKind::kFile) {
+    return Status::kBadQueueDescriptor;
+  }
+  return storage_->Truncate(offset);
+}
+
+Result<QueueDesc> Catnip::MemoryQueue() {
+  const QueueDesc qd = NewQd();
+  QueueState q;
+  q.kind = QKind::kMemory;
+  q.mem = std::make_shared<MemChannel>();
+  queues_[qd] = std::move(q);
+  return qd;
+}
+
+// --- Close ---
+
+Status Catnip::Close(QueueDesc qd) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  q->closing = true;
+  switch (q->kind) {
+    case QKind::kTcpConn:
+      q->conn->Close();
+      q->conn->readable().Notify();
+      break;
+    case QKind::kTcpListener:
+      q->listener->acceptable().Notify();
+      break;
+    case QKind::kUdp:
+      q->udp->readable().Notify();
+      break;
+    case QKind::kMemory:
+      q->mem->closed = true;
+      q->mem->readable.Notify();
+      break;
+    default:
+      break;
+  }
+  // Teardown of event-owning objects is deferred to the fast path once no blocked coroutine
+  // can still reference them.
+  deferred_close_.push_back(qd);
+  return Status::kOk;
+}
+
+void Catnip::FinishClose(QueueDesc qd, QueueState& q) {
+  switch (q.kind) {
+    case QKind::kTcpConn:
+      q.conn->ReleaseByApp();
+      break;
+    case QKind::kTcpListener:
+      tcp_.CloseListener(q.listener);
+      break;
+    case QKind::kUdp:
+      udp_.Close(q.udp);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace demi

@@ -1,0 +1,129 @@
+// Catnip: the DPDK library OS (paper §6.3), here over the simulated poll-mode NIC.
+//
+// Implements PDPIX over the full userspace UDP/TCP stacks. A single fast-path coroutine polls
+// the NIC (and, when a disk is attached, the storage completion queue — the Catnip×Cattree
+// round-robin split of §5.5); pop/accept/connect allocate blocked coroutines only when the
+// data isn't already available, and push transmits inline run-to-completion.
+//
+// Constructing with a SimBlockDevice yields the integrated Catnip×Cattree libOS: network
+// sockets and storage queues share one scheduler and one DMA heap, enabling the paper's
+// NIC→app→disk run-to-completion path without copies or thread switches.
+
+#ifndef SRC_LIBOSES_CATNIP_H_
+#define SRC_LIBOSES_CATNIP_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/libos.h"
+#include "src/liboses/storage_queue_engine.h"
+#include "src/net/ethernet.h"
+#include "src/net/tcp/tcp.h"
+#include "src/net/udp.h"
+#include "src/netsim/sim_network.h"
+
+namespace demi {
+
+class Catnip final : public LibOS {
+ public:
+  struct Config {
+    MacAddr mac;
+    Ipv4Addr ip;
+    TcpConfig tcp;
+    // Attach a disk to get the integrated Catnip×Cattree libOS.
+    SimBlockDevice* disk = nullptr;
+    // NIC checksum offload (default on, as DPDK deployments configure); off = software
+    // checksums (ablation).
+    bool checksum_offload = true;
+    // Reap closed TCP state every N fast-path iterations.
+    uint32_t reap_interval = 1024;
+  };
+
+  Catnip(SimNetwork& network, const Config& config, Clock& clock);
+  ~Catnip() override;
+
+  // --- PDPIX ---
+  Result<QueueDesc> Socket(SocketType type) override;
+  Status Bind(QueueDesc qd, SocketAddress local) override;
+  Status Listen(QueueDesc qd, int backlog) override;
+  Result<QToken> Accept(QueueDesc qd) override;
+  Result<QToken> Connect(QueueDesc qd, SocketAddress remote) override;
+  Status Close(QueueDesc qd) override;
+  Result<QueueDesc> Open(std::string_view path) override;
+  Status Seek(QueueDesc qd, uint64_t offset) override;
+  Status Truncate(QueueDesc qd, uint64_t offset) override;
+  Result<QueueDesc> MemoryQueue() override;
+  Result<QToken> Push(QueueDesc qd, const Sgarray& sga) override;
+  Result<QToken> PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to) override;
+  Result<QToken> Pop(QueueDesc qd) override;
+
+  // --- Introspection ---
+  EthernetLayer& ethernet() { return eth_; }
+  TcpStack& tcp() { return tcp_; }
+  UdpStack& udp() { return udp_; }
+  SimNic& nic() { return nic_; }
+  Ipv4Addr local_ip() const { return eth_.local_ip(); }
+  bool has_storage() const { return storage_ != nullptr; }
+
+ private:
+  struct MemChannel {
+    std::deque<Buffer> items;
+    Event readable;
+    bool closed = false;
+  };
+
+  enum class QKind : uint8_t {
+    kTcpUnbound,  // Socket(kStream) before listen/connect
+    kTcpListener,
+    kTcpConn,
+    kUdp,
+    kFile,
+    kMemory,
+  };
+
+  struct QueueState {
+    QKind kind = QKind::kTcpUnbound;
+    bool closing = false;
+    int waiters = 0;  // blocked op coroutines touching events owned by this queue
+    SocketAddress bound{};
+    bool has_bound = false;
+    TcpListener* listener = nullptr;
+    std::shared_ptr<TcpConnection> conn;
+    UdpStack::Socket* udp = nullptr;
+    SocketAddress udp_default_remote{};
+    bool udp_connected = false;
+    uint64_t file_cursor = 0;
+    std::shared_ptr<MemChannel> mem;
+  };
+
+  QueueState* Find(QueueDesc qd);
+  QueueDesc NewQd() { return next_qd_++; }
+  QueueDesc InstallConnQueue(std::shared_ptr<TcpConnection> conn);
+  void FinishClose(QueueDesc qd, QueueState& q);
+
+  // Op coroutines.
+  Task<void> FastPathFiber();
+  Task<void> AcceptOp(QueueDesc qd, QToken qt);
+  Task<void> ConnectOp(QueueDesc qd, QToken qt, std::shared_ptr<TcpConnection> conn);
+  Task<void> PopTcpOp(QueueDesc qd, QToken qt, std::shared_ptr<TcpConnection> conn);
+  Task<void> PopUdpOp(QueueDesc qd, QToken qt);
+  Task<void> PopMemOp(QueueDesc qd, QToken qt, std::shared_ptr<MemChannel> mem);
+
+  // Completes a TCP pop from ready data (fast path and coroutine tail share this).
+  void CompleteTcpPop(QToken qt, QueueDesc qd, TcpConnection& conn);
+
+  SimNic nic_;
+  EthernetLayer eth_;
+  UdpStack udp_;
+  TcpStack tcp_;
+  std::unique_ptr<StorageQueueEngine> storage_;
+  std::unordered_map<QueueDesc, QueueState> queues_;
+  std::deque<QueueDesc> deferred_close_;
+  uint32_t reap_interval_ = 1024;
+  bool shutdown_ = false;
+};
+
+}  // namespace demi
+
+#endif  // SRC_LIBOSES_CATNIP_H_

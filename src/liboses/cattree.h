@@ -1,0 +1,50 @@
+// Cattree: the standalone SPDK storage library OS (paper §6.4), over the simulated block
+// device. PDPIX queues map onto an abstract log: open() returns a queue with a read cursor,
+// push appends durably, pop reads at the cursor, seek/truncate move the cursor and GC the log.
+// Network calls return kNotSupported — pair with Catnip/Catmint for the integrated libOSes.
+
+#ifndef SRC_LIBOSES_CATTREE_H_
+#define SRC_LIBOSES_CATTREE_H_
+
+#include <unordered_map>
+
+#include "src/core/libos.h"
+#include "src/liboses/storage_queue_engine.h"
+
+namespace demi {
+
+class Cattree final : public LibOS {
+ public:
+  Cattree(SimBlockDevice& disk, Clock& clock);
+  ~Cattree() override;
+
+  Result<QueueDesc> Socket(SocketType type) override { return Status::kNotSupported; }
+  Status Bind(QueueDesc, SocketAddress) override { return Status::kNotSupported; }
+  Status Listen(QueueDesc, int) override { return Status::kNotSupported; }
+  Result<QToken> Accept(QueueDesc) override { return Status::kNotSupported; }
+  Result<QToken> Connect(QueueDesc, SocketAddress) override { return Status::kNotSupported; }
+
+  Result<QueueDesc> Open(std::string_view path) override;
+  Status Seek(QueueDesc qd, uint64_t offset) override;
+  Status Truncate(QueueDesc qd, uint64_t offset) override;
+  Status Close(QueueDesc qd) override;
+  Result<QToken> Push(QueueDesc qd, const Sgarray& sga) override;
+  Result<QToken> Pop(QueueDesc qd) override;
+
+  StorageQueueEngine& storage() { return storage_; }
+
+ private:
+  struct QueueState {
+    uint64_t cursor = 0;
+  };
+
+  Task<void> FastPathFiber();
+
+  StorageQueueEngine storage_;
+  std::unordered_map<QueueDesc, QueueState> queues_;
+  bool shutdown_ = false;
+};
+
+}  // namespace demi
+
+#endif  // SRC_LIBOSES_CATTREE_H_

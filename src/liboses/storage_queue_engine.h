@@ -1,0 +1,92 @@
+// StorageQueueEngine: the Cattree queue logic (paper §6.4), shared between the standalone
+// Cattree libOS and the integrated network×storage libOSes (Catnip×Cattree, Catmint×Cattree).
+//
+// Maps PDPIX queues onto the abstract log: each open() returns a queue with its own read
+// cursor; push appends records (durable on completion), pop reads the record at the cursor,
+// seek/truncate move the cursor and garbage-collect.
+
+#ifndef SRC_LIBOSES_STORAGE_QUEUE_ENGINE_H_
+#define SRC_LIBOSES_STORAGE_QUEUE_ENGINE_H_
+
+#include <cstring>
+#include <vector>
+
+#include "src/core/libos.h"
+#include "src/storage/log_device.h"
+
+namespace demi {
+
+class StorageQueueEngine {
+ public:
+  StorageQueueEngine(SimBlockDevice& disk, Scheduler& sched, PoolAllocator& alloc,
+                     QTokenTable& tokens)
+      : log_(disk, sched), alloc_(alloc), tokens_(tokens) {}
+
+  LogDevice& log() { return log_; }
+  void Poll() { log_.PollDevice(); }
+  bool HasPendingIo() const { return log_.HasPendingIo(); }
+
+  // Spawnable op coroutines; the libOS owns qtoken allocation and queue bookkeeping.
+
+  // Appends the sga as one record; completes `qt` when durable. The application's buffers are
+  // pinned HERE, synchronously at push time — a coroutine body only runs at its first resume,
+  // by which point PDPIX allows the app to have freed the memory (UAF semantics).
+  Task<void> PushOp(QToken qt, const Sgarray& sga) {
+    std::vector<Buffer> pinned;
+    pinned.reserve(sga.num_segs);
+    for (uint32_t i = 0; i < sga.num_segs; i++) {
+      pinned.push_back(Buffer::FromApp(alloc_, sga.segs[i].buf, sga.segs[i].len));
+    }
+    return PushOpPinned(qt, std::move(pinned));  // parameters move into the frame immediately
+  }
+
+  // Reads the record at *cursor; completes `qt` with an app-owned sga and advances the cursor.
+  Task<void> PopOp(QToken qt, uint64_t* cursor) {
+    auto result = co_await log_.Read(*cursor);
+    QResult qr;
+    if (!result.ok()) {
+      qr.status = result.error();
+      tokens_.Complete(qt, qr);
+      co_return;
+    }
+    *cursor = result->next_cursor;
+    Buffer buf = Buffer::Allocate(alloc_, result->payload.size());
+    if (!result->payload.empty()) {
+      std::memcpy(buf.mutable_data(), result->payload.data(), result->payload.size());
+    }
+    qr.status = Status::kOk;
+    qr.sga = BufferToAppSga(std::move(buf));
+    tokens_.Complete(qt, qr);
+  }
+
+  Status Seek(uint64_t* cursor, uint64_t offset) {
+    if (offset < log_.head() || offset > log_.tail()) {
+      return Status::kInvalidArgument;
+    }
+    *cursor = offset;
+    return Status::kOk;
+  }
+
+  Status Truncate(uint64_t offset) { return log_.Truncate(offset); }
+
+ private:
+  Task<void> PushOpPinned(QToken qt, std::vector<Buffer> pinned) {
+    // Flatten into the record image (models the controller's DMA gather from the ring).
+    std::vector<uint8_t> record;
+    for (const Buffer& b : pinned) {
+      record.insert(record.end(), b.data(), b.data() + b.size());
+    }
+    auto result = co_await log_.Append(record);
+    QResult qr;
+    qr.status = result.error();
+    tokens_.Complete(qt, qr);
+  }
+
+  LogDevice log_;
+  PoolAllocator& alloc_;
+  QTokenTable& tokens_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_LIBOSES_STORAGE_QUEUE_ENGINE_H_

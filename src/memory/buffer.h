@@ -1,0 +1,168 @@
+// Buffer: the libOS-side zero-copy handle onto heap objects.
+//
+// A Buffer is a (base, offset, length) view of an allocator object plus one libOS reference on
+// it. Copying a Buffer takes another reference; destruction drops one. TCP keeps Buffers for
+// unacked segments, so application data stays pinned (UAF protection) until the receiver acks
+// (paper §5.3). Views support slicing without copying, which the TCP send ring uses to cut
+// application pushes into MSS-sized segments.
+//
+// Buffers below PoolAllocator::kZeroCopyThreshold are *copied* out of application memory instead
+// of referenced — zero-copy only pays off above ~1 kB (paper §5.3) — in which case the libOS
+// owns a private object outright.
+
+#ifndef SRC_MEMORY_BUFFER_H_
+#define SRC_MEMORY_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/memory/pool_allocator.h"
+
+namespace demi {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Wraps application memory handed to the libOS by push(). Takes a libOS reference above the
+  // zero-copy threshold; copies below it. `ptr` must lie in `alloc`'s heap for the zero-copy
+  // path (PDPIX requires all I/O memory to come from the DMA-capable heap).
+  static Buffer FromApp(PoolAllocator& alloc, const void* ptr, size_t len) {
+    if (len >= PoolAllocator::kZeroCopyThreshold && alloc.Owns(ptr)) {
+      void* base = const_cast<void*>(ptr);
+      alloc.IncRef(base);
+      return Buffer(&alloc, base, 0, len, /*owned=*/false);
+    }
+    void* copy = alloc.Alloc(len == 0 ? 1 : len);
+    DEMI_CHECK(copy != nullptr);
+    std::memcpy(copy, ptr, len);
+    alloc.IncRef(copy);
+    return Buffer(&alloc, copy, 0, len, /*owned=*/true);
+  }
+
+  // Allocates a fresh libOS-owned buffer (e.g., for incoming packet payloads).
+  static Buffer Allocate(PoolAllocator& alloc, size_t len) {
+    void* base = alloc.Alloc(len == 0 ? 1 : len);
+    DEMI_CHECK(base != nullptr);
+    alloc.IncRef(base);
+    return Buffer(&alloc, base, 0, len, /*owned=*/true);
+  }
+
+  Buffer(const Buffer& other) { CopyFrom(other); }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) {
+      Release();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  Buffer(Buffer&& other) noexcept { MoveFrom(other); }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~Buffer() { Release(); }
+
+  bool empty() const { return len_ == 0; }
+  size_t size() const { return len_; }
+  const uint8_t* data() const { return static_cast<const uint8_t*>(base_) + offset_; }
+  uint8_t* mutable_data() { return static_cast<uint8_t*>(base_) + offset_; }
+  bool valid() const { return base_ != nullptr; }
+
+  // A sub-view sharing the same underlying object (takes another reference).
+  Buffer Slice(size_t offset, size_t len) const {
+    DEMI_CHECK(offset + len <= len_);
+    Buffer b(*this);
+    b.offset_ += offset;
+    b.len_ = len;
+    return b;
+  }
+
+  // Narrows this view in place without touching refcounts.
+  void TrimFront(size_t n) {
+    DEMI_CHECK(n <= len_);
+    offset_ += n;
+    len_ -= n;
+  }
+  void TrimTo(size_t n) {
+    DEMI_CHECK(n <= len_);
+    len_ = n;
+  }
+
+  // Transfers ownership of the underlying object to the application: drops the libOS reference
+  // without freeing (the app_owned bit was set at Alloc and stays set). Used by pop(): the
+  // application receives the pointer and frees it when done (PDPIX memory semantics).
+  // Only valid for libOS-owned whole-object buffers.
+  void* ReleaseToApp() {
+    DEMI_CHECK_MSG(owned_ && offset_ == 0, "ReleaseToApp requires a whole owned object");
+    void* base = base_;
+    alloc_->DecRef(base_);
+    base_ = nullptr;
+    alloc_ = nullptr;
+    len_ = 0;
+    return base;
+  }
+
+  PoolAllocator* allocator() const { return alloc_; }
+  // Device key of the underlying superblock (registers lazily). Zero-copy devices use this.
+  uint64_t Rkey() const { return alloc_->GetRkey(base_); }
+
+ private:
+  Buffer(PoolAllocator* alloc, void* base, size_t offset, size_t len, bool owned)
+      : alloc_(alloc), base_(base), offset_(offset), len_(len), owned_(owned) {}
+
+  void Release() {
+    if (base_ != nullptr) {
+      if (owned_) {
+        // The libOS allocated this object; drop both identities so it is truly recycled.
+        alloc_->DecRef(base_);
+        alloc_->Free(base_);
+      } else {
+        alloc_->DecRef(base_);
+      }
+      base_ = nullptr;
+    }
+  }
+
+  void CopyFrom(const Buffer& other) {
+    alloc_ = other.alloc_;
+    base_ = other.base_;
+    offset_ = other.offset_;
+    len_ = other.len_;
+    owned_ = false;  // only one Buffer may carry the app-side identity of an owned object
+    if (base_ != nullptr) {
+      alloc_->IncRef(base_);
+    }
+    if (other.owned_) {
+      // Copies of an owned buffer share references; the original keeps the ownership role.
+      // (Callers that need to hand off ownership use move or ReleaseToApp.)
+    }
+  }
+
+  void MoveFrom(Buffer& other) {
+    alloc_ = other.alloc_;
+    base_ = other.base_;
+    offset_ = other.offset_;
+    len_ = other.len_;
+    owned_ = other.owned_;
+    other.base_ = nullptr;
+    other.alloc_ = nullptr;
+    other.len_ = 0;
+    other.owned_ = false;
+  }
+
+  PoolAllocator* alloc_ = nullptr;
+  void* base_ = nullptr;
+  size_t offset_ = 0;
+  size_t len_ = 0;
+  bool owned_ = false;
+};
+
+}  // namespace demi
+
+#endif  // SRC_MEMORY_BUFFER_H_

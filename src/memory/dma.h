@@ -1,0 +1,40 @@
+// DMA registration interface between the heap and kernel-bypass devices.
+//
+// Different devices designate DMA-capable memory differently (paper §2.2): RDMA registers
+// regions and returns rkeys; DPDK/SPDK draw from a pre-registered mempool. The allocator hides
+// this behind DmaRegistrar: each superblock is registered lazily on first I/O use and the
+// returned key is cached in the superblock header (the get_rkey design of §5.3).
+
+#ifndef SRC_MEMORY_DMA_H_
+#define SRC_MEMORY_DMA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace demi {
+
+class DmaRegistrar {
+ public:
+  virtual ~DmaRegistrar() = default;
+
+  // Registers [base, base+len) for device DMA and returns a device key (e.g., an RDMA rkey).
+  // Must remain valid until UnregisterRegion.
+  virtual uint64_t RegisterRegion(void* base, size_t len) = 0;
+  virtual void UnregisterRegion(void* base) = 0;
+};
+
+// Registrar for devices needing no registration (e.g., Catnap's kernel path).
+class NullDmaRegistrar final : public DmaRegistrar {
+ public:
+  uint64_t RegisterRegion(void* base, size_t len) override { return 0; }
+  void UnregisterRegion(void* base) override {}
+
+  static NullDmaRegistrar& Global() {
+    static NullDmaRegistrar r;
+    return r;
+  }
+};
+
+}  // namespace demi
+
+#endif  // SRC_MEMORY_DMA_H_

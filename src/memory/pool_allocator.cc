@@ -1,0 +1,370 @@
+#include "src/memory/pool_allocator.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "src/common/bitops.h"
+#include "src/common/logging.h"
+
+namespace demi {
+
+namespace {
+constexpr uint32_t kSuperblockMagic = 0xDEA11'0C8 & 0xFFFFFFFF;
+constexpr uint32_t kFreeListEnd = UINT32_MAX;
+}  // namespace
+
+// Superblock layout: [Superblock header | app_owned bitmap | os_ref bitmap | objects...].
+// The header is at the block's aligned base so HeaderOf() is a mask.
+struct PoolAllocator::Superblock {
+  uint32_t magic;
+  uint32_t class_index;     // index into classes_, or UINT32_MAX for a huge block
+  uint32_t object_size;
+  uint32_t num_objects;
+  uint32_t free_head;       // LIFO free list head (object index), kFreeListEnd if full
+  uint32_t live;            // objects not on the free list
+  uint64_t rkey;
+  bool dma_registered;
+  PoolAllocator* owner;
+  Superblock* next_partial;  // size-class partial list linkage
+  Superblock* prev_partial;
+  bool on_partial_list;
+  size_t block_size;
+  uint64_t* app_owned;  // 1 bit per object: application owns it
+  uint64_t* os_ref;     // 1 bit per object: libOS holds >=1 reference
+  unsigned char* objects;
+
+  uint32_t IndexOf(const void* ptr) const {
+    const size_t off = static_cast<size_t>(static_cast<const unsigned char*>(ptr) - objects);
+    return static_cast<uint32_t>(off / object_size);
+  }
+  void* ObjectAt(uint32_t index) const { return objects + static_cast<size_t>(index) * object_size; }
+
+  bool TestBit(const uint64_t* map, uint32_t i) const { return (map[i / 64] >> (i % 64)) & 1; }
+  void SetBit(uint64_t* map, uint32_t i) { map[i / 64] |= 1ULL << (i % 64); }
+  void ClearBit(uint64_t* map, uint32_t i) { map[i / 64] &= ~(1ULL << (i % 64)); }
+
+  // Free-list next pointers are stored in the free objects themselves (Hoard-style LIFO).
+  uint32_t& NextOf(uint32_t index) const {
+    return *reinterpret_cast<uint32_t*>(ObjectAt(index));
+  }
+};
+
+struct PoolAllocator::SizeClass {
+  size_t object_size = 0;
+  Superblock* partial = nullptr;  // blocks with at least one free object
+  std::vector<Superblock*> all;
+};
+
+PoolAllocator::PoolAllocator(DmaRegistrar& registrar) : registrar_(&registrar) {
+  for (size_t size = kMinObjectSize; size <= kMaxPooledObject; size *= 2) {
+    SizeClass sc;
+    sc.object_size = size;
+    classes_.push_back(sc);
+  }
+}
+
+PoolAllocator::~PoolAllocator() {
+  for (SizeClass& sc : classes_) {
+    for (Superblock* sb : sc.all) {
+      if (sb->dma_registered) {
+        registrar_->UnregisterRegion(sb);
+      }
+      std::free(sb);
+    }
+  }
+}
+
+size_t PoolAllocator::SizeClassIndex(size_t size) {
+  size_t index = 0;
+  size_t class_size = kMinObjectSize;
+  while (class_size < size) {
+    class_size *= 2;
+    index++;
+  }
+  return index;
+}
+
+PoolAllocator::Superblock* PoolAllocator::HeaderOf(const void* ptr) {
+  auto base = reinterpret_cast<uintptr_t>(ptr) & ~(uintptr_t{kSuperblockSize} - 1);
+  return reinterpret_cast<Superblock*>(base);
+}
+
+PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size_t object_size,
+                                                        size_t block_size) {
+  void* mem = std::aligned_alloc(kSuperblockSize, block_size);
+  if (mem == nullptr) {
+    return nullptr;
+  }
+  auto* sb = new (mem) Superblock();
+  sb->magic = kSuperblockMagic;
+  sb->class_index = static_cast<uint32_t>(class_index);
+  sb->object_size = static_cast<uint32_t>(object_size);
+  sb->rkey = 0;
+  sb->dma_registered = false;
+  sb->owner = this;
+  sb->next_partial = nullptr;
+  sb->prev_partial = nullptr;
+  sb->on_partial_list = false;
+  sb->block_size = block_size;
+  sb->live = 0;
+
+  // Carve the remainder: bitmaps then the object area.
+  unsigned char* cursor = static_cast<unsigned char*>(mem) + sizeof(Superblock);
+  const size_t space = block_size - sizeof(Superblock);
+  // Solve for num_objects: 2 bitmaps of ceil(n/64) words + n*object_size <= space - padding.
+  size_t n = space / object_size;
+  while (n > 0) {
+    const size_t bitmap_bytes = 2 * ((n + 63) / 64) * sizeof(uint64_t);
+    const size_t align_pad = 64;  // generous padding for object-area alignment
+    if (bitmap_bytes + n * object_size + align_pad <= space) {
+      break;
+    }
+    n--;
+  }
+  DEMI_CHECK_MSG(n > 0, "superblock too small for object size %zu", object_size);
+  sb->num_objects = static_cast<uint32_t>(n);
+
+  const size_t words = (n + 63) / 64;
+  sb->app_owned = reinterpret_cast<uint64_t*>(cursor);
+  cursor += words * sizeof(uint64_t);
+  sb->os_ref = reinterpret_cast<uint64_t*>(cursor);
+  cursor += words * sizeof(uint64_t);
+  std::memset(sb->app_owned, 0, words * sizeof(uint64_t));
+  std::memset(sb->os_ref, 0, words * sizeof(uint64_t));
+  // Align the object area to 64 bytes so objects are cacheline-friendly.
+  auto addr = reinterpret_cast<uintptr_t>(cursor);
+  addr = (addr + 63) & ~uintptr_t{63};
+  sb->objects = reinterpret_cast<unsigned char*>(addr);
+
+  // Build the LIFO free list, lowest index on top.
+  sb->free_head = kFreeListEnd;
+  for (uint32_t i = sb->num_objects; i-- > 0;) {
+    sb->NextOf(i) = sb->free_head;
+    sb->free_head = i;
+  }
+
+  stats_.superblocks++;
+  stats_.bytes_reserved += block_size;
+  return sb;
+}
+
+void* PoolAllocator::Alloc(size_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  if (size > kMaxPooledObject) {
+    // Huge path: dedicated superblock holding exactly one object.
+    const size_t need = sizeof(Superblock) + 2 * sizeof(uint64_t) + 64 + size;
+    const size_t block_size = ((need + kSuperblockSize - 1) / kSuperblockSize) * kSuperblockSize;
+    Superblock* sb = NewSuperblock(UINT32_MAX, size, block_size);
+    if (sb == nullptr) {
+      return nullptr;
+    }
+    // NewSuperblock computed num_objects from object_size; force exactly one for huge blocks.
+    sb->num_objects = 1;
+    sb->free_head = kFreeListEnd;
+    sb->live = 1;
+    sb->SetBit(sb->app_owned, 0);
+    stats_.live_objects++;
+    return sb->ObjectAt(0);
+  }
+
+  const size_t ci = SizeClassIndex(size);
+  SizeClass& sc = classes_[ci];
+  Superblock* sb = sc.partial;
+  if (sb == nullptr) {
+    sb = NewSuperblock(ci, sc.object_size, kSuperblockSize);
+    if (sb == nullptr) {
+      return nullptr;
+    }
+    sc.all.push_back(sb);
+    sb->next_partial = nullptr;
+    sb->prev_partial = nullptr;
+    sb->on_partial_list = true;
+    sc.partial = sb;
+  }
+
+  const uint32_t index = sb->free_head;
+  DEMI_CHECK(index != kFreeListEnd);
+  sb->free_head = sb->NextOf(index);
+  sb->live++;
+  sb->SetBit(sb->app_owned, index);
+  if (sb->free_head == kFreeListEnd) {
+    // Block is now full: unlink from the partial list.
+    sc.partial = sb->next_partial;
+    if (sb->next_partial != nullptr) {
+      sb->next_partial->prev_partial = nullptr;
+    }
+    sb->next_partial = nullptr;
+    sb->on_partial_list = false;
+  }
+  stats_.live_objects++;
+  return sb->ObjectAt(index);
+}
+
+void PoolAllocator::RecycleObject(Superblock* sb, uint32_t index) {
+  if (sb->class_index == UINT32_MAX) {
+    FreeHugeBlock(sb);
+    return;
+  }
+  sb->NextOf(index) = sb->free_head;
+  const bool was_full = (sb->free_head == kFreeListEnd);
+  sb->free_head = index;
+  sb->live--;
+  if (was_full && !sb->on_partial_list) {
+    SizeClass& sc = classes_[sb->class_index];
+    sb->next_partial = sc.partial;
+    sb->prev_partial = nullptr;
+    if (sc.partial != nullptr) {
+      sc.partial->prev_partial = sb;
+    }
+    sc.partial = sb;
+    sb->on_partial_list = true;
+  }
+}
+
+void PoolAllocator::FreeHugeBlock(Superblock* sb) {
+  if (sb->dma_registered) {
+    registrar_->UnregisterRegion(sb);
+    stats_.registered_blocks--;
+  }
+  stats_.superblocks--;
+  stats_.bytes_reserved -= sb->block_size;
+  std::free(sb);
+}
+
+void PoolAllocator::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  Superblock* sb = HeaderOf(ptr);
+  DEMI_CHECK_MSG(sb->magic == kSuperblockMagic && sb->owner == this,
+                 "Free of pointer not owned by this allocator");
+  const uint32_t index = sb->IndexOf(ptr);
+  DEMI_CHECK_MSG(sb->TestBit(sb->app_owned, index), "double free or free of libOS-owned object");
+  sb->ClearBit(sb->app_owned, index);
+  stats_.live_objects--;
+  if (sb->TestBit(sb->os_ref, index)) {
+    // UAF protection: the libOS still references this buffer (e.g., unacked TCP data); the
+    // object is recycled when the last libOS reference drops.
+    stats_.deferred_frees++;
+    return;
+  }
+  RecycleObject(sb, index);
+}
+
+void PoolAllocator::IncRef(void* ptr) {
+  Superblock* sb = HeaderOf(ptr);
+  DEMI_CHECK(sb->magic == kSuperblockMagic && sb->owner == this);
+  const uint32_t index = sb->IndexOf(ptr);
+  if (!sb->TestBit(sb->os_ref, index)) {
+    sb->SetBit(sb->os_ref, index);
+    return;
+  }
+  // Second or later reference: overflow side table keyed by object base address.
+  overflow_refs_[sb->ObjectAt(index)]++;
+  stats_.overflow_refs++;
+}
+
+void PoolAllocator::DecRef(void* ptr) {
+  Superblock* sb = HeaderOf(ptr);
+  DEMI_CHECK(sb->magic == kSuperblockMagic && sb->owner == this);
+  const uint32_t index = sb->IndexOf(ptr);
+  DEMI_CHECK_MSG(sb->TestBit(sb->os_ref, index), "DecRef without reference");
+  void* base = sb->ObjectAt(index);
+  auto it = overflow_refs_.find(base);
+  if (it != overflow_refs_.end()) {
+    if (--it->second == 0) {
+      overflow_refs_.erase(it);
+    }
+    stats_.overflow_refs--;
+    return;
+  }
+  sb->ClearBit(sb->os_ref, index);
+  if (!sb->TestBit(sb->app_owned, index)) {
+    // Application already freed it; complete the deferred free now.
+    stats_.deferred_frees--;
+    RecycleObject(sb, index);
+  }
+}
+
+uint64_t PoolAllocator::GetRkey(void* ptr) {
+  Superblock* sb = HeaderOf(ptr);
+  DEMI_CHECK(sb->magic == kSuperblockMagic && sb->owner == this);
+  if (!sb->dma_registered) {
+    sb->rkey = registrar_->RegisterRegion(sb, sb->block_size);
+    sb->dma_registered = true;
+    stats_.registered_blocks++;
+  }
+  return sb->rkey;
+}
+
+bool PoolAllocator::Owns(const void* ptr) const {
+  if (ptr == nullptr) {
+    return false;
+  }
+  const Superblock* sb = HeaderOf(ptr);
+  return sb->magic == kSuperblockMagic && sb->owner == this;
+}
+
+size_t PoolAllocator::ObjectSize(const void* ptr) const {
+  const Superblock* sb = HeaderOf(ptr);
+  DEMI_CHECK(sb->magic == kSuperblockMagic);
+  return sb->object_size;
+}
+
+void PoolAllocator::UnregisterAll() {
+  for (SizeClass& sc : classes_) {
+    for (Superblock* sb : sc.all) {
+      if (sb->dma_registered) {
+        registrar_->UnregisterRegion(sb);
+        sb->dma_registered = false;
+        stats_.registered_blocks--;
+      }
+    }
+  }
+  // Huge blocks are not tracked in classes_; they unregister on free. After detaching they
+  // would call the dead registrar, so huge zero-copy objects must be freed before the device.
+  registrar_ = &NullDmaRegistrar::Global();
+}
+
+void PoolAllocator::SetRegistrar(DmaRegistrar& registrar) {
+  DEMI_CHECK_MSG(stats_.registered_blocks == 0, "SetRegistrar after registration");
+  registrar_ = &registrar;
+}
+
+PoolAllocator::Stats PoolAllocator::GetStats() const { return stats_; }
+
+void PoolAllocator::ReleaseEmptySuperblocks() {
+  for (SizeClass& sc : classes_) {
+    std::vector<Superblock*> kept;
+    for (Superblock* sb : sc.all) {
+      if (sb->live == 0) {
+        // Unlink from the partial list.
+        if (sb->on_partial_list) {
+          if (sb->prev_partial != nullptr) {
+            sb->prev_partial->next_partial = sb->next_partial;
+          } else {
+            sc.partial = sb->next_partial;
+          }
+          if (sb->next_partial != nullptr) {
+            sb->next_partial->prev_partial = sb->prev_partial;
+          }
+        }
+        if (sb->dma_registered) {
+          registrar_->UnregisterRegion(sb);
+          stats_.registered_blocks--;
+        }
+        stats_.superblocks--;
+        stats_.bytes_reserved -= sb->block_size;
+        std::free(sb);
+      } else {
+        kept.push_back(sb);
+      }
+    }
+    sc.all = std::move(kept);
+  }
+}
+
+}  // namespace demi

@@ -1,0 +1,107 @@
+// Hoard-style pool allocator backing the DMA-capable heap (paper §5.3).
+//
+// Memory is carved into fixed-size, alignment-addressable *superblocks*, each holding objects of
+// one size class. The superblock header holds:
+//   - a LIFO intrusive free list (as in Hoard),
+//   - DMA metadata: lazily-registered device key (get_rkey),
+//   - per-object ownership/reference bitmaps implementing use-after-free protection: an object
+//     returns to the free list only when BOTH the application ownership bit and the libOS
+//     reference bit are clear. Additional libOS references (an object in flight on several I/Os)
+//     overflow into a side table, exactly as §5.3 describes.
+//
+// Superblocks are aligned to their size, so ptr -> header is a single mask — this is what makes
+// inc_ref/dec_ref/get_rkey ns-scale. Each allocator instance is single-threaded (one per libOS,
+// per the paper's one-core system model).
+
+#ifndef SRC_MEMORY_POOL_ALLOCATOR_H_
+#define SRC_MEMORY_POOL_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/memory/dma.h"
+
+namespace demi {
+
+class PoolAllocator {
+ public:
+  // Superblocks are 256 kB and 256 kB-aligned; objects larger than kMaxPooledObject get a
+  // dedicated variable-size (still size-aligned) superblock.
+  static constexpr size_t kSuperblockSize = 256 * 1024;
+  static constexpr size_t kMinObjectSize = 16;
+  static constexpr size_t kMaxPooledObject = 64 * 1024;
+  // Zero-copy pays off only above this size (paper §5.3); callers (Buffer) copy below it.
+  static constexpr size_t kZeroCopyThreshold = 1024;
+
+  explicit PoolAllocator(DmaRegistrar& registrar = NullDmaRegistrar::Global());
+  ~PoolAllocator();
+
+  PoolAllocator(const PoolAllocator&) = delete;
+  PoolAllocator& operator=(const PoolAllocator&) = delete;
+
+  // Application-facing allocation: object starts app-owned, libOS ref clear.
+  void* Alloc(size_t size);
+  // Application-facing free: clears app ownership; memory is recycled only once the libOS also
+  // holds no reference (UAF protection).
+  void Free(void* ptr);
+
+  // libOS-facing reference counting (not part of PDPIX; internal to libOSes, §5.3).
+  void IncRef(void* ptr);
+  void DecRef(void* ptr);
+
+  // Device key for the superblock containing `ptr`; registers the superblock on first use.
+  uint64_t GetRkey(void* ptr);
+
+  // Rebinds the DMA registrar (e.g., once the owning libOS's device exists). Only legal before
+  // any superblock has been registered.
+  void SetRegistrar(DmaRegistrar& registrar);
+
+  // Unregisters every registered superblock and detaches from the current registrar (rebinding
+  // to the null registrar). Owners call this before destroying the device the registrar
+  // belongs to; the allocator itself may outlive the device.
+  void UnregisterAll();
+
+  // True if `ptr` was allocated by this allocator (by superblock magic check).
+  bool Owns(const void* ptr) const;
+
+  // Usable size of the object holding `ptr` (its size class).
+  size_t ObjectSize(const void* ptr) const;
+
+  // --- Introspection for tests/benches ---
+  struct Stats {
+    size_t superblocks = 0;
+    size_t live_objects = 0;       // app-owned or libOS-referenced
+    size_t deferred_frees = 0;     // app freed but libOS still holds a reference
+    size_t registered_blocks = 0;  // DMA-registered superblocks
+    size_t overflow_refs = 0;      // entries in the side refcount table
+    size_t bytes_reserved = 0;
+  };
+  Stats GetStats() const;
+
+  // Returns fully-free cached superblocks to the system (not used on the datapath).
+  void ReleaseEmptySuperblocks();
+
+ private:
+  struct Superblock;
+  struct SizeClass;
+
+  static size_t SizeClassIndex(size_t size);
+  static Superblock* HeaderOf(const void* ptr);
+
+  Superblock* NewSuperblock(size_t class_index, size_t object_size, size_t block_size);
+  void RecycleObject(Superblock* sb, uint32_t index);
+  void FreeHugeBlock(Superblock* sb);
+
+  DmaRegistrar* registrar_;
+  std::vector<SizeClass> classes_;
+  // libOS references beyond the first for an object (rare; e.g., same buffer on several I/Os).
+  std::unordered_map<const void*, uint32_t> overflow_refs_;
+  Stats stats_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_MEMORY_POOL_ALLOCATOR_H_

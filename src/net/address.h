@@ -1,0 +1,77 @@
+// Network address types shared by the protocol stacks and the simulated devices.
+
+#ifndef SRC_NET_ADDRESS_H_
+#define SRC_NET_ADDRESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace demi {
+
+// 48-bit Ethernet MAC address held in the low bits of a uint64.
+struct MacAddr {
+  uint64_t value = 0;
+
+  static constexpr MacAddr Broadcast() { return MacAddr{0xFFFF'FFFF'FFFFULL}; }
+  static constexpr MacAddr Zero() { return MacAddr{0}; }
+
+  bool IsBroadcast() const { return value == Broadcast().value; }
+  bool operator==(const MacAddr& o) const { return value == o.value; }
+  bool operator!=(const MacAddr& o) const { return value != o.value; }
+
+  std::string ToString() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                  static_cast<unsigned>((value >> 40) & 0xFF),
+                  static_cast<unsigned>((value >> 32) & 0xFF),
+                  static_cast<unsigned>((value >> 24) & 0xFF),
+                  static_cast<unsigned>((value >> 16) & 0xFF),
+                  static_cast<unsigned>((value >> 8) & 0xFF),
+                  static_cast<unsigned>(value & 0xFF));
+    return buf;
+  }
+};
+
+// IPv4 address in host byte order.
+struct Ipv4Addr {
+  uint32_t value = 0;
+
+  static constexpr Ipv4Addr FromOctets(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+    return Ipv4Addr{(uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) | d};
+  }
+  static constexpr Ipv4Addr Any() { return Ipv4Addr{0}; }
+  static constexpr Ipv4Addr Broadcast() { return Ipv4Addr{0xFFFF'FFFF}; }
+
+  bool operator==(const Ipv4Addr& o) const { return value == o.value; }
+  bool operator!=(const Ipv4Addr& o) const { return value != o.value; }
+
+  std::string ToString() const {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xFF, (value >> 16) & 0xFF,
+                  (value >> 8) & 0xFF, value & 0xFF);
+    return buf;
+  }
+};
+
+// Transport endpoint (IPv4 + port), PDPIX's sockaddr analogue.
+struct SocketAddress {
+  Ipv4Addr ip;
+  uint16_t port = 0;
+
+  bool operator==(const SocketAddress& o) const { return ip == o.ip && port == o.port; }
+  bool operator!=(const SocketAddress& o) const { return !(*this == o); }
+
+  std::string ToString() const { return ip.ToString() + ":" + std::to_string(port); }
+};
+
+struct SocketAddressHash {
+  size_t operator()(const SocketAddress& a) const {
+    return std::hash<uint64_t>()((uint64_t{a.ip.value} << 16) | a.port);
+  }
+};
+
+}  // namespace demi
+
+#endif  // SRC_NET_ADDRESS_H_

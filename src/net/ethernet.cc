@@ -1,0 +1,145 @@
+#include "src/net/ethernet.h"
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+EthernetLayer::EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload)
+    : nic_(nic), local_ip_(local_ip), checksum_offload_(checksum_offload) {}
+
+void EthernetLayer::RegisterReceiver(IpProto proto, Ipv4Receiver* receiver) {
+  receivers_[static_cast<uint32_t>(proto)] = receiver;
+}
+
+Status EthernetLayer::TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto proto,
+                                   std::span<const std::span<const uint8_t>> l4_segments) {
+  size_t l4_len = 0;
+  for (const auto& seg : l4_segments) {
+    l4_len += seg.size();
+  }
+  uint8_t headers[EthernetHeader::kSize + Ipv4Header::kSize];
+  EthernetHeader eth{dst_mac, nic_.mac(), EtherType::kIpv4};
+  eth.Serialize(headers);
+  Ipv4Header ip;
+  ip.total_length = static_cast<uint16_t>(Ipv4Header::kSize + l4_len);
+  ip.protocol = proto;
+  ip.src = local_ip_;
+  ip.dst = dst_ip;
+  ip.Serialize(headers + EthernetHeader::kSize, /*compute_checksum=*/!checksum_offload_);
+
+  // Gather: [eth+ip | l4 segments...] in one burst; payload segments stay zero-copy.
+  std::span<const uint8_t> segs[8];
+  DEMI_CHECK(l4_segments.size() + 1 <= 8);
+  segs[0] = {headers, sizeof(headers)};
+  for (size_t i = 0; i < l4_segments.size(); i++) {
+    segs[i + 1] = l4_segments[i];
+  }
+  stats_.ipv4_tx++;
+  return nic_.TxBurst(dst_mac, std::span<const std::span<const uint8_t>>(segs,
+                                                                         l4_segments.size() + 1));
+}
+
+Status EthernetLayer::SendIpv4(Ipv4Addr dst, IpProto proto,
+                               std::span<const std::span<const uint8_t>> l4_segments) {
+  const auto mac = arp_cache_.Lookup(dst);
+  if (mac) {
+    return TransmitIpv4(*mac, dst, proto, l4_segments);
+  }
+  // ARP miss: queue a flattened copy and ask for the mapping (the slow path; the paper's fast
+  // path assumes a warm ARP cache).
+  auto& q = pending_[dst.value];
+  if (q.size() >= kMaxPendingPerIp) {
+    stats_.pending_dropped++;
+    return Status::kNoBufferSpace;
+  }
+  PendingPacket p;
+  p.proto = proto;
+  for (const auto& seg : l4_segments) {
+    p.l4_bytes.insert(p.l4_bytes.end(), seg.begin(), seg.end());
+  }
+  q.push_back(std::move(p));
+  SendArp(ArpPacket::Op::kRequest, MacAddr::Broadcast(), MacAddr::Zero(), dst);
+  stats_.arp_requests_sent++;
+  return Status::kOk;
+}
+
+void EthernetLayer::SendArp(ArpPacket::Op op, MacAddr dst_mac, MacAddr target_mac,
+                            Ipv4Addr target_ip) {
+  uint8_t frame[EthernetHeader::kSize + ArpPacket::kSize];
+  EthernetHeader eth{dst_mac, nic_.mac(), EtherType::kArp};
+  eth.Serialize(frame);
+  ArpPacket arp;
+  arp.op = op;
+  arp.sender_mac = nic_.mac();
+  arp.sender_ip = local_ip_;
+  arp.target_mac = target_mac;
+  arp.target_ip = target_ip;
+  arp.Serialize(frame + EthernetHeader::kSize);
+  std::span<const uint8_t> seg(frame, sizeof(frame));
+  nic_.TxBurst(dst_mac, {&seg, 1});
+}
+
+void EthernetLayer::HandleArp(std::span<const uint8_t> payload) {
+  const auto arp = ArpPacket::Parse(payload);
+  if (!arp) {
+    stats_.parse_errors++;
+    return;
+  }
+  // Learn the sender's mapping either way.
+  arp_cache_.Insert(arp->sender_ip, arp->sender_mac);
+
+  if (arp->op == ArpPacket::Op::kRequest && arp->target_ip == local_ip_) {
+    SendArp(ArpPacket::Op::kReply, arp->sender_mac, arp->sender_mac, arp->sender_ip);
+    stats_.arp_replies_sent++;
+  }
+
+  // Flush packets that were waiting on this mapping.
+  auto it = pending_.find(arp->sender_ip.value);
+  if (it != pending_.end()) {
+    for (PendingPacket& p : it->second) {
+      std::span<const uint8_t> seg(p.l4_bytes);
+      TransmitIpv4(arp->sender_mac, arp->sender_ip, p.proto, {&seg, 1});
+    }
+    pending_.erase(it);
+  }
+}
+
+size_t EthernetLayer::PollOnce() {
+  WireFrame frames[kRxBurst];
+  const size_t n = nic_.RxBurst(frames);
+  for (size_t i = 0; i < n; i++) {
+    std::span<const uint8_t> frame(frames[i]);
+    const auto eth = EthernetHeader::Parse(frame);
+    if (!eth) {
+      stats_.parse_errors++;
+      continue;
+    }
+    if (eth->dst != nic_.mac() && !eth->dst.IsBroadcast()) {
+      continue;  // not for us (promiscuous fabric broadcast)
+    }
+    auto payload = frame.subspan(EthernetHeader::kSize);
+    if (eth->ether_type == EtherType::kArp) {
+      HandleArp(payload);
+      continue;
+    }
+    const auto ip = Ipv4Header::Parse(payload, /*verify=*/!checksum_offload_);
+    if (!ip) {
+      stats_.parse_errors++;
+      continue;
+    }
+    if (ip->dst != local_ip_ && ip->dst != Ipv4Addr::Broadcast()) {
+      continue;
+    }
+    stats_.ipv4_rx++;
+    auto recv_it = receivers_.find(static_cast<uint32_t>(ip->protocol));
+    if (recv_it == receivers_.end()) {
+      stats_.no_receiver++;
+      continue;
+    }
+    recv_it->second->OnIpv4Packet(*ip, payload.subspan(Ipv4Header::kSize,
+                                                       ip->total_length - Ipv4Header::kSize));
+  }
+  return n;
+}
+
+}  // namespace demi

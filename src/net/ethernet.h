@@ -1,0 +1,109 @@
+// EthernetLayer: L2 framing, ARP resolution, and IPv4 dispatch over a SimNic.
+//
+// The bottom of the Catnip stack. Outbound: resolves the destination MAC (ARP cache, with
+// request/queue on miss), builds Ethernet+IPv4 headers on the stack, and gathers them with the
+// caller's zero-copy L4 segments into one NIC TxBurst. Inbound: parses frames, answers ARP, and
+// dispatches IPv4 payloads to the registered per-protocol receiver (UDP/TCP stacks).
+
+#ifndef SRC_NET_ETHERNET_H_
+#define SRC_NET_ETHERNET_H_
+
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/headers.h"
+#include "src/netsim/sim_network.h"
+
+namespace demi {
+
+class Ipv4Receiver {
+ public:
+  virtual ~Ipv4Receiver() = default;
+  virtual void OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4_payload) = 0;
+};
+
+class ArpCache {
+ public:
+  void Insert(Ipv4Addr ip, MacAddr mac) { entries_[ip.value] = mac; }
+  std::optional<MacAddr> Lookup(Ipv4Addr ip) const {
+    auto it = entries_.find(ip.value);
+    if (it == entries_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<uint32_t, MacAddr> entries_;
+};
+
+class EthernetLayer {
+ public:
+  // `checksum_offload` models the NIC's TX/RX checksum offload (on by default, as every
+  // datacenter DPDK deployment configures): the stacks skip software IP/TCP/UDP checksums and
+  // trust RX validation. Turn off for the software-checksum ablation.
+  EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload = true);
+
+  bool checksum_offload() const { return checksum_offload_; }
+
+  Ipv4Addr local_ip() const { return local_ip_; }
+  MacAddr local_mac() const { return nic_.mac(); }
+  size_t mtu() const { return nic_.mtu(); }
+  // Payload budget for one IPv4 packet.
+  size_t MaxIpPayload() const { return mtu() - EthernetHeader::kSize - Ipv4Header::kSize; }
+
+  void RegisterReceiver(IpProto proto, Ipv4Receiver* receiver);
+
+  // Sends one IPv4 packet whose L4 bytes are the concatenation of `l4_segments` (e.g., TCP
+  // header + zero-copy payload). On ARP miss the frame is queued and an ARP request goes out;
+  // queued frames flush when the reply arrives.
+  Status SendIpv4(Ipv4Addr dst, IpProto proto,
+                  std::span<const std::span<const uint8_t>> l4_segments);
+
+  // Polls the NIC once (one burst) and dispatches; returns frames processed.
+  size_t PollOnce();
+
+  ArpCache& arp() { return arp_cache_; }
+
+  struct Stats {
+    uint64_t ipv4_rx = 0;
+    uint64_t ipv4_tx = 0;
+    uint64_t arp_requests_sent = 0;
+    uint64_t arp_replies_sent = 0;
+    uint64_t pending_dropped = 0;
+    uint64_t parse_errors = 0;
+    uint64_t no_receiver = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kRxBurst = 32;
+  static constexpr size_t kMaxPendingPerIp = 64;
+
+  void SendArp(ArpPacket::Op op, MacAddr dst_mac, MacAddr target_mac, Ipv4Addr target_ip);
+  void HandleArp(std::span<const uint8_t> payload);
+  Status TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto proto,
+                      std::span<const std::span<const uint8_t>> l4_segments);
+
+  SimNic& nic_;
+  Ipv4Addr local_ip_;
+  bool checksum_offload_;
+  ArpCache arp_cache_;
+  std::unordered_map<uint32_t, Ipv4Receiver*> receivers_;  // keyed by IpProto
+
+  struct PendingPacket {
+    IpProto proto;
+    std::vector<uint8_t> l4_bytes;  // flattened; the ARP-miss path gives up zero-copy
+  };
+  std::unordered_map<uint32_t, std::deque<PendingPacket>> pending_;  // keyed by dst ip
+
+  Stats stats_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NET_ETHERNET_H_

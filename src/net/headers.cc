@@ -1,0 +1,330 @@
+#include "src/net/headers.h"
+
+namespace demi {
+
+// --- InternetChecksum ---
+
+void InternetChecksum::Add(std::span<const uint8_t> data) {
+  size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Complete the dangling odd byte from a previous Add.
+    sum_ += data[0];
+    i = 1;
+    odd_ = false;
+  }
+  // Bulk path: the ones-complement sum is endian-agnostic up to a final byte swap, so sum
+  // native-endian 16-bit words eight bytes at a time and correct at the end. This is what
+  // keeps per-segment checksum cost in the tens of nanoseconds instead of microseconds.
+  uint64_t native = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, data.data() + i, 8);
+    // Add with end-around carry into a 64-bit accumulator of 16-bit words: split into two
+    // 32-bit halves to avoid overflow across many calls.
+    native += (chunk & 0xFFFF) + ((chunk >> 16) & 0xFFFF) + ((chunk >> 32) & 0xFFFF) +
+              (chunk >> 48);
+  }
+  if (native != 0) {
+    // Fold the native-endian partial sum and byte-swap it into network order.
+    while (native >> 16) {
+      native = (native & 0xFFFF) + (native >> 16);
+    }
+    sum_ += ((native & 0xFF) << 8) | (native >> 8);
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (uint64_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += uint64_t{data[i]} << 8;
+    odd_ = true;
+  }
+}
+
+void InternetChecksum::AddU16(uint16_t v) {
+  uint8_t bytes[2] = {static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v)};
+  Add(bytes);
+}
+
+uint16_t InternetChecksum::Finish() const {
+  uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xFFFF) + (s >> 16);
+  }
+  return static_cast<uint16_t>(~s);
+}
+
+// --- Ethernet ---
+
+void EthernetHeader::Serialize(uint8_t* out) const {
+  for (int i = 0; i < 6; i++) {
+    out[i] = static_cast<uint8_t>(dst.value >> (40 - 8 * i));
+    out[6 + i] = static_cast<uint8_t>(src.value >> (40 - 8 * i));
+  }
+  PutU16(out + 12, static_cast<uint16_t>(ether_type));
+}
+
+std::optional<EthernetHeader> EthernetHeader::Parse(std::span<const uint8_t> in) {
+  if (in.size() < kSize) {
+    return std::nullopt;
+  }
+  EthernetHeader h;
+  h.dst.value = 0;
+  h.src.value = 0;
+  for (int i = 0; i < 6; i++) {
+    h.dst.value = (h.dst.value << 8) | in[i];
+    h.src.value = (h.src.value << 8) | in[6 + i];
+  }
+  const uint16_t et = GetU16(in.data() + 12);
+  if (et != static_cast<uint16_t>(EtherType::kIpv4) && et != static_cast<uint16_t>(EtherType::kArp)) {
+    return std::nullopt;
+  }
+  h.ether_type = static_cast<EtherType>(et);
+  return h;
+}
+
+// --- ARP ---
+
+void ArpPacket::Serialize(uint8_t* out) const {
+  PutU16(out, 1);                 // HTYPE: Ethernet
+  PutU16(out + 2, 0x0800);        // PTYPE: IPv4
+  out[4] = 6;                     // HLEN
+  out[5] = 4;                     // PLEN
+  PutU16(out + 6, static_cast<uint16_t>(op));
+  for (int i = 0; i < 6; i++) {
+    out[8 + i] = static_cast<uint8_t>(sender_mac.value >> (40 - 8 * i));
+    out[18 + i] = static_cast<uint8_t>(target_mac.value >> (40 - 8 * i));
+  }
+  PutU32(out + 14, sender_ip.value);
+  PutU32(out + 24, target_ip.value);
+}
+
+std::optional<ArpPacket> ArpPacket::Parse(std::span<const uint8_t> in) {
+  if (in.size() < kSize || GetU16(in.data()) != 1 || GetU16(in.data() + 2) != 0x0800 ||
+      in[4] != 6 || in[5] != 4) {
+    return std::nullopt;
+  }
+  const uint16_t op = GetU16(in.data() + 6);
+  if (op != 1 && op != 2) {
+    return std::nullopt;
+  }
+  ArpPacket p;
+  p.op = static_cast<Op>(op);
+  p.sender_mac.value = 0;
+  p.target_mac.value = 0;
+  for (int i = 0; i < 6; i++) {
+    p.sender_mac.value = (p.sender_mac.value << 8) | in[8 + i];
+    p.target_mac.value = (p.target_mac.value << 8) | in[18 + i];
+  }
+  p.sender_ip.value = GetU32(in.data() + 14);
+  p.target_ip.value = GetU32(in.data() + 24);
+  return p;
+}
+
+// --- IPv4 ---
+
+void Ipv4Header::Serialize(uint8_t* out, bool compute_checksum) const {
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = 0;     // DSCP/ECN
+  PutU16(out + 2, total_length);
+  PutU16(out + 4, 0);  // identification
+  PutU16(out + 6, 0x4000);  // flags: DF
+  out[8] = ttl;
+  out[9] = static_cast<uint8_t>(protocol);
+  PutU16(out + 10, 0);  // checksum placeholder
+  PutU32(out + 12, src.value);
+  PutU32(out + 16, dst.value);
+  if (compute_checksum) {
+    InternetChecksum sum;
+    sum.Add({out, kSize});
+    PutU16(out + 10, sum.Finish());
+  }
+}
+
+std::optional<Ipv4Header> Ipv4Header::Parse(std::span<const uint8_t> in, bool verify) {
+  if (in.size() < kSize || (in[0] >> 4) != 4) {
+    return std::nullopt;
+  }
+  const size_t ihl = (in[0] & 0x0F) * 4u;
+  if (ihl < kSize || in.size() < ihl) {
+    return std::nullopt;
+  }
+  if (verify) {
+    InternetChecksum sum;
+    sum.Add(in.subspan(0, ihl));
+    if (sum.Finish() != 0) {
+      return std::nullopt;
+    }
+  }
+  Ipv4Header h;
+  h.total_length = GetU16(in.data() + 2);
+  h.ttl = in[8];
+  h.protocol = static_cast<IpProto>(in[9]);
+  h.src.value = GetU32(in.data() + 12);
+  h.dst.value = GetU32(in.data() + 16);
+  if (h.total_length < ihl || h.total_length > in.size()) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+// --- UDP ---
+
+void UdpHeader::Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                          std::span<const uint8_t> payload, bool compute_checksum) const {
+  PutU16(out, src_port);
+  PutU16(out + 2, dst_port);
+  PutU16(out + 4, length);
+  PutU16(out + 6, 0);
+  if (!compute_checksum) {
+    return;  // RFC 768 allows zero (no checksum); the device offloads it anyway
+  }
+  InternetChecksum sum;
+  sum.AddU32(src_ip.value);
+  sum.AddU32(dst_ip.value);
+  sum.AddU16(static_cast<uint16_t>(IpProto::kUdp));
+  sum.AddU16(length);
+  sum.Add({out, kSize});
+  sum.Add(payload);
+  uint16_t c = sum.Finish();
+  if (c == 0) {
+    c = 0xFFFF;  // RFC 768: transmitted zero checksum means "no checksum"
+  }
+  PutU16(out + 6, c);
+}
+
+std::optional<UdpHeader> UdpHeader::Parse(std::span<const uint8_t> in) {
+  if (in.size() < kSize) {
+    return std::nullopt;
+  }
+  UdpHeader h;
+  h.src_port = GetU16(in.data());
+  h.dst_port = GetU16(in.data() + 2);
+  h.length = GetU16(in.data() + 4);
+  if (h.length < kSize || h.length > in.size()) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+// --- TCP ---
+
+size_t TcpHeader::SerializedSize() const {
+  size_t opts = 0;
+  if (mss_option) {
+    opts += 4;
+  }
+  if (window_scale_option) {
+    opts += 3;
+  }
+  if (timestamps_option) {
+    opts += 10;
+  }
+  return kBaseSize + ((opts + 3) & ~size_t{3});  // options padded to 4 bytes
+}
+
+void TcpHeader::Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                          std::span<const uint8_t> payload, bool compute_checksum) const {
+  const size_t hdr_len = SerializedSize();
+  PutU16(out, src_port);
+  PutU16(out + 2, dst_port);
+  PutU32(out + 4, seq);
+  PutU32(out + 8, ack);
+  out[12] = static_cast<uint8_t>((hdr_len / 4) << 4);
+  out[13] = flags.Encode();
+  PutU16(out + 14, window);
+  PutU16(out + 16, 0);  // checksum placeholder
+  PutU16(out + 18, 0);  // urgent pointer
+  size_t o = kBaseSize;
+  if (mss_option) {
+    out[o++] = 2;  // kind: MSS
+    out[o++] = 4;
+    PutU16(out + o, *mss_option);
+    o += 2;
+  }
+  if (window_scale_option) {
+    out[o++] = 3;  // kind: window scale
+    out[o++] = 3;
+    out[o++] = *window_scale_option;
+  }
+  if (timestamps_option) {
+    out[o++] = 8;  // kind: timestamps
+    out[o++] = 10;
+    PutU32(out + o, timestamps_option->tsval);
+    PutU32(out + o + 4, timestamps_option->tsecr);
+    o += 8;
+  }
+  while (o < hdr_len) {
+    out[o++] = 0;  // EOL padding
+  }
+  if (compute_checksum) {
+    InternetChecksum sum;
+    sum.AddU32(src_ip.value);
+    sum.AddU32(dst_ip.value);
+    sum.AddU16(static_cast<uint16_t>(IpProto::kTcp));
+    sum.AddU16(static_cast<uint16_t>(hdr_len + payload.size()));
+    sum.Add({out, hdr_len});
+    sum.Add(payload);
+    PutU16(out + 16, sum.Finish());
+  }
+}
+
+std::optional<TcpHeader> TcpHeader::Parse(std::span<const uint8_t> in, Ipv4Addr src_ip,
+                                          Ipv4Addr dst_ip, size_t* header_len_out,
+                                          bool verify) {
+  if (in.size() < kBaseSize) {
+    return std::nullopt;
+  }
+  const size_t hdr_len = static_cast<size_t>(in[12] >> 4) * 4;
+  if (hdr_len < kBaseSize || hdr_len > in.size()) {
+    return std::nullopt;
+  }
+  if (verify) {
+    InternetChecksum sum;
+    sum.AddU32(src_ip.value);
+    sum.AddU32(dst_ip.value);
+    sum.AddU16(static_cast<uint16_t>(IpProto::kTcp));
+    sum.AddU16(static_cast<uint16_t>(in.size()));
+    sum.Add(in);
+    if (sum.Finish() != 0) {
+      return std::nullopt;
+    }
+  }
+  TcpHeader h;
+  h.src_port = GetU16(in.data());
+  h.dst_port = GetU16(in.data() + 2);
+  h.seq = GetU32(in.data() + 4);
+  h.ack = GetU32(in.data() + 8);
+  h.flags = TcpFlags::Decode(in[13]);
+  h.window = GetU16(in.data() + 14);
+  // Options.
+  size_t o = kBaseSize;
+  while (o < hdr_len) {
+    const uint8_t kind = in[o];
+    if (kind == 0) {
+      break;  // end of options
+    }
+    if (kind == 1) {
+      o++;  // NOP
+      continue;
+    }
+    if (o + 1 >= hdr_len) {
+      return std::nullopt;
+    }
+    const uint8_t len = in[o + 1];
+    if (len < 2 || o + len > hdr_len) {
+      return std::nullopt;
+    }
+    if (kind == 2 && len == 4) {
+      h.mss_option = GetU16(in.data() + o + 2);
+    } else if (kind == 3 && len == 3) {
+      h.window_scale_option = in[o + 2];
+    } else if (kind == 8 && len == 10) {
+      h.timestamps_option = Timestamps{GetU32(in.data() + o + 2), GetU32(in.data() + o + 6)};
+    }
+    o += len;
+  }
+  *header_len_out = hdr_len;
+  return h;
+}
+
+}  // namespace demi

@@ -1,0 +1,167 @@
+// Wire formats: Ethernet, ARP, IPv4, UDP, TCP header serialization and parsing.
+//
+// All multi-byte fields are big-endian on the wire, host order in the structs. Serialization
+// writes into caller-provided buffers so header bytes can be gathered with zero-copy payloads.
+
+#ifndef SRC_NET_HEADERS_H_
+#define SRC_NET_HEADERS_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+
+#include "src/net/address.h"
+
+namespace demi {
+
+// --- Byte-order helpers ---
+inline void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+inline uint16_t GetU16(const uint8_t* p) { return static_cast<uint16_t>((p[0] << 8) | p[1]); }
+inline uint32_t GetU32(const uint8_t* p) {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) | (uint32_t{p[2]} << 8) | p[3];
+}
+
+// --- Ethernet ---
+enum class EtherType : uint16_t { kIpv4 = 0x0800, kArp = 0x0806 };
+
+struct EthernetHeader {
+  static constexpr size_t kSize = 14;
+  MacAddr dst;
+  MacAddr src;
+  EtherType ether_type;
+
+  void Serialize(uint8_t* out) const;
+  static std::optional<EthernetHeader> Parse(std::span<const uint8_t> in);
+};
+
+// --- ARP (IPv4 over Ethernet only) ---
+struct ArpPacket {
+  static constexpr size_t kSize = 28;
+  enum class Op : uint16_t { kRequest = 1, kReply = 2 };
+  Op op;
+  MacAddr sender_mac;
+  Ipv4Addr sender_ip;
+  MacAddr target_mac;
+  Ipv4Addr target_ip;
+
+  void Serialize(uint8_t* out) const;
+  static std::optional<ArpPacket> Parse(std::span<const uint8_t> in);
+};
+
+// --- IPv4 (no options) ---
+enum class IpProto : uint8_t { kTcp = 6, kUdp = 17 };
+
+struct Ipv4Header {
+  static constexpr size_t kSize = 20;
+  uint16_t total_length = 0;  // header + payload
+  uint8_t ttl = 64;
+  IpProto protocol = IpProto::kTcp;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  // Serializes; computes the header checksum unless the device offloads it.
+  void Serialize(uint8_t* out, bool compute_checksum = true) const;
+  // Parses; verifies the checksum unless the device already did (checksum offload).
+  static std::optional<Ipv4Header> Parse(std::span<const uint8_t> in, bool verify = true);
+};
+
+// --- UDP ---
+struct UdpHeader {
+  static constexpr size_t kSize = 8;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint16_t length = 0;  // header + payload
+
+  // UDP checksum over the IPv4 pseudo-header; pass the payload to include it. Computation is
+  // skipped under device checksum offload.
+  void Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                 std::span<const uint8_t> payload, bool compute_checksum = true) const;
+  static std::optional<UdpHeader> Parse(std::span<const uint8_t> in);
+};
+
+// --- TCP ---
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+
+  uint8_t Encode() const {
+    return static_cast<uint8_t>((fin ? 0x01 : 0) | (syn ? 0x02 : 0) | (rst ? 0x04 : 0) |
+                                (psh ? 0x08 : 0) | (ack ? 0x10 : 0));
+  }
+  static TcpFlags Decode(uint8_t bits) {
+    TcpFlags f;
+    f.fin = bits & 0x01;
+    f.syn = bits & 0x02;
+    f.rst = bits & 0x04;
+    f.psh = bits & 0x08;
+    f.ack = bits & 0x10;
+    return f;
+  }
+};
+
+struct TcpHeader {
+  static constexpr size_t kBaseSize = 20;
+  // Options we implement: MSS, window scale and timestamps (RFC 793 + RFC 7323, which the
+  // paper's stack targets).
+  static constexpr size_t kMaxOptionBytes = 20;  // MSS (4) + WScale (3) + TS (10) + pad
+
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  TcpFlags flags;
+  uint16_t window = 0;  // possibly scaled; scaling applied by the connection
+
+  // Options. MSS and window scale appear on SYN segments; timestamps, once negotiated, ride
+  // on every segment (tsval = sender clock, tsecr = echoed peer clock, RFC 7323 §3).
+  std::optional<uint16_t> mss_option;
+  std::optional<uint8_t> window_scale_option;
+  struct Timestamps {
+    uint32_t tsval = 0;
+    uint32_t tsecr = 0;
+  };
+  std::optional<Timestamps> timestamps_option;
+
+  size_t SerializedSize() const;
+  // Serializes with checksum over the IPv4 pseudo-header and payload (skipped under device
+  // checksum offload, like DPDK TX offload).
+  void Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                 std::span<const uint8_t> payload, bool compute_checksum = true) const;
+  // Parses; verifies the checksum unless the device validated it on RX.
+  static std::optional<TcpHeader> Parse(std::span<const uint8_t> in, Ipv4Addr src_ip,
+                                        Ipv4Addr dst_ip, size_t* header_len_out,
+                                        bool verify = true);
+};
+
+// Internet checksum (RFC 1071) with incremental accumulation for pseudo-headers.
+class InternetChecksum {
+ public:
+  void Add(std::span<const uint8_t> data);
+  void AddU16(uint16_t v);
+  void AddU32(uint32_t v) {
+    AddU16(static_cast<uint16_t>(v >> 16));
+    AddU16(static_cast<uint16_t>(v));
+  }
+  uint16_t Finish() const;
+
+ private:
+  uint64_t sum_ = 0;
+  bool odd_ = false;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NET_HEADERS_H_

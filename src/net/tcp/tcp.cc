@@ -1,0 +1,901 @@
+#include "src/net/tcp/tcp.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+namespace {
+// Wrapper coroutines that pin the connection alive for a background fiber's lifetime.
+Task<void> RunFiber(std::shared_ptr<TcpConnection> conn, Task<void> body) {
+  co_await std::move(body);
+}
+}  // namespace
+
+// ============================== TcpConnection =====================================
+
+TcpConnection::TcpConnection(TcpStack& stack, SocketAddress local, SocketAddress remote,
+                             SeqNum iss)
+    : stack_(stack),
+      local_(local),
+      remote_(remote),
+      snd_una_(iss),
+      snd_nxt_(iss),
+      iss_(iss),
+      mss_(stack.DefaultMss()),
+      rtt_(stack.config()) {
+  cc_ = CongestionControl::Create(stack.config().congestion, mss_,
+                                  stack.config().fixed_window_bytes);
+}
+
+TcpConnection::~TcpConnection() = default;
+
+size_t TcpConnection::EffectiveSendWindow() const {
+  const size_t wnd = std::min(cc_->cwnd(), snd_wnd_);
+  return wnd > bytes_inflight_ ? wnd - bytes_inflight_ : 0;
+}
+
+size_t TcpConnection::ReceiveCapacityLeft() const {
+  const size_t used = ready_bytes_ + reassembly_bytes_;
+  const size_t cap = stack_.config().recv_buffer_bytes;
+  return used >= cap ? 0 : cap - used;
+}
+
+uint16_t TcpConnection::AdvertisedWindow() const {
+  const size_t wnd = ReceiveCapacityLeft() >> rcv_wscale_;
+  return static_cast<uint16_t>(std::min<size_t>(wnd, 0xFFFF));
+}
+
+Status TcpConnection::Push(Buffer data) {
+  if (error_ != Status::kOk) {
+    return error_;
+  }
+  if (fin_queued_) {
+    return Status::kInvalidArgument;  // already closed for sending
+  }
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+    return Status::kNotConnected;
+  }
+  if (data.empty()) {
+    return Status::kOk;
+  }
+  // Registers the underlying superblock with the device on first use (get_rkey path) so the
+  // zero-copy TX below passes the NIC's DMA check.
+  if (data.size() >= PoolAllocator::kZeroCopyThreshold) {
+    data.Rkey();
+  }
+  unsent_bytes_ += data.size();
+  unsent_.push_back(std::move(data));
+  // Fast path: transmit inline, run-to-completion (§5.2). Leftovers wake the sender fiber.
+  TrySend(stack_.clock().Now());
+  if (!unsent_.empty()) {
+    window_event_.Notify();
+  }
+  return Status::kOk;
+}
+
+std::optional<Buffer> TcpConnection::PopData() {
+  if (ready_.empty()) {
+    return std::nullopt;
+  }
+  Buffer b = std::move(ready_.front());
+  ready_.pop_front();
+  ready_bytes_ -= b.size();
+  // The receive window just opened; let the acker advertise it.
+  ScheduleAck();
+  return b;
+}
+
+Status TcpConnection::Close() {
+  switch (state_) {
+    case TcpState::kSynSent:
+    case TcpState::kSynReceived:
+      EnterClosed(Status::kOk);
+      return Status::kOk;
+    case TcpState::kEstablished:
+      state_ = TcpState::kFinWait1;
+      break;
+    case TcpState::kCloseWait:
+      state_ = TcpState::kLastAck;
+      break;
+    case TcpState::kClosed:
+      return Status::kOk;
+    default:
+      return Status::kOk;  // close already in progress
+  }
+  fin_queued_ = true;
+  TrySend(stack_.clock().Now());
+  window_event_.Notify();
+  return Status::kOk;
+}
+
+void TcpConnection::Abort() {
+  if (state_ != TcpState::kClosed) {
+    TcpHeader rst;
+    rst.src_port = local_.port;
+    rst.dst_port = remote_.port;
+    rst.seq = snd_nxt_.v;
+    rst.flags.rst = true;
+    rst.flags.ack = true;
+    rst.ack = rcv_nxt_.v;
+    stack_.SendSegment(rst, remote_.ip, {});
+    EnterClosed(Status::kConnectionAborted);
+  }
+}
+
+void TcpConnection::StartActiveOpen() {
+  state_ = TcpState::kSynSent;
+  snd_nxt_ = iss_ + 1;  // SYN consumes one sequence number
+  rcv_wscale_ = stack_.config().window_scale;
+  auto self =
+      stack_.conns_.at(TcpStack::ConnKey{remote_.ip.value, remote_.port, local_.port});
+  stack_.scheduler().Spawn(RunFiber(self, ConnectFiber()));
+  stack_.scheduler().Spawn(RunFiber(self, RetransmitFiber()));
+  stack_.scheduler().Spawn(RunFiber(self, AckerFiber()));
+  stack_.scheduler().Spawn(RunFiber(self, SenderFiber()));
+}
+
+void TcpConnection::StartPassiveOpen(const TcpHeader& syn, TcpListener* listener) {
+  state_ = TcpState::kSynReceived;
+  pending_listener_ = listener;
+  listener->syn_rcvd_count_++;
+  irs_ = SeqNum{syn.seq};
+  rcv_nxt_ = irs_ + 1;
+  snd_nxt_ = iss_ + 1;
+  if (syn.mss_option) {
+    mss_ = std::min<size_t>(mss_, *syn.mss_option);
+  }
+  if (syn.window_scale_option) {
+    snd_wscale_ = *syn.window_scale_option;
+    rcv_wscale_ = stack_.config().window_scale;
+  }
+  if (syn.timestamps_option && stack_.config().timestamps) {
+    ts_enabled_ = true;
+    ts_recent_ = syn.timestamps_option->tsval;
+    ts_recent_valid_ = true;
+  }
+  snd_wnd_ = syn.window;  // SYN windows are never scaled
+  auto self =
+      stack_.conns_.at(TcpStack::ConnKey{remote_.ip.value, remote_.port, local_.port});
+  stack_.scheduler().Spawn(RunFiber(self, SynAckFiber()));
+  stack_.scheduler().Spawn(RunFiber(self, RetransmitFiber()));
+  stack_.scheduler().Spawn(RunFiber(self, AckerFiber()));
+  stack_.scheduler().Spawn(RunFiber(self, SenderFiber()));
+}
+
+uint32_t TcpConnection::NowTsval() const {
+  // 1 µs timestamp tick: fine-grained enough for µs RTTs, wraps in ~71 minutes (acceptable for
+  // the fabric's MSL; PAWS comparisons use wrapping arithmetic anyway).
+  return static_cast<uint32_t>(stack_.clock().Now() / 1000);
+}
+
+void TcpConnection::StampTimestamps(TcpHeader* hdr) const {
+  if (ts_enabled_) {
+    hdr->timestamps_option =
+        TcpHeader::Timestamps{NowTsval(), ts_recent_valid_ ? ts_recent_ : 0};
+  }
+}
+
+Status TcpConnection::SendControl(TcpFlags flags, SeqNum seq, bool with_options) {
+  TcpHeader hdr;
+  hdr.src_port = local_.port;
+  hdr.dst_port = remote_.port;
+  hdr.seq = seq.v;
+  hdr.flags = flags;
+  if (flags.ack) {
+    hdr.ack = rcv_nxt_.v;
+  }
+  if (flags.syn) {
+    hdr.window = static_cast<uint16_t>(
+        std::min<size_t>(ReceiveCapacityLeft(), 0xFFFF));  // unscaled on SYN
+  } else {
+    hdr.window = AdvertisedWindow();
+  }
+  if (with_options) {
+    hdr.mss_option = static_cast<uint16_t>(stack_.DefaultMss());
+    hdr.window_scale_option = stack_.config().window_scale;
+    if (stack_.config().timestamps) {
+      // Offer (or confirm) RFC 7323 timestamps on the SYN/SYN-ACK.
+      hdr.timestamps_option = TcpHeader::Timestamps{NowTsval(), ts_recent_};
+    }
+  } else {
+    StampTimestamps(&hdr);
+  }
+  return stack_.SendSegment(hdr, remote_.ip, {});
+}
+
+void TcpConnection::SendDataSegment(InflightSegment& seg, TimeNs now) {
+  TcpHeader hdr;
+  hdr.src_port = local_.port;
+  hdr.dst_port = remote_.port;
+  hdr.seq = seg.seq.v;
+  hdr.ack = rcv_nxt_.v;
+  hdr.flags.ack = true;
+  hdr.flags.psh = !seg.data.empty();
+  hdr.flags.fin = seg.fin;
+  hdr.window = AdvertisedWindow();
+  StampTimestamps(&hdr);
+  stack_.SendSegment(hdr, remote_.ip, {seg.data.data(), seg.data.size()});
+  seg.sent_at = now;
+  seg.rto_deadline = now + rtt_.rto();
+  stats_.segments_sent++;
+  stats_.bytes_sent += seg.data.size();
+  ack_needed_ = false;  // this segment carried the ack
+}
+
+void TcpConnection::TrySend(TimeNs now) {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kFinWait1 && state_ != TcpState::kLastAck &&
+      state_ != TcpState::kClosing) {
+    return;
+  }
+  bool sent_any = false;
+  while (!unsent_.empty()) {
+    const size_t window = EffectiveSendWindow();
+    if (window == 0) {
+      break;
+    }
+    Buffer& front = unsent_.front();
+    const size_t take = std::min({front.size(), EffectiveMss(), window});
+    InflightSegment seg;
+    seg.seq = snd_nxt_;
+    if (take == front.size()) {
+      // Whole buffer fits in one segment: move it, avoiding a second reference (which would
+      // spill into the allocator's overflow table).
+      seg.data = std::move(front);
+      unsent_.pop_front();
+    } else {
+      seg.data = front.Slice(0, take);
+      front.TrimFront(take);
+    }
+    unsent_bytes_ -= take;
+    snd_nxt_ = snd_nxt_ + static_cast<uint32_t>(take);
+    bytes_inflight_ += take;
+    SendDataSegment(seg, now);
+    inflight_.push_back(std::move(seg));
+    sent_any = true;
+  }
+  // FIN rides after all data has been carved into segments.
+  if (fin_queued_ && !fin_sent_ && unsent_.empty()) {
+    InflightSegment seg;
+    seg.seq = snd_nxt_;
+    seg.fin = true;
+    fin_seq_ = snd_nxt_;
+    fin_sent_ = true;
+    snd_nxt_ = snd_nxt_ + 1;
+    SendDataSegment(seg, now);
+    inflight_.push_back(std::move(seg));
+    sent_any = true;
+  }
+  if (sent_any) {
+    ArmRetransmitter();
+  }
+}
+
+void TcpConnection::ScheduleAck() {
+  if (!ack_needed_) {
+    ack_needed_ = true;
+    ack_event_.Notify();
+  }
+}
+
+void TcpConnection::OnSegment(const TcpHeader& hdr, std::span<const uint8_t> payload,
+                              TimeNs now) {
+  stats_.segments_received++;
+  stats_.bytes_received += payload.size();
+
+  if (hdr.flags.rst) {
+    if (state_ == TcpState::kSynSent) {
+      EnterClosed(Status::kConnectionRefused);
+    } else if (state_ != TcpState::kClosed) {
+      EnterClosed(Status::kConnectionReset);
+    }
+    return;
+  }
+
+  switch (state_) {
+    case TcpState::kSynSent: {
+      if (!hdr.flags.syn || !hdr.flags.ack) {
+        return;  // simultaneous open unsupported; ignore
+      }
+      if (SeqNum{hdr.ack} != iss_ + 1) {
+        return;  // bogus ack of our SYN
+      }
+      irs_ = SeqNum{hdr.seq};
+      rcv_nxt_ = irs_ + 1;
+      snd_una_ = SeqNum{hdr.ack};
+      if (hdr.mss_option) {
+        mss_ = std::min<size_t>(mss_, *hdr.mss_option);
+      }
+      if (hdr.window_scale_option) {
+        snd_wscale_ = *hdr.window_scale_option;
+      } else {
+        rcv_wscale_ = 0;  // peer doesn't scale; neither do we
+      }
+      if (hdr.timestamps_option && stack_.config().timestamps) {
+        ts_enabled_ = true;
+        ts_recent_ = hdr.timestamps_option->tsval;
+        ts_recent_valid_ = true;
+      }
+      snd_wnd_ = hdr.window;  // unscaled on SYN
+      state_ = TcpState::kEstablished;
+      SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false);
+      established_.Notify();
+      window_event_.Notify();
+      return;
+    }
+    case TcpState::kSynReceived: {
+      if (hdr.flags.syn) {
+        // Duplicate SYN: our SYN-ACK may have been lost; the SynAckFiber retransmits.
+        return;
+      }
+      if (!hdr.flags.ack || SeqNum{hdr.ack} != iss_ + 1) {
+        return;
+      }
+      snd_una_ = SeqNum{hdr.ack};
+      snd_wnd_ = static_cast<size_t>(hdr.window) << snd_wscale_;
+      state_ = TcpState::kEstablished;
+      established_.Notify();
+      window_event_.Notify();
+      if (pending_listener_ != nullptr) {
+        TcpListener* l = pending_listener_;
+        pending_listener_ = nullptr;
+        l->syn_rcvd_count_--;
+        auto it = stack_.conns_.find(
+            TcpStack::ConnKey{remote_.ip.value, remote_.port, local_.port});
+        DEMI_CHECK(it != stack_.conns_.end());
+        l->ready_.push_back(it->second);
+        l->acceptable_.Notify();
+      }
+      // Fall through to process any piggybacked payload.
+      break;
+    }
+    case TcpState::kClosed:
+      return;
+    default:
+      break;
+  }
+
+  if (ts_enabled_ && hdr.timestamps_option) {
+    // PAWS (RFC 7323 §5): reject segments whose timestamp regressed strictly before ts_recent
+    // (wrapping compare), unless they are bare acks for new data.
+    const uint32_t tsval = hdr.timestamps_option->tsval;
+    if (ts_recent_valid_ && static_cast<int32_t>(tsval - ts_recent_) < 0) {
+      stats_.paws_drops++;
+      ScheduleAck();  // duplicate-looking segment: re-ack so the peer resynchronizes
+      return;
+    }
+    // Update ts_recent when the segment covers rcv_nxt (RFC 7323 §4.3's simplified rule).
+    if (SeqNum{hdr.seq} <= rcv_nxt_) {
+      ts_recent_ = tsval;
+      ts_recent_valid_ = true;
+    }
+  }
+
+  if (hdr.flags.ack) {
+    ProcessAck(hdr, now);
+  }
+  if (!payload.empty() || hdr.flags.fin) {
+    ProcessData(hdr, payload, now);
+  }
+}
+
+void TcpConnection::ProcessAck(const TcpHeader& hdr, TimeNs now) {
+  const SeqNum ack{hdr.ack};
+  const size_t new_wnd = static_cast<size_t>(hdr.window) << snd_wscale_;
+  const bool window_grew = new_wnd > snd_wnd_;
+  snd_wnd_ = new_wnd;
+
+  if (ack > snd_nxt_) {
+    return;  // acks data we never sent; ignore
+  }
+  if (ack > snd_una_) {
+    const size_t newly_acked = static_cast<size_t>(ack - snd_una_);
+    bool sampled = false;
+    if (ts_enabled_ && hdr.timestamps_option && hdr.timestamps_option->tsecr != 0) {
+      // RTTM: tsecr echoes our clock at transmit time, valid even across retransmissions.
+      const uint32_t echoed = hdr.timestamps_option->tsecr;
+      const uint32_t delta_us = NowTsval() - echoed;
+      if (delta_us < 60u * 1000u * 1000u) {  // sanity: ignore >60 s (wrap artifacts)
+        rtt_.OnSample(static_cast<DurationNs>(delta_us) * 1000);
+        stats_.ts_rtt_samples++;
+        sampled = true;  // prefer the timestamp sample over the per-segment timer
+      }
+    }
+    while (!inflight_.empty()) {
+      InflightSegment& seg = inflight_.front();
+      const uint32_t seg_len = static_cast<uint32_t>(seg.data.size()) + (seg.fin ? 1 : 0);
+      if (ack >= seg.seq + seg_len) {
+        if (!seg.retransmitted && !sampled) {
+          rtt_.OnSample(now - seg.sent_at);
+          sampled = true;
+        }
+        bytes_inflight_ -= seg.data.size();
+        inflight_.pop_front();  // drops the libOS reference: UAF-protected buffer may recycle
+      } else if (ack > seg.seq) {
+        const uint32_t covered = static_cast<uint32_t>(ack - seg.seq);
+        seg.data.TrimFront(covered);
+        seg.seq = ack;
+        bytes_inflight_ -= covered;
+        break;
+      } else {
+        break;
+      }
+    }
+    snd_una_ = ack;
+    dup_acks_ = 0;
+    consecutive_retx_ = 0;
+    cc_->OnAck(newly_acked, now);
+    if (fin_sent_ && !our_fin_acked_ && ack >= fin_seq_ + 1) {
+      our_fin_acked_ = true;
+      OnOurFinAcked(now);
+    }
+    window_event_.Notify();
+    ArmRetransmitter();
+    TrySend(now);
+  } else if (ack == snd_una_ && !inflight_.empty() && !hdr.flags.syn && !hdr.flags.fin) {
+    stats_.dup_acks_seen++;
+    if (++dup_acks_ == 3) {
+      // Fast retransmit.
+      InflightSegment& seg = inflight_.front();
+      seg.retransmitted = true;
+      SendDataSegment(seg, now);
+      stats_.fast_retransmits++;
+      cc_->OnFastRetransmit(now);
+      dup_acks_ = 0;
+    }
+  }
+  if (window_grew) {
+    window_event_.Notify();
+  }
+}
+
+void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> payload,
+                                TimeNs now) {
+  SeqNum seq{hdr.seq};
+
+  if (hdr.flags.fin) {
+    const SeqNum fin_at = seq + static_cast<uint32_t>(payload.size());
+    if (!remote_fin_seen_) {
+      remote_fin_seen_ = true;
+      remote_fin_seq_ = fin_at;
+    }
+  }
+
+  if (!payload.empty()) {
+    // Left-trim data we already have.
+    if (seq < rcv_nxt_) {
+      const uint32_t overlap = static_cast<uint32_t>(rcv_nxt_ - seq);
+      if (overlap >= payload.size()) {
+        payload = {};
+      } else {
+        payload = payload.subspan(overlap);
+        seq = rcv_nxt_;
+      }
+    }
+  }
+
+  if (!payload.empty()) {
+    if (payload.size() > ReceiveCapacityLeft()) {
+      // Receiver overrun: drop; the ack (without window) makes the sender back off.
+      ScheduleAck();
+      return;
+    }
+    if (seq == rcv_nxt_) {
+      Buffer buf = Buffer::Allocate(stack_.allocator(), payload.size());
+      std::memcpy(buf.mutable_data(), payload.data(), payload.size());
+      rcv_nxt_ = rcv_nxt_ + static_cast<uint32_t>(payload.size());
+      ready_bytes_ += buf.size();
+      ready_.push_back(std::move(buf));
+      DrainReassembly();
+      readable_.Notify();
+    } else if (seq > rcv_nxt_) {
+      // Out of order: stash for reassembly (dedup by start seq; overlaps resolved on drain).
+      stats_.out_of_order++;
+      if (reassembly_.find(seq.v) == reassembly_.end()) {
+        Buffer buf = Buffer::Allocate(stack_.allocator(), payload.size());
+        std::memcpy(buf.mutable_data(), payload.data(), payload.size());
+        reassembly_bytes_ += buf.size();
+        reassembly_.emplace(seq.v, std::move(buf));
+      }
+    }
+  }
+
+  // A FIN becomes "received" only once all data before it is in order.
+  if (remote_fin_seen_ && !remote_fin_received_ && rcv_nxt_ == remote_fin_seq_) {
+    rcv_nxt_ = rcv_nxt_ + 1;
+    remote_fin_received_ = true;
+    HandleFinReached(now);
+    readable_.Notify();
+  }
+
+  ScheduleAck();
+}
+
+void TcpConnection::DrainReassembly() {
+  while (!reassembly_.empty()) {
+    auto it = reassembly_.begin();
+    SeqNum seq{it->first};
+    if (seq > rcv_nxt_) {
+      break;
+    }
+    Buffer buf = std::move(it->second);
+    reassembly_bytes_ -= buf.size();
+    reassembly_.erase(it);
+    if (seq < rcv_nxt_) {
+      const uint32_t overlap = static_cast<uint32_t>(rcv_nxt_ - seq);
+      if (overlap >= buf.size()) {
+        continue;  // fully duplicate
+      }
+      buf.TrimFront(overlap);
+    }
+    rcv_nxt_ = rcv_nxt_ + static_cast<uint32_t>(buf.size());
+    ready_bytes_ += buf.size();
+    ready_.push_back(std::move(buf));
+  }
+}
+
+void TcpConnection::HandleFinReached(TimeNs now) {
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:
+      state_ = our_fin_acked_ ? TcpState::kTimeWait : TcpState::kClosing;
+      if (state_ == TcpState::kTimeWait) {
+        EnterTimeWait();
+      }
+      break;
+    case TcpState::kFinWait2:
+      state_ = TcpState::kTimeWait;
+      EnterTimeWait();
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpConnection::OnOurFinAcked(TimeNs now) {
+  switch (state_) {
+    case TcpState::kFinWait1:
+      state_ = TcpState::kFinWait2;
+      break;
+    case TcpState::kClosing:
+      state_ = TcpState::kTimeWait;
+      EnterTimeWait();
+      break;
+    case TcpState::kLastAck:
+      EnterClosed(Status::kOk);
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpConnection::EnterTimeWait() {
+  state_ = TcpState::kTimeWait;
+  auto it = stack_.conns_.find(TcpStack::ConnKey{remote_.ip.value, remote_.port, local_.port});
+  if (it != stack_.conns_.end()) {
+    stack_.scheduler().Spawn(RunFiber(it->second, TimeWaitFiber()));
+  }
+}
+
+void TcpConnection::EnterClosed(Status error) {
+  if (state_ == TcpState::kClosed) {
+    return;
+  }
+  state_ = TcpState::kClosed;
+  if (error_ == Status::kOk && error != Status::kOk) {
+    error_ = error;
+  }
+  if (pending_listener_ != nullptr) {
+    pending_listener_->syn_rcvd_count_--;
+    pending_listener_ = nullptr;
+  }
+  // Drop all buffer references (releases UAF-deferred application frees).
+  inflight_.clear();
+  unsent_.clear();
+  unsent_bytes_ = 0;
+  bytes_inflight_ = 0;
+  // Wake everything so blocked fibers and application waiters observe the close and exit.
+  readable_.Notify();
+  established_.Notify();
+  retx_event_.Notify();
+  ack_event_.Notify();
+  window_event_.Notify();
+}
+
+// --- Background fibers ---
+
+Task<void> TcpConnection::ConnectFiber() {
+  Scheduler& sched = stack_.scheduler();
+  DurationNs timeout = rtt_.rto();
+  int attempts = 0;
+  SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true);
+  while (state_ == TcpState::kSynSent) {
+    co_await established_.WaitWithTimeout(sched, stack_.clock().Now() + timeout);
+    if (state_ != TcpState::kSynSent) {
+      break;
+    }
+    if (++attempts > stack_.config().max_syn_retries) {
+      EnterClosed(Status::kTimedOut);
+      break;
+    }
+    timeout *= 2;
+    SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true);
+    stats_.retransmits++;
+  }
+}
+
+Task<void> TcpConnection::SynAckFiber() {
+  Scheduler& sched = stack_.scheduler();
+  DurationNs timeout = rtt_.rto();
+  int attempts = 0;
+  const bool offer_options = true;
+  SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options);
+  while (state_ == TcpState::kSynReceived) {
+    co_await established_.WaitWithTimeout(sched, stack_.clock().Now() + timeout);
+    if (state_ != TcpState::kSynReceived) {
+      break;
+    }
+    if (++attempts > stack_.config().max_syn_retries) {
+      EnterClosed(Status::kTimedOut);
+      break;
+    }
+    timeout *= 2;
+    SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options);
+    stats_.retransmits++;
+  }
+}
+
+Task<void> TcpConnection::RetransmitFiber() {
+  Scheduler& sched = stack_.scheduler();
+  while (state_ != TcpState::kClosed) {
+    if (inflight_.empty()) {
+      co_await retx_event_.Wait();
+      continue;
+    }
+    const TimeNs deadline = inflight_.front().rto_deadline;
+    const TimeNs now = stack_.clock().Now();
+    if (now < deadline) {
+      co_await retx_event_.WaitWithTimeout(sched, deadline);
+      continue;
+    }
+    // RTO fired. A zero-window stall is a *persist* situation, not a dead peer: keep probing
+    // without counting toward the abort limit (RFC 1122 4.2.2.17 — the connection stays open
+    // as long as the receiver keeps acking).
+    if (snd_wnd_ != 0 && ++consecutive_retx_ > stack_.config().max_retransmits) {
+      EnterClosed(Status::kTimedOut);
+      break;
+    }
+    InflightSegment& seg = inflight_.front();
+    seg.retransmitted = true;
+    rtt_.Backoff();
+    SendDataSegment(seg, now);  // also refreshes rto_deadline via current rto
+    stats_.retransmits++;
+    cc_->OnTimeout(now);
+  }
+}
+
+Task<void> TcpConnection::AckerFiber() {
+  Scheduler& sched = stack_.scheduler();
+  const DurationNs delay = stack_.config().ack_delay;
+  while (state_ != TcpState::kClosed) {
+    if (!ack_needed_) {
+      co_await ack_event_.Wait();
+      continue;
+    }
+    if (delay > 0) {
+      // Delayed ack: coalesce acks arriving within the window.
+      co_await sched.Sleep(delay);
+    }
+    if (state_ == TcpState::kClosed) {
+      break;
+    }
+    if (ack_needed_) {
+      ack_needed_ = false;
+      SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false);
+    }
+  }
+}
+
+Task<void> TcpConnection::SenderFiber() {
+  Scheduler& sched = stack_.scheduler();
+  while (state_ != TcpState::kClosed) {
+    const bool want_send = !unsent_.empty() || (fin_queued_ && !fin_sent_);
+    if (!want_send) {
+      co_await window_event_.Wait();
+      continue;
+    }
+    const TimeNs now = stack_.clock().Now();
+    TrySend(now);
+    if (!unsent_.empty() && EffectiveSendWindow() == 0 && bytes_inflight_ == 0 &&
+        snd_wnd_ == 0) {
+      // Zero-window persist: wait an RTO, then force a 1-byte probe through.
+      co_await window_event_.WaitWithTimeout(sched, now + rtt_.rto());
+      if (state_ == TcpState::kClosed) {
+        break;
+      }
+      if (!unsent_.empty() && snd_wnd_ == 0 && bytes_inflight_ == 0) {
+        Buffer& front = unsent_.front();
+        InflightSegment seg;
+        seg.seq = snd_nxt_;
+        seg.data = front.Slice(0, 1);
+        front.TrimFront(1);
+        if (front.empty()) {
+          unsent_.pop_front();
+        }
+        unsent_bytes_ -= 1;
+        snd_nxt_ = snd_nxt_ + 1;
+        bytes_inflight_ += 1;
+        SendDataSegment(seg, stack_.clock().Now());
+        inflight_.push_back(std::move(seg));
+        ArmRetransmitter();
+      }
+    } else if (!unsent_.empty() || (fin_queued_ && !fin_sent_)) {
+      co_await window_event_.Wait();
+    }
+  }
+}
+
+Task<void> TcpConnection::TimeWaitFiber() {
+  co_await stack_.scheduler().Sleep(stack_.config().time_wait);
+  if (state_ == TcpState::kTimeWait) {
+    EnterClosed(Status::kOk);
+  }
+}
+
+// ============================== TcpStack ==========================================
+
+TcpStack::TcpStack(EthernetLayer& eth, Scheduler& scheduler, PoolAllocator& alloc, Clock& clock,
+                   TcpConfig config)
+    : eth_(eth), scheduler_(scheduler), alloc_(alloc), clock_(clock), config_(config),
+      rng_(0xDEADBEEF) {
+  eth_.RegisterReceiver(IpProto::kTcp, this);
+}
+
+TcpStack::~TcpStack() {
+  for (auto& [key, conn] : conns_) {
+    conn->EnterClosed(Status::kCancelled);
+  }
+}
+
+size_t TcpStack::DefaultMss() const {
+  return eth_.MaxIpPayload() - TcpHeader::kBaseSize;
+}
+
+uint16_t TcpStack::AllocEphemeralPort() {
+  for (int tries = 0; tries < 65536; tries++) {
+    const uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= 65500 ? 40000 : next_ephemeral_ + 1;
+    bool taken = listeners_.count(port) > 0;
+    if (!taken) {
+      return port;
+    }
+  }
+  return 0;
+}
+
+Result<std::shared_ptr<TcpConnection>> TcpStack::Connect(SocketAddress remote) {
+  const uint16_t local_port = AllocEphemeralPort();
+  if (local_port == 0) {
+    return Status::kNoBufferSpace;
+  }
+  const ConnKey key{remote.ip.value, remote.port, local_port};
+  if (conns_.count(key) > 0) {
+    return Status::kAddressInUse;
+  }
+  const SocketAddress local{eth_.local_ip(), local_port};
+  auto conn = std::make_shared<TcpConnection>(*this, local, remote, NewIss());
+  conns_[key] = conn;
+  stats_.conns_opened++;
+  conn->StartActiveOpen();
+  return conn;
+}
+
+Result<TcpListener*> TcpStack::Listen(uint16_t port, size_t backlog) {
+  if (port == 0 || listeners_.count(port) > 0) {
+    return Status::kAddressInUse;
+  }
+  auto listener = std::make_unique<TcpListener>();
+  listener->port_ = port;
+  listener->backlog_ = backlog == 0 ? 64 : backlog;
+  TcpListener* raw = listener.get();
+  listeners_[port] = std::move(listener);
+  return raw;
+}
+
+void TcpStack::CloseListener(TcpListener* listener) {
+  if (listener == nullptr) {
+    return;
+  }
+  for (auto& conn : listener->ready_) {
+    conn->Abort();
+    conn->ReleaseByApp();
+  }
+  listeners_.erase(listener->port_);
+}
+
+Status TcpStack::SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
+                             std::span<const uint8_t> payload) {
+  uint8_t hdr_bytes[TcpHeader::kBaseSize + TcpHeader::kMaxOptionBytes];
+  hdr.Serialize(hdr_bytes, eth_.local_ip(), dst, payload,
+                /*compute_checksum=*/!eth_.checksum_offload());
+  const size_t hdr_len = hdr.SerializedSize();
+  stats_.segments_tx++;
+  if (payload.empty()) {
+    std::span<const uint8_t> segs[1] = {{hdr_bytes, hdr_len}};
+    return eth_.SendIpv4(dst, IpProto::kTcp, segs);
+  }
+  std::span<const uint8_t> segs[2] = {{hdr_bytes, hdr_len}, payload};
+  return eth_.SendIpv4(dst, IpProto::kTcp, segs);
+}
+
+void TcpStack::SendRst(const TcpHeader& in, Ipv4Addr dst) {
+  TcpHeader rst;
+  rst.src_port = in.dst_port;
+  rst.dst_port = in.src_port;
+  rst.flags.rst = true;
+  rst.flags.ack = true;
+  rst.seq = in.ack;
+  rst.ack = in.seq + 1;
+  stats_.rst_sent++;
+  SendSegment(rst, dst, {});
+}
+
+void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
+  size_t hdr_len = 0;
+  const auto hdr =
+      TcpHeader::Parse(l4, ip.src, ip.dst, &hdr_len, /*verify=*/!eth_.checksum_offload());
+  if (!hdr) {
+    stats_.parse_errors++;
+    return;
+  }
+  stats_.segments_rx++;
+  const auto payload = l4.subspan(hdr_len);
+
+  const ConnKey key{ip.src.value, hdr->src_port, hdr->dst_port};
+  auto it = conns_.find(key);
+  if (it != conns_.end()) {
+    it->second->OnSegment(*hdr, payload, clock_.Now());
+    return;
+  }
+
+  // No connection: a SYN may match a listener.
+  if (hdr->flags.syn && !hdr->flags.ack) {
+    auto lit = listeners_.find(hdr->dst_port);
+    if (lit != listeners_.end()) {
+      TcpListener* listener = lit->second.get();
+      if (listener->ready_.size() + listener->syn_rcvd_count_ >= listener->backlog_ ||
+          conns_.size() >= config_.max_syn_backlog + 1024) {
+        return;  // backlog full: drop the SYN, client retries
+      }
+      const SocketAddress local{eth_.local_ip(), hdr->dst_port};
+      const SocketAddress remote{ip.src, hdr->src_port};
+      auto conn = std::make_shared<TcpConnection>(*this, local, remote, NewIss());
+      conns_[key] = conn;
+      stats_.conns_opened++;
+      conn->StartPassiveOpen(*hdr, listener);
+      return;
+    }
+  }
+  stats_.no_connection++;
+  if (!hdr->flags.rst) {
+    SendRst(*hdr, ip.src);
+  }
+}
+
+void TcpStack::Reap() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second->state() == TcpState::kClosed && it->second->app_released()) {
+      it = conns_.erase(it);
+      stats_.conns_reaped++;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace demi

@@ -1,0 +1,330 @@
+// The Catnip TCP stack (paper §6.3): RFC 793 + window scaling from RFC 7323, Cubic congestion
+// control, zero-copy send path, deterministic time parameterization.
+//
+// Structure mirrors the paper:
+//  - The *fast path* is TcpStack::OnIpv4Packet -> TcpConnection::OnSegment: in-order, error-free
+//    segments are processed run-to-completion and the blocked application is woken directly.
+//  - *Background coroutines* per established connection handle retransmission, pure acks and
+//    window-probing/sending; they stay blocked (paper's blockable coroutines) until the fast
+//    path or a timer wakes them. Connection establishment (active SYN / passive SYN-ACK) runs in
+//    its own coroutine driving the handshake with backoff.
+//  - For full zero-copy the send path keeps a ring of application buffer *views* (Buffer slices)
+//    rather than copying into a byte buffer; segments hold references until cumulatively acked,
+//    which is what makes UAF protection necessary and sufficient (§5.3, §6.3).
+
+#ifndef SRC_NET_TCP_TCP_H_
+#define SRC_NET_TCP_TCP_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/memory/buffer.h"
+#include "src/net/ethernet.h"
+#include "src/net/tcp/congestion.h"
+#include "src/net/tcp/tcp_types.h"
+#include "src/runtime/event.h"
+#include "src/runtime/scheduler.h"
+
+namespace demi {
+
+class TcpStack;
+class TcpListener;
+
+// RFC 6298 RTT estimation with exponential backoff.
+class RttEstimator {
+ public:
+  explicit RttEstimator(const TcpConfig& config)
+      : config_(config), rto_(config.initial_rto) {}
+
+  void OnSample(DurationNs rtt) {
+    if (srtt_ == 0) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      const int64_t err = static_cast<int64_t>(srtt_) - static_cast<int64_t>(rtt);
+      rttvar_ = (3 * rttvar_ + static_cast<DurationNs>(err < 0 ? -err : err)) / 4;
+      srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+    rto_ = Clamp(srtt_ + std::max<DurationNs>(4 * rttvar_, 1));
+    backoff_ = 0;
+  }
+
+  void Backoff() {
+    backoff_++;
+    rto_ = Clamp(rto_ * 2);
+  }
+
+  DurationNs rto() const { return rto_; }
+  DurationNs srtt() const { return srtt_; }
+
+ private:
+  DurationNs Clamp(DurationNs v) const {
+    return std::min(std::max(v, config_.min_rto), config_.max_rto);
+  }
+  const TcpConfig& config_;
+  DurationNs srtt_ = 0;
+  DurationNs rttvar_ = 0;
+  DurationNs rto_;
+  int backoff_ = 0;
+};
+
+class TcpConnection {
+ public:
+  TcpConnection(TcpStack& stack, SocketAddress local, SocketAddress remote, SeqNum iss);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // --- Application-facing (via the Catnip libOS) ---
+
+  // Queues `data` for transmission and transmits inline as far as the windows allow
+  // (run-to-completion push, §5.2). The connection holds references to the underlying object
+  // until the receiver acknowledges it.
+  Status Push(Buffer data);
+
+  // Returns the next chunk of in-order received data, or nullopt if none is ready.
+  std::optional<Buffer> PopData();
+  bool HasReadyData() const { return !ready_.empty(); }
+  // True once the peer's FIN is reached AND all data before it has been popped.
+  bool EndOfStream() const { return remote_fin_received_ && ready_.empty(); }
+
+  // Half-closes the local side; queued data (then FIN) still drains.
+  Status Close();
+  // Hard reset.
+  void Abort();
+
+  TcpState state() const { return state_; }
+  Status error() const { return error_; }
+  SocketAddress local() const { return local_; }
+  SocketAddress remote() const { return remote_; }
+
+  Event& readable() { return readable_; }
+  Event& established_event() { return established_; }
+
+  // The libOS dropped its queue descriptor: the stack may reap once fully closed.
+  void ReleaseByApp() { app_released_ = true; }
+  bool app_released() const { return app_released_; }
+
+  struct ConnStats {
+    uint64_t segments_sent = 0;
+    uint64_t segments_received = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    uint64_t retransmits = 0;
+    uint64_t fast_retransmits = 0;
+    uint64_t out_of_order = 0;
+    uint64_t dup_acks_seen = 0;
+    uint64_t paws_drops = 0;        // segments rejected by PAWS (RFC 7323 §5)
+    uint64_t ts_rtt_samples = 0;    // RTT samples taken from tsecr (RTTM)
+  };
+  bool timestamps_enabled() const { return ts_enabled_; }
+  const ConnStats& conn_stats() const { return stats_; }
+  size_t BytesInFlight() const { return bytes_inflight_; }
+  size_t cwnd() const { return cc_->cwnd(); }
+
+ private:
+  friend class TcpStack;
+
+  struct InflightSegment {
+    SeqNum seq;
+    Buffer data;      // empty for bare FIN
+    bool fin = false;
+    TimeNs sent_at = 0;
+    TimeNs rto_deadline = 0;
+    bool retransmitted = false;
+  };
+
+  // --- Stack-facing ---
+  void OnSegment(const TcpHeader& hdr, std::span<const uint8_t> payload, TimeNs now);
+  void StartActiveOpen();
+  void StartPassiveOpen(const TcpHeader& syn, TcpListener* listener);
+
+  // --- Internals ---
+  void ProcessAck(const TcpHeader& hdr, TimeNs now);
+  void ProcessData(const TcpHeader& hdr, std::span<const uint8_t> payload, TimeNs now);
+  void DrainReassembly();
+  void HandleFinReached(TimeNs now);
+  void OnOurFinAcked(TimeNs now);
+  void TrySend(TimeNs now);
+  void SendDataSegment(InflightSegment& seg, TimeNs now);
+  Status SendControl(TcpFlags flags, SeqNum seq, bool with_options);
+  void ScheduleAck();
+  uint32_t NowTsval() const;
+  void StampTimestamps(TcpHeader* hdr) const;
+  void ArmRetransmitter() { retx_event_.Notify(); }
+  void EnterTimeWait();
+  void EnterClosed(Status error);
+  size_t EffectiveSendWindow() const;
+  // MSS minus per-segment option overhead (timestamps consume 12 bytes of header on every
+  // segment once negotiated, RFC 7323 appendix A).
+  size_t EffectiveMss() const { return mss_ - (ts_enabled_ ? 12 : 0); }
+  uint16_t AdvertisedWindow() const;
+  size_t ReceiveCapacityLeft() const;
+
+  // Background coroutines (one each, spawned at creation; exit when state_ == kClosed).
+  Task<void> ConnectFiber();     // active-open SYN retransmission
+  Task<void> SynAckFiber();      // passive-open SYN-ACK retransmission
+  Task<void> RetransmitFiber();  // RTO handling
+  Task<void> AckerFiber();       // pure acks
+  Task<void> SenderFiber();      // drains unsent when windows open; zero-window probing
+  Task<void> TimeWaitFiber();    // 2MSL then closed
+
+  TcpStack& stack_;
+  SocketAddress local_;
+  SocketAddress remote_;
+  TcpState state_ = TcpState::kClosed;
+  Status error_ = Status::kOk;
+  bool app_released_ = false;
+  TcpListener* pending_listener_ = nullptr;  // passive open: where to deliver on ESTABLISHED
+
+  // Send state.
+  SeqNum snd_una_;  // oldest unacked
+  SeqNum snd_nxt_;  // next to send
+  SeqNum iss_;
+  size_t snd_wnd_ = 0;        // peer-advertised, scaled
+  uint8_t snd_wscale_ = 0;    // peer's scale
+  std::deque<Buffer> unsent_;
+  size_t unsent_bytes_ = 0;
+  std::deque<InflightSegment> inflight_;
+  size_t bytes_inflight_ = 0;
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+  SeqNum fin_seq_;  // sequence of our FIN once sent
+  bool our_fin_acked_ = false;
+  int dup_acks_ = 0;
+  int consecutive_retx_ = 0;
+
+  // Receive state.
+  SeqNum rcv_nxt_;
+  SeqNum irs_;
+  std::deque<Buffer> ready_;
+  size_t ready_bytes_ = 0;
+  std::map<uint32_t, Buffer> reassembly_;  // seq (absolute) -> payload
+  size_t reassembly_bytes_ = 0;
+  bool remote_fin_seen_ = false;      // FIN segment received (maybe out of order)
+  SeqNum remote_fin_seq_;             // its sequence number
+  bool remote_fin_received_ = false;  // rcv_nxt_ advanced past the FIN
+  uint8_t rcv_wscale_ = 0;            // our advertised scale (0 until negotiated)
+
+  size_t mss_ = 1460;
+
+  // RFC 7323 timestamps (negotiated on SYN).
+  bool ts_enabled_ = false;
+  uint32_t ts_recent_ = 0;       // latest valid peer tsval (echoed as tsecr)
+  bool ts_recent_valid_ = false;
+
+  std::unique_ptr<CongestionControl> cc_;
+  RttEstimator rtt_;
+
+  bool ack_needed_ = false;
+  Event readable_;
+  Event established_;
+  Event retx_event_;
+  Event ack_event_;
+  Event window_event_;
+
+  ConnStats stats_;
+};
+
+class TcpListener {
+ public:
+  bool HasPending() const { return !ready_.empty(); }
+  std::shared_ptr<TcpConnection> Accept() {
+    if (ready_.empty()) {
+      return nullptr;
+    }
+    auto conn = std::move(ready_.front());
+    ready_.pop_front();
+    return conn;
+  }
+  Event& acceptable() { return acceptable_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  friend class TcpStack;
+  friend class TcpConnection;
+  uint16_t port_ = 0;
+  size_t backlog_ = 64;
+  size_t syn_rcvd_count_ = 0;
+  std::deque<std::shared_ptr<TcpConnection>> ready_;
+  Event acceptable_;
+};
+
+class TcpStack final : public Ipv4Receiver {
+ public:
+  TcpStack(EthernetLayer& eth, Scheduler& scheduler, PoolAllocator& alloc, Clock& clock,
+           TcpConfig config = TcpConfig{});
+  ~TcpStack();
+
+  // Active open; the returned connection is in SYN_SENT — wait on established_event().
+  Result<std::shared_ptr<TcpConnection>> Connect(SocketAddress remote);
+
+  Result<TcpListener*> Listen(uint16_t port, size_t backlog);
+  void CloseListener(TcpListener* listener);
+
+  void OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) override;
+
+  // Destroys connections that are fully closed and released by the application.
+  void Reap();
+
+  size_t DefaultMss() const;
+  const TcpConfig& config() const { return config_; }
+  Scheduler& scheduler() { return scheduler_; }
+  Clock& clock() { return clock_; }
+  PoolAllocator& allocator() { return alloc_; }
+
+  struct Stats {
+    uint64_t segments_rx = 0;
+    uint64_t segments_tx = 0;
+    uint64_t rst_sent = 0;
+    uint64_t no_connection = 0;
+    uint64_t parse_errors = 0;
+    uint64_t conns_opened = 0;
+    uint64_t conns_reaped = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t NumConnections() const { return conns_.size(); }
+
+ private:
+  friend class TcpConnection;
+
+  struct ConnKey {
+    uint32_t remote_ip;
+    uint16_t remote_port;
+    uint16_t local_port;
+    bool operator==(const ConnKey&) const = default;
+  };
+  struct ConnKeyHash {
+    size_t operator()(const ConnKey& k) const {
+      return std::hash<uint64_t>()((uint64_t{k.remote_ip} << 32) |
+                                   (uint64_t{k.remote_port} << 16) | k.local_port);
+    }
+  };
+
+  Status SendSegment(const TcpHeader& hdr, Ipv4Addr dst, std::span<const uint8_t> payload);
+  void SendRst(const TcpHeader& in, Ipv4Addr dst);
+  uint16_t AllocEphemeralPort();
+  SeqNum NewIss() { return SeqNum{static_cast<uint32_t>(rng_.Next())}; }
+
+  EthernetLayer& eth_;
+  Scheduler& scheduler_;
+  PoolAllocator& alloc_;
+  Clock& clock_;
+  TcpConfig config_;
+  Rng rng_;
+
+  std::unordered_map<ConnKey, std::shared_ptr<TcpConnection>, ConnKeyHash> conns_;
+  std::unordered_map<uint16_t, std::unique_ptr<TcpListener>> listeners_;
+  uint16_t next_ephemeral_ = 40000;
+  Stats stats_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NET_TCP_TCP_H_

@@ -1,0 +1,94 @@
+// TCP sequence-number arithmetic, connection states, and stack configuration.
+
+#ifndef SRC_NET_TCP_TCP_TYPES_H_
+#define SRC_NET_TCP_TCP_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/clock.h"
+
+namespace demi {
+
+// 32-bit wrapping TCP sequence number (RFC 793 modular arithmetic).
+struct SeqNum {
+  uint32_t v = 0;
+
+  friend SeqNum operator+(SeqNum a, uint32_t n) { return SeqNum{a.v + n}; }
+  friend SeqNum operator-(SeqNum a, uint32_t n) { return SeqNum{a.v - n}; }
+  // Signed distance a - b; valid while |distance| < 2^31.
+  friend int32_t operator-(SeqNum a, SeqNum b) { return static_cast<int32_t>(a.v - b.v); }
+  friend bool operator==(SeqNum a, SeqNum b) { return a.v == b.v; }
+  friend bool operator!=(SeqNum a, SeqNum b) { return a.v != b.v; }
+  friend bool operator<(SeqNum a, SeqNum b) { return (a - b) < 0; }
+  friend bool operator<=(SeqNum a, SeqNum b) { return (a - b) <= 0; }
+  friend bool operator>(SeqNum a, SeqNum b) { return (a - b) > 0; }
+  friend bool operator>=(SeqNum a, SeqNum b) { return (a - b) >= 0; }
+};
+
+enum class TcpState : uint8_t {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kClosing,
+  kTimeWait,
+  kCloseWait,
+  kLastAck,
+};
+
+constexpr std::string_view TcpStateName(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynReceived: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kLastAck: return "LAST_ACK";
+  }
+  return "?";
+}
+
+enum class CongestionAlgorithm : uint8_t { kCubic, kNewReno, kFixedWindow };
+
+struct TcpConfig {
+  // Retransmission (RFC 6298 with datacenter-friendly floors; the simulated fabric runs at µs
+  // RTTs, so the classical 200 ms floor would stall every loss for an eternity).
+  DurationNs initial_rto = 10 * kMillisecond;
+  DurationNs min_rto = 1 * kMillisecond;
+  DurationNs max_rto = 4 * kSecond;
+  int max_syn_retries = 6;
+  int max_retransmits = 15;
+
+  // Receive buffering / flow control.
+  size_t recv_buffer_bytes = 1 << 20;
+  uint8_t window_scale = 7;  // advertise 2^7 scaling (RFC 7323)
+
+  // Delayed-ack: 0 = ack on the next acker-fiber run (one scheduler round, near-immediate).
+  DurationNs ack_delay = 0;
+
+  // RFC 7323 timestamps: negotiated on SYN; provides retransmission-safe RTT samples (RTTM)
+  // and PAWS sequence protection. tsval granularity is 1 µs here (µs-scale RTTs would round
+  // to zero at the classical 1 ms tick).
+  bool timestamps = true;
+
+  CongestionAlgorithm congestion = CongestionAlgorithm::kCubic;
+  size_t fixed_window_bytes = 1 << 20;  // used by kFixedWindow (ablation)
+
+  // TIME_WAIT hold (2*MSL); short by default because the simulated fabric's MSL is tiny.
+  DurationNs time_wait = 10 * kMillisecond;
+
+  size_t max_syn_backlog = 128;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NET_TCP_TCP_TYPES_H_

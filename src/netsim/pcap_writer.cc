@@ -1,0 +1,110 @@
+#include "src/netsim/pcap_writer.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace demi {
+
+namespace {
+
+struct PcapGlobalHeader {
+  uint32_t magic = 0xA1B2C3D4;  // µs-precision, native byte order
+  uint16_t version_major = 2;
+  uint16_t version_minor = 4;
+  int32_t thiszone = 0;
+  uint32_t sigfigs = 0;
+  uint32_t snaplen = 65535;
+  uint32_t network = 1;  // LINKTYPE_ETHERNET
+};
+
+struct PcapRecordHeader {
+  uint32_t ts_sec;
+  uint32_t ts_usec;
+  uint32_t incl_len;
+  uint32_t orig_len;
+};
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return;
+  }
+  PcapGlobalHeader hdr;
+  if (std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void PcapWriter::WriteFrame(std::span<const uint8_t> frame, TimeNs ts) {
+  if (file_ == nullptr) {
+    return;
+  }
+  PcapRecordHeader rec;
+  rec.ts_sec = static_cast<uint32_t>(ts / kSecond);
+  rec.ts_usec = static_cast<uint32_t>((ts % kSecond) / 1000);
+  rec.incl_len = static_cast<uint32_t>(frame.size());
+  rec.orig_len = static_cast<uint32_t>(frame.size());
+  if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1 ||
+      (!frame.empty() && std::fwrite(frame.data(), frame.size(), 1, file_) != 1)) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return;
+  }
+  frames_written_++;
+}
+
+void PcapWriter::Flush() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+  }
+}
+
+PcapReader::PcapReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return;
+  }
+  PcapGlobalHeader hdr;
+  if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1 || hdr.magic != 0xA1B2C3D4 ||
+      hdr.network != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+PcapReader::~PcapReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool PcapReader::Next(Record* out) {
+  if (file_ == nullptr || out == nullptr) {
+    return false;
+  }
+  PcapRecordHeader rec;
+  if (std::fread(&rec, sizeof(rec), 1, file_) != 1) {
+    return false;
+  }
+  if (rec.incl_len > 1 << 20) {
+    return false;  // malformed
+  }
+  out->timestamp = static_cast<TimeNs>(rec.ts_sec) * kSecond +
+                   static_cast<TimeNs>(rec.ts_usec) * 1000;
+  out->frame.resize(rec.incl_len);
+  if (rec.incl_len > 0 && std::fread(out->frame.data(), rec.incl_len, 1, file_) != 1) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace demi

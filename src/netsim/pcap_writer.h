@@ -1,0 +1,69 @@
+// PcapWriter: captures fabric traffic to a standard pcap file readable by tcpdump/Wireshark.
+//
+// Catnip's determinism makes trace-driven debugging practical (paper §6.3: "let us easily debug
+// the stack by feeding it a trace with packet timings"); this is the capture half of that
+// workflow — attach it to a SimNetwork and every frame put on the wire is recorded with its
+// simulated timestamp.
+
+#ifndef SRC_NETSIM_PCAP_WRITER_H_
+#define SRC_NETSIM_PCAP_WRITER_H_
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace demi {
+
+class PcapWriter {
+ public:
+  // Opens `path` and writes the pcap global header (LINKTYPE_ETHERNET, µs precision).
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  uint64_t frames_written() const { return frames_written_; }
+
+  // Appends one captured frame stamped with the (simulated) time `ts`.
+  void WriteFrame(std::span<const uint8_t> frame, TimeNs ts);
+
+  void Flush();
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t frames_written_ = 0;
+};
+
+// PcapReader: loads frames back from a pcap file — the replay half of the trace-driven
+// debugging workflow (feed a captured trace, with its packet timings, into the deterministic
+// stack).
+class PcapReader {
+ public:
+  explicit PcapReader(const std::string& path);
+  ~PcapReader();
+
+  PcapReader(const PcapReader&) = delete;
+  PcapReader& operator=(const PcapReader&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  struct Record {
+    TimeNs timestamp;
+    std::vector<uint8_t> frame;
+  };
+
+  // Reads the next record; returns false at end of file or on a malformed record.
+  bool Next(Record* out);
+
+ private:
+  FILE* file_ = nullptr;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NETSIM_PCAP_WRITER_H_

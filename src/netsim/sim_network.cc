@@ -1,0 +1,179 @@
+#include "src/netsim/sim_network.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+SimNetwork::SimNetwork(const LinkConfig& link, uint64_t seed) : link_(link), rng_(seed) {}
+SimNetwork::~SimNetwork() = default;
+
+SimNetwork::Port* SimNetwork::CreatePort(MacAddr mac) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = ports_.try_emplace(mac.value, std::make_unique<Port>(mac));
+  if (!inserted) {
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.frames_sent++;
+  if (pcap_ != nullptr) {
+    pcap_->WriteFrame(frame, now);
+  }
+
+  // Sender-side serialization delay: the frame occupies the source's line for bytes/line-rate.
+  TimeNs depart = now;
+  auto src_it = ports_.find(src.value);
+  if (src_it != ports_.end() && link_.bandwidth_bps != 0) {
+    const DurationNs serialize =
+        static_cast<DurationNs>(frame.size()) * 8ULL * kSecond / link_.bandwidth_bps;
+    Port* sp = src_it->second.get();
+    sp->next_tx_free = std::max<TimeNs>(sp->next_tx_free, now) + serialize;
+    depart = sp->next_tx_free;
+  }
+
+  if (rng_.NextBool(link_.loss)) {
+    stats_.frames_dropped_loss++;
+    return;
+  }
+
+  TimeNs deliver_at = depart + link_.latency + link_.per_frame_overhead;
+  if (link_.reorder > 0 && rng_.NextBool(link_.reorder)) {
+    deliver_at += link_.reorder_extra;
+    stats_.frames_reordered++;
+  }
+
+  const bool duplicate = link_.duplicate > 0 && rng_.NextBool(link_.duplicate);
+
+  if (dst.IsBroadcast()) {
+    for (auto& [mac_value, port] : ports_) {
+      if (mac_value == src.value) {
+        continue;
+      }
+      DeliverToPort(port.get(), frame, deliver_at);  // copies: each port needs its own
+    }
+    return;
+  }
+
+  auto it = ports_.find(dst.value);
+  if (it == ports_.end()) {
+    return;  // no such host: frame vanishes, like a real switch with no matching port
+  }
+  if (duplicate) {
+    stats_.frames_duplicated++;
+    DeliverToPort(it->second.get(), frame, deliver_at + 1);
+  }
+  DeliverToPort(it->second.get(), std::move(frame), deliver_at);
+}
+
+void SimNetwork::DeliverToPort(Port* port, WireFrame frame, TimeNs deliver_at) {
+  std::lock_guard<std::mutex> lock(port->mu_);
+  if (port->inbound_.size() >= link_.rx_queue_frames) {
+    stats_.frames_dropped_queue++;
+    return;
+  }
+  port->inbound_.push(PendingFrame{deliver_at, next_seq_++, std::move(frame)});
+}
+
+SimNetwork::Stats SimNetwork::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool SimNetwork::EnablePcap(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto writer = std::make_unique<PcapWriter>(path);
+  if (!writer->ok()) {
+    return false;
+  }
+  pcap_ = std::move(writer);
+  return true;
+}
+
+void SimNetwork::DisablePcap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pcap_.reset();
+}
+
+uint64_t SimNetwork::PcapFramesWritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pcap_ == nullptr ? 0 : pcap_->frames_written();
+}
+
+TimeNs SimNetwork::NextDeliveryTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TimeNs earliest = 0;
+  for (const auto& [mac, port] : ports_) {
+    std::lock_guard<std::mutex> port_lock(port->mu_);
+    if (!port->inbound_.empty()) {
+      const TimeNs t = port->inbound_.top().deliver_at;
+      if (earliest == 0 || t < earliest) {
+        earliest = t;
+      }
+    }
+  }
+  return earliest;
+}
+
+size_t SimNetwork::Port::Poll(std::span<WireFrame> out, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  while (n < out.size() && !inbound_.empty() && inbound_.top().deliver_at <= now) {
+    out[n++] = std::move(const_cast<PendingFrame&>(inbound_.top()).data);
+    inbound_.pop();
+  }
+  return n;
+}
+
+bool SimNetwork::Port::HasDeliverable(TimeNs now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !inbound_.empty() && inbound_.top().deliver_at <= now;
+}
+
+SimNic::SimNic(SimNetwork& network, MacAddr mac, Clock& clock)
+    : network_(network), mac_(mac), clock_(clock) {
+  port_ = network.CreatePort(mac);
+  DEMI_CHECK_MSG(port_ != nullptr, "MAC %s already attached", mac.ToString().c_str());
+}
+
+size_t SimNic::RxBurst(std::span<WireFrame> out) {
+  const size_t n = port_->Poll(out, clock_.Now());
+  stats_.rx_frames += n;
+  for (size_t i = 0; i < n; i++) {
+    stats_.rx_bytes += out[i].size();
+  }
+  return n;
+}
+
+Status SimNic::TxBurst(MacAddr dst, std::span<const std::span<const uint8_t>> segments) {
+  size_t total = 0;
+  for (const auto& seg : segments) {
+    total += seg.size();
+  }
+  if (total > mtu()) {
+    stats_.tx_oversize++;
+    return Status::kMessageTooLong;
+  }
+  WireFrame frame;
+  frame.reserve(total);
+  for (const auto& seg : segments) {
+    // The DMA discipline: large (zero-copy) segments must come from device-registered memory,
+    // as a real kernel-bypass NIC can only DMA from pinned, IOMMU-mapped pages.
+    if (seg.size() >= 1024) {
+      DEMI_CHECK_MSG(registrar_.Covers(seg.data(), seg.size()),
+                     "zero-copy TX segment not in DMA-registered memory");
+    }
+    frame.insert(frame.end(), seg.begin(), seg.end());
+  }
+  stats_.tx_frames++;
+  stats_.tx_bytes += frame.size();
+  network_.Deliver(mac_, dst, std::move(frame), clock_.Now());
+  return Status::kOk;
+}
+
+}  // namespace demi

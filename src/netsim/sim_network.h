@@ -1,0 +1,203 @@
+// SimNetwork + SimNic: the simulated kernel-bypass NIC substrate.
+//
+// Substitution for DPDK hardware (DESIGN.md §2): SimNic exposes the poll-mode burst interface a
+// DPDK PMD gives a userspace stack — TxBurst gathers segments into a wire frame, RxBurst returns
+// frames whose simulated delivery time has arrived — and enforces the DMA-registration
+// discipline: zero-copy payload segments must come from memory registered with the device
+// (DPDK's mempool requirement), which the PoolAllocator satisfies via its DmaRegistrar hook.
+//
+// The fabric connects ports by MAC address and models per-link one-way latency, serialization
+// delay (line rate), loss, reordering and duplication. Ports are thread-safe so a client and a
+// server stack can run on different threads, like two hosts on a switch; deterministic tests
+// drive everything single-threaded off a VirtualClock.
+
+#ifndef SRC_NETSIM_SIM_NETWORK_H_
+#define SRC_NETSIM_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/memory/dma.h"
+#include "src/net/address.h"
+#include "src/netsim/pcap_writer.h"
+
+namespace demi {
+
+struct LinkConfig {
+  DurationNs latency = 1 * kMicrosecond;  // one-way propagation + switching
+  uint64_t bandwidth_bps = 100'000'000'000ULL;  // 100 Gbps; 0 = infinite
+  double loss = 0.0;                      // drop probability per frame
+  double reorder = 0.0;                   // probability of extra delay (causes reordering)
+  DurationNs reorder_extra = 20 * kMicrosecond;
+  double duplicate = 0.0;                 // probability a frame is delivered twice
+  size_t mtu = 1500;                      // max frame size the port accepts
+  size_t rx_queue_frames = 4096;          // frames queued at the receiver before taildrop
+  DurationNs per_frame_overhead = 0;      // extra per-frame cost (models virtualization layers)
+};
+
+// A raw frame on the wire.
+using WireFrame = std::vector<uint8_t>;
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(const LinkConfig& link = LinkConfig{}, uint64_t seed = 1);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  class Port;
+
+  // Attaches a new port with the given MAC. The returned Port stays valid for the network's
+  // lifetime. Fails (returns nullptr) if the MAC is taken.
+  Port* CreatePort(MacAddr mac);
+
+  // Injects a frame from `src` toward `dst` (broadcast supported). Called by devices.
+  void Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now);
+
+  const LinkConfig& link() const { return link_; }
+  void set_link(const LinkConfig& link) { link_ = link; }
+
+  struct Stats {
+    uint64_t frames_sent = 0;
+    uint64_t frames_dropped_loss = 0;
+    uint64_t frames_dropped_queue = 0;
+    uint64_t frames_duplicated = 0;
+    uint64_t frames_reordered = 0;
+  };
+  Stats GetStats() const;
+
+  // Earliest pending delivery time across all ports (0 if idle); lets stepped tests advance a
+  // VirtualClock to exactly the next network event.
+  TimeNs NextDeliveryTime() const;
+
+  // Starts capturing every transmitted frame (pre-loss, like a switch SPAN port) to a pcap file
+  // readable by tcpdump/Wireshark. Returns false if the file cannot be opened.
+  bool EnablePcap(const std::string& path);
+  void DisablePcap();
+  uint64_t PcapFramesWritten() const;
+
+ private:
+  struct PendingFrame {
+    TimeNs deliver_at;
+    uint64_t seq;  // FIFO tie-break for equal timestamps
+    WireFrame data;
+    bool operator>(const PendingFrame& o) const {
+      return deliver_at != o.deliver_at ? deliver_at > o.deliver_at : seq > o.seq;
+    }
+  };
+
+  void DeliverToPort(Port* port, WireFrame frame, TimeNs deliver_at);
+
+  mutable std::mutex mu_;
+  LinkConfig link_;
+  Rng rng_;
+  uint64_t next_seq_ = 0;
+  std::map<uint64_t, std::unique_ptr<Port>> ports_;  // keyed by MAC value
+  std::unique_ptr<PcapWriter> pcap_;
+  Stats stats_;
+
+ public:
+  // A receive endpoint. Devices poll it for deliverable frames.
+  class Port {
+   public:
+    explicit Port(MacAddr mac) : mac_(mac) {}
+
+    // Pops up to `out.size()` frames whose delivery time has arrived. Returns count.
+    size_t Poll(std::span<WireFrame> out, TimeNs now);
+
+    // True if a frame could be delivered at `now` (cheap peek).
+    bool HasDeliverable(TimeNs now) const;
+
+    MacAddr mac() const { return mac_; }
+    TimeNs next_tx_free = 0;  // sender-side line-rate tracking, guarded by network mu_
+
+   private:
+    friend class SimNetwork;
+    mutable std::mutex mu_;
+    std::priority_queue<PendingFrame, std::vector<PendingFrame>, std::greater<PendingFrame>>
+        inbound_;
+    MacAddr mac_;
+  };
+};
+
+// Poll-mode NIC bound to one fabric port; the "device" a Catnip instance drives.
+class SimNic {
+ public:
+  SimNic(SimNetwork& network, MacAddr mac, Clock& clock);
+
+  // DPDK rte_rx_burst analogue: fills `out` with up to out.size() frames; returns count.
+  size_t RxBurst(std::span<WireFrame> out);
+
+  // DPDK rte_tx_burst analogue with gather: concatenates `segments` into one wire frame.
+  // Zero-copy-sized segments must lie in DMA-registered memory (checked), mirroring the mempool
+  // requirement; returns kMessageTooLong if the frame exceeds the MTU.
+  Status TxBurst(MacAddr dst, std::span<const std::span<const uint8_t>> segments);
+
+  MacAddr mac() const { return mac_; }
+  size_t mtu() const { return network_.link().mtu; }
+  Clock& clock() { return clock_; }
+
+  // The registrar applications' allocators must be wired to for zero-copy TX.
+  DmaRegistrar& registrar() { return registrar_; }
+  bool IsDmaCapable(const void* ptr, size_t len) const { return registrar_.Covers(ptr, len); }
+
+  struct Stats {
+    uint64_t tx_frames = 0;
+    uint64_t tx_bytes = 0;
+    uint64_t rx_frames = 0;
+    uint64_t rx_bytes = 0;
+    uint64_t tx_oversize = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Records registered regions so the device can verify DMA-capability of TX segments.
+  class RangeRegistrar final : public DmaRegistrar {
+   public:
+    uint64_t RegisterRegion(void* base, size_t len) override {
+      std::lock_guard<std::mutex> lock(mu_);
+      ranges_[reinterpret_cast<uintptr_t>(base)] = len;
+      return next_key_++;
+    }
+    void UnregisterRegion(void* base) override {
+      std::lock_guard<std::mutex> lock(mu_);
+      ranges_.erase(reinterpret_cast<uintptr_t>(base));
+    }
+    bool Covers(const void* ptr, size_t len) const {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto addr = reinterpret_cast<uintptr_t>(ptr);
+      auto it = ranges_.upper_bound(addr);
+      if (it == ranges_.begin()) {
+        return false;
+      }
+      --it;
+      return addr + len <= it->first + it->second;
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::map<uintptr_t, size_t> ranges_;
+    uint64_t next_key_ = 1;
+  };
+
+  SimNetwork& network_;
+  SimNetwork::Port* port_;
+  MacAddr mac_;
+  Clock& clock_;
+  RangeRegistrar registrar_;
+  Stats stats_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NETSIM_SIM_NETWORK_H_

@@ -1,0 +1,74 @@
+// Blocking primitives built on Wakers.
+//
+// Event follows the paper's design: a blocked coroutine stashes a pointer to its readiness flag
+// with the event source; whoever triggers the event (e.g., the fast-path coroutine receiving a
+// packet for that TCP connection) sets the stashed bit, making the coroutine runnable again.
+// All waits are edge-triggered and may wake spuriously; callers always loop over a predicate.
+
+#ifndef SRC_RUNTIME_EVENT_H_
+#define SRC_RUNTIME_EVENT_H_
+
+#include <coroutine>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/runtime/scheduler.h"
+
+namespace demi {
+
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  // Wakes every fiber currently waiting. Cheap when nobody waits (the common fast-path case).
+  void Notify() {
+    for (const Waker& w : waiters_) {
+      w.Wake();
+    }
+    waiters_.clear();
+  }
+
+  bool HasWaiters() const { return !waiters_.empty(); }
+
+  // co_await event.Wait(): blocks the current fiber until the next Notify().
+  struct WaitAwaitable {
+    Event* event;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      Scheduler* s = Scheduler::Current();
+      DEMI_CHECK(s != nullptr);
+      s->SetResumePointForAwait(h);
+      event->waiters_.push_back(s->CurrentWaker());
+    }
+    void await_resume() const noexcept {}
+  };
+  WaitAwaitable Wait() { return WaitAwaitable{this}; }
+
+  // co_await event.WaitWithTimeout(sched, deadline): wakes on Notify() or at `deadline`,
+  // whichever comes first. The caller distinguishes the cases by re-checking its predicate.
+  struct WaitTimeoutAwaitable {
+    Event* event;
+    Scheduler* sched;
+    TimeNs deadline;
+    bool await_ready() const noexcept { return sched->Now() >= deadline; }
+    void await_suspend(std::coroutine_handle<> h) noexcept {
+      sched->SetResumePointForAwait(h);
+      Waker w = sched->CurrentWaker();
+      event->waiters_.push_back(w);
+      sched->AddTimer(deadline, w);
+    }
+    void await_resume() const noexcept {}
+  };
+  WaitTimeoutAwaitable WaitWithTimeout(Scheduler& sched, TimeNs deadline) {
+    return WaitTimeoutAwaitable{this, &sched, deadline};
+  }
+
+ private:
+  std::vector<Waker> waiters_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_RUNTIME_EVENT_H_

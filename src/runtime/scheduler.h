@@ -1,0 +1,182 @@
+// The Demikernel coroutine scheduler (paper §5.4).
+//
+// One scheduler per libOS instance; single-threaded and cooperative. Fibers (spawned Task<void>
+// coroutines) are either *runnable* or *blocked*. Readiness is one bit per fiber kept in 64-bit
+// "waker blocks"; a Waker is a pointer to one such bit. Poll() scans the blocks with tzcnt-based
+// set-bit iteration (Lemire's algorithm) so finding the next runnable coroutine among thousands
+// of mostly-blocked ones costs nanoseconds.
+//
+// Wake-up protocol (Rust-futures-style, as in the paper): before resuming a fiber its ready bit
+// is cleared; the fiber either
+//   - co_awaits Yield{}            -> re-sets its own bit (stays runnable),
+//   - co_awaits an Event/Timer     -> stashes its Waker with the event source and stays blocked
+//                                     until some other coroutine (or a timer) sets the bit.
+// Spurious wakes are permitted, so all blocking sites loop over their predicate.
+
+#ifndef SRC_RUNTIME_SCHEDULER_H_
+#define SRC_RUNTIME_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "src/common/bitops.h"
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/runtime/task.h"
+
+namespace demi {
+
+class Scheduler;
+
+// A handle that can mark one fiber runnable. Stable for the lifetime of the fiber's slot; waking
+// a slot that has since been recycled produces at worst a spurious wake, which blocking code
+// tolerates by re-checking its predicate.
+class Waker {
+ public:
+  Waker() = default;
+  Waker(uint64_t* word, uint64_t mask) : word_(word), mask_(mask) {}
+
+  void Wake() const {
+    if (word_ != nullptr) {
+      *word_ |= mask_;
+    }
+  }
+  bool valid() const { return word_ != nullptr; }
+
+ private:
+  uint64_t* word_ = nullptr;
+  uint64_t mask_ = 0;
+};
+
+class Scheduler {
+ public:
+  using FiberId = uint32_t;
+  static constexpr FiberId kInvalidFiber = UINT32_MAX;
+
+  explicit Scheduler(Clock& clock) : clock_(clock) {}
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Takes ownership of the task's coroutine frame and schedules it runnable.
+  FiberId Spawn(Task<void> task);
+
+  // Destroys every live fiber frame without running it further. LibOS destructors call this
+  // FIRST: fiber frames own resources (buffer references, connection shared_ptrs) that must be
+  // released while the heap and devices those resources point into still exist — member
+  // destruction order alone would tear the allocator down before the base-class scheduler.
+  void Shutdown();
+
+  // Runs every currently-runnable fiber once (plus any fibers that become runnable during the
+  // round, on subsequent rounds of a future Poll). Fires due timers first. Returns the number of
+  // fiber resumptions performed.
+  size_t Poll();
+
+  // Convenience: polls until `pred()` is true or `timeout` elapses (0 = no timeout).
+  // Returns true if the predicate was met.
+  template <typename Pred>
+  bool PollUntil(Pred&& pred, DurationNs timeout = 0) {
+    const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
+    while (!pred()) {
+      Poll();
+      if (deadline != 0 && clock_.Now() >= deadline) {
+        return pred();
+      }
+    }
+    return true;
+  }
+
+  // --- Introspection ---
+  size_t NumLiveFibers() const { return live_fibers_; }
+  size_t NumRunnable() const;
+  Clock& clock() { return clock_; }
+  TimeNs Now() const { return clock_.Now(); }
+
+  // --- Called from inside a running fiber (via thread-local current context) ---
+  static Scheduler* Current();
+  static FiberId CurrentFiber();
+
+  // Waker for the currently running fiber.
+  Waker CurrentWaker();
+  Waker WakerFor(FiberId id);
+
+  // Registers a one-shot timer that wakes `waker` at `deadline`.
+  void AddTimer(TimeNs deadline, Waker waker);
+
+  // Called by blocking awaitables at suspension: records where to resume the current fiber.
+  // `h` is the innermost suspended coroutine of the running fiber.
+  void SetResumePointForAwait(std::coroutine_handle<> h) { SetResumePoint(h); }
+
+  // Earliest pending timer deadline, or 0 if none. Lets stepped-mode tests advance a
+  // VirtualClock exactly to the next event.
+  TimeNs NextTimerDeadline() const;
+
+  // --- Awaitables ---
+
+  // co_await Yield{}: reschedule the current fiber behind other runnable work.
+  struct Yield {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  // co_await scheduler.Sleep(d): block for at least d (measured on the scheduler clock).
+  struct SleepAwaitable {
+    Scheduler* sched;
+    TimeNs deadline;
+    bool await_ready() const noexcept { return sched->clock_.Now() >= deadline; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    void await_resume() const noexcept {}
+  };
+  SleepAwaitable Sleep(DurationNs d) { return SleepAwaitable{this, clock_.Now() + d}; }
+  SleepAwaitable SleepUntil(TimeNs t) { return SleepAwaitable{this, t}; }
+
+ private:
+  friend class Event;
+
+  struct WakerBlock {
+    uint64_t ready = 0;
+  };
+
+  struct Fiber {
+    std::coroutine_handle<internal::Promise<void>> root;  // for done-check and destroy
+    std::coroutine_handle<> resume_point;                 // innermost suspended coroutine
+    bool live = false;
+  };
+
+  // Set by awaitables at suspension: where to resume this fiber next.
+  void SetResumePoint(std::coroutine_handle<> h);
+  void FireDueTimers();
+  void ReleaseFiber(FiberId id);
+
+  Clock& clock_;
+  std::deque<WakerBlock> blocks_;  // deque: Waker pointers must stay stable as fibers spawn
+  std::vector<Fiber> fibers_;
+  std::vector<FiberId> free_slots_;
+  size_t live_fibers_ = 0;
+
+  struct TimerEntry {
+    TimeNs deadline;
+    Waker waker;
+    bool operator>(const TimerEntry& o) const { return deadline > o.deadline; }
+  };
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers_;
+
+  FiberId running_fiber_ = kInvalidFiber;
+};
+
+// RAII guard for the thread-local current-scheduler context (exposed for tests).
+struct SchedulerContextGuard {
+  SchedulerContextGuard(Scheduler* sched, Scheduler::FiberId fiber);
+  ~SchedulerContextGuard();
+  Scheduler* prev_sched;
+  Scheduler::FiberId prev_fiber;
+};
+
+}  // namespace demi
+
+#endif  // SRC_RUNTIME_SCHEDULER_H_

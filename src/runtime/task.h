@@ -1,0 +1,154 @@
+// Task<T>: the lazy coroutine type Demikernel fibers are written in.
+//
+// Mirrors the role of Rust async fns in the paper's libOSes: the compiler turns imperative
+// protocol code (e.g., a TCP handshake) into a state machine; awaiting a sub-task is a symmetric
+// transfer (a function call, not a stack switch), which is what keeps "context switches" at
+// ~a dozen cycles (§5.1, §5.4).
+//
+// Ownership: a Task owns its coroutine frame. Awaiting it keeps it alive in the awaiting frame;
+// spawning it on a Scheduler transfers frame ownership to the scheduler.
+
+#ifndef SRC_RUNTIME_TASK_H_
+#define SRC_RUNTIME_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      // Symmetric transfer back to whoever awaited us; top-level fibers have no continuation
+      // and return control to the scheduler's resume() call.
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept {
+    // The datapath is exception-free by design; an escaping exception is a bug.
+    DEMI_CHECK_MSG(false, "unhandled exception escaped a demi::Task");
+  }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  alignas(T) unsigned char value[sizeof(T)];
+  bool has_value = false;
+
+  Task<T> get_return_object();
+  void return_value(T v) {
+    new (&value) T(std::move(v));
+    has_value = true;
+  }
+  T TakeValue() {
+    DEMI_CHECK(has_value);
+    T* p = std::launder(reinterpret_cast<T*>(&value));
+    T out = std::move(*p);
+    p->~T();
+    has_value = false;
+    return out;
+  }
+  ~Promise() {
+    if (has_value) {
+      std::launder(reinterpret_cast<T*>(&value))->~T();
+    }
+  }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = internal::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_.done(); }
+
+  // Releases frame ownership to the caller (used by Scheduler::Spawn).
+  Handle Release() { return std::exchange(handle_, {}); }
+
+  // Awaiting a Task starts it (lazy) via symmetric transfer and resumes the awaiter on
+  // completion.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      T await_resume() {
+        if constexpr (!std::is_void_v<T>) {
+          return handle.promise().TakeValue();
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+namespace internal {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace internal
+
+}  // namespace demi
+
+#endif  // SRC_RUNTIME_TASK_H_

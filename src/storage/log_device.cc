@@ -1,0 +1,214 @@
+#include "src/storage/log_device.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+namespace {
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) & ~(a - 1); }
+}  // namespace
+
+LogDevice::LogDevice(SimBlockDevice& device, Scheduler& scheduler)
+    : device_(device), scheduler_(scheduler), block_size_(device.config().block_size) {
+  tail_block_cache_.assign(block_size_, 0);
+}
+
+Task<void> LogDevice::AcquireAppendLock() {
+  while (append_locked_) {
+    co_await append_lock_released_.Wait();
+  }
+  append_locked_ = true;
+}
+
+Task<Status> LogDevice::SubmitWriteAndWait(uint64_t lba, std::span<const uint8_t> data) {
+  IoWait wait;
+  const uint64_t cookie = next_cookie_++;
+  for (;;) {
+    const Status s = device_.SubmitWrite(lba, data, cookie);
+    if (s == Status::kOk) {
+      break;
+    }
+    if (s != Status::kQueueFull) {
+      co_return s;
+    }
+    co_await Scheduler::Yield{};  // device queue full: let the poller drain completions
+  }
+  outstanding_++;
+  waiting_[cookie] = &wait;
+  while (!wait.done) {
+    co_await wait.event.Wait();
+  }
+  co_return Status::kOk;
+}
+
+Task<Status> LogDevice::SubmitReadAndWait(uint64_t lba, std::span<uint8_t> out) {
+  IoWait wait;
+  const uint64_t cookie = next_cookie_++;
+  for (;;) {
+    const Status s = device_.SubmitRead(lba, out, cookie);
+    if (s == Status::kOk) {
+      break;
+    }
+    if (s != Status::kQueueFull) {
+      co_return s;
+    }
+    co_await Scheduler::Yield{};
+  }
+  outstanding_++;
+  waiting_[cookie] = &wait;
+  while (!wait.done) {
+    co_await wait.event.Wait();
+  }
+  co_return Status::kOk;
+}
+
+Task<Result<uint64_t>> LogDevice::Append(std::span<const uint8_t> payload) {
+  co_await AcquireAppendLock();
+  // RAII is awkward across co_return paths here; release explicitly on every exit.
+  const uint64_t record_offset = tail_;
+  const uint64_t record_bytes = AlignUp(kHeaderSize + payload.size(), kAlign);
+  const uint64_t new_tail = tail_ + record_bytes;
+  if (new_tail > device_.CapacityBytes()) {
+    append_locked_ = false;
+    append_lock_released_.Notify();
+    co_return Status::kNoBufferSpace;
+  }
+
+  // Compose the affected block range: the (possibly partial) tail block comes from the cache so
+  // previously appended bytes in the same block are preserved.
+  const uint64_t first_block = tail_ / block_size_;
+  const uint64_t last_block = (new_tail - 1) / block_size_;
+  const size_t nblocks = static_cast<size_t>(last_block - first_block + 1);
+  std::vector<uint8_t> io(nblocks * block_size_, 0);
+  std::memcpy(io.data(), tail_block_cache_.data(), block_size_);
+
+  const size_t in_block_off = static_cast<size_t>(tail_ - first_block * block_size_);
+  const uint32_t magic = kRecordMagic;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(io.data() + in_block_off, &magic, sizeof(magic));
+  std::memcpy(io.data() + in_block_off + 4, &len, sizeof(len));
+  std::memcpy(io.data() + in_block_off + kHeaderSize, payload.data(), payload.size());
+
+  const Status s = co_await SubmitWriteAndWait(first_block, io);
+  if (s != Status::kOk) {
+    append_locked_ = false;
+    append_lock_released_.Notify();
+    co_return s;
+  }
+
+  // Refresh the tail-block cache with the new partial last block.
+  std::memcpy(tail_block_cache_.data(), io.data() + (nblocks - 1) * block_size_, block_size_);
+  tail_ = new_tail;
+  append_locked_ = false;
+  append_lock_released_.Notify();
+  co_return record_offset;
+}
+
+Task<Result<LogDevice::ReadResult>> LogDevice::Read(uint64_t cursor) {
+  if (cursor < head_) {
+    co_return Status::kInvalidArgument;
+  }
+  if (cursor >= tail_) {
+    co_return Status::kEndOfFile;
+  }
+  // Read the block holding the header (record headers never straddle blocks only if aligned;
+  // they can straddle, so read two blocks when near a boundary).
+  const uint64_t first_block = cursor / block_size_;
+  const size_t hdr_blocks = (cursor % block_size_) + kHeaderSize > block_size_ ? 2 : 1;
+  std::vector<uint8_t> hdr_io(hdr_blocks * block_size_);
+  Status s = co_await SubmitReadAndWait(first_block, hdr_io);
+  if (s != Status::kOk) {
+    co_return s;
+  }
+  const size_t in_off = static_cast<size_t>(cursor - first_block * block_size_);
+  uint32_t magic = 0;
+  uint32_t len = 0;
+  std::memcpy(&magic, hdr_io.data() + in_off, 4);
+  std::memcpy(&len, hdr_io.data() + in_off + 4, 4);
+  if (magic != kRecordMagic) {
+    co_return Status::kProtocolError;
+  }
+  const uint64_t record_bytes = AlignUp(kHeaderSize + len, kAlign);
+  if (cursor + record_bytes > tail_) {
+    co_return Status::kProtocolError;
+  }
+
+  ReadResult result;
+  result.payload.resize(len);
+  result.next_cursor = cursor + record_bytes;
+
+  const uint64_t payload_start = cursor + kHeaderSize;
+  const uint64_t payload_end = payload_start + len;
+  const uint64_t span_first = payload_start / block_size_;
+  const uint64_t span_last = len == 0 ? span_first : (payload_end - 1) / block_size_;
+  if (span_last < first_block + hdr_blocks) {
+    // Entire payload was already covered by the header read.
+    std::memcpy(result.payload.data(), hdr_io.data() + in_off + kHeaderSize, len);
+    co_return result;
+  }
+  std::vector<uint8_t> io((span_last - span_first + 1) * block_size_);
+  s = co_await SubmitReadAndWait(span_first, io);
+  if (s != Status::kOk) {
+    co_return s;
+  }
+  std::memcpy(result.payload.data(), io.data() + (payload_start - span_first * block_size_), len);
+  co_return result;
+}
+
+Status LogDevice::Truncate(uint64_t offset) {
+  if (offset > tail_) {
+    return Status::kInvalidArgument;
+  }
+  if (offset > head_) {
+    head_ = offset;
+  }
+  return Status::kOk;
+}
+
+void LogDevice::PollDevice() {
+  SimBlockDevice::Completion comps[16];
+  for (;;) {
+    const size_t n = device_.PollCompletions(comps);
+    if (n == 0) {
+      return;
+    }
+    for (size_t i = 0; i < n; i++) {
+      auto it = waiting_.find(comps[i].cookie);
+      if (it != waiting_.end()) {
+        it->second->done = true;
+        it->second->event.Notify();
+        waiting_.erase(it);
+        outstanding_--;
+      }
+    }
+  }
+}
+
+Status LogDevice::Recover() {
+  head_ = 0;
+  uint64_t cursor = 0;
+  const uint64_t cap = device_.CapacityBytes();
+  std::vector<uint8_t> hdr(kHeaderSize);
+  while (cursor + kHeaderSize <= cap) {
+    device_.RawRead(cursor, hdr);
+    uint32_t magic = 0;
+    uint32_t len = 0;
+    std::memcpy(&magic, hdr.data(), 4);
+    std::memcpy(&len, hdr.data() + 4, 4);
+    if (magic != kRecordMagic || cursor + AlignUp(kHeaderSize + len, kAlign) > cap) {
+      break;
+    }
+    cursor += AlignUp(kHeaderSize + len, kAlign);
+  }
+  tail_ = cursor;
+  // Rebuild the tail-block cache from media.
+  const uint64_t tail_block = tail_ / block_size_;
+  if ((tail_block + 1) * block_size_ <= cap) {
+    device_.RawRead(tail_block * block_size_, tail_block_cache_);
+  }
+  return Status::kOk;
+}
+
+}  // namespace demi

@@ -1,0 +1,95 @@
+// LogDevice: the abstract log Cattree maps PDPIX queues onto (paper §6.4).
+//
+// An append-only record log over SimBlockDevice. push appends records; pop reads from a cursor;
+// truncate garbage-collects logically. Appends resolve when the underlying device write
+// completes (durability), which Cattree awaits from an application coroutine while the fast-path
+// coroutine polls device completions — the SPDK interaction pattern the paper describes.
+//
+// On-device format: a sequence of records, each
+//   [magic u32][payload_len u32][payload bytes][zero padding to 8-byte alignment]
+// Recovery scans records from offset 0 until the magic breaks.
+
+#ifndef SRC_STORAGE_LOG_DEVICE_H_
+#define SRC_STORAGE_LOG_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/runtime/event.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/task.h"
+#include "src/storage/sim_block_device.h"
+
+namespace demi {
+
+class LogDevice {
+ public:
+  LogDevice(SimBlockDevice& device, Scheduler& scheduler);
+
+  struct ReadResult {
+    std::vector<uint8_t> payload;
+    uint64_t next_cursor;
+  };
+
+  // Appends one record; resumes when the write is durable on the device. Returns the record's
+  // byte offset. Appends from multiple coroutines are serialized internally.
+  Task<Result<uint64_t>> Append(std::span<const uint8_t> payload);
+
+  // Reads the record at `cursor`; fails with kEndOfFile at the tail, kProtocolError on a
+  // corrupt header, kInvalidArgument below the GC head.
+  Task<Result<ReadResult>> Read(uint64_t cursor);
+
+  // Logical garbage collection: records below `offset` become unreadable.
+  Status Truncate(uint64_t offset);
+
+  // Drains device completions and wakes blocked appenders/readers. Called from the owning
+  // libOS's fast-path coroutine.
+  void PollDevice();
+
+  // True when asynchronous work is pending (drives fast-path polling decisions).
+  bool HasPendingIo() const { return outstanding_ > 0; }
+  TimeNs NextCompletionTime() const { return device_.NextCompletionTime(); }
+
+  uint64_t head() const { return head_; }
+  uint64_t tail() const { return tail_; }
+
+  // Rebuilds head_/tail_ by scanning the device (crash-recovery path, synchronous).
+  Status Recover();
+
+ private:
+  static constexpr uint32_t kRecordMagic = 0x4C4F4752;  // "LOGR"
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kAlign = 8;
+
+  struct IoWait {
+    bool done = false;
+    Event event;
+  };
+
+  // Issues a device op, retrying while the device queue is full, and awaits its completion.
+  Task<Status> SubmitWriteAndWait(uint64_t lba, std::span<const uint8_t> data);
+  Task<Status> SubmitReadAndWait(uint64_t lba, std::span<uint8_t> out);
+  Task<void> AcquireAppendLock();
+
+  SimBlockDevice& device_;
+  Scheduler& scheduler_;
+  const size_t block_size_;
+
+  uint64_t head_ = 0;  // oldest readable byte
+  uint64_t tail_ = 0;  // next append offset
+  std::vector<uint8_t> tail_block_cache_;  // in-memory copy of the partial tail block
+
+  bool append_locked_ = false;
+  Event append_lock_released_;
+
+  uint64_t next_cookie_ = 1;
+  size_t outstanding_ = 0;
+  std::unordered_map<uint64_t, IoWait*> waiting_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_STORAGE_LOG_DEVICE_H_

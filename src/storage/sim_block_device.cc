@@ -1,0 +1,102 @@
+#include "src/storage/sim_block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+SimBlockDevice::SimBlockDevice(const Config& config, Clock& clock)
+    : config_(config), clock_(clock), media_(config.block_size * config.num_blocks, 0) {}
+
+TimeNs SimBlockDevice::CompletionTimeFor(size_t bytes, bool is_read) {
+  const TimeNs now = clock_.Now();
+  DurationNs transfer = 0;
+  if (config_.bandwidth_bytes_per_sec != 0) {
+    transfer = static_cast<DurationNs>(bytes) * kSecond / config_.bandwidth_bytes_per_sec;
+  }
+  // The device processes one transfer at a time (single submission queue model).
+  device_free_at_ = std::max<TimeNs>(device_free_at_, now) + transfer;
+  return device_free_at_ + (is_read ? config_.read_latency : config_.write_latency);
+}
+
+Status SimBlockDevice::SubmitWrite(uint64_t lba, std::span<const uint8_t> data, uint64_t cookie) {
+  if (data.size() % config_.block_size != 0 || data.empty()) {
+    return Status::kInvalidArgument;
+  }
+  const uint64_t nblocks = data.size() / config_.block_size;
+  if (lba + nblocks > config_.num_blocks) {
+    return Status::kInvalidArgument;
+  }
+  if (pending_.size() >= config_.queue_depth) {
+    stats_.queue_full_rejections++;
+    return Status::kQueueFull;
+  }
+  Pending p;
+  p.complete_at = CompletionTimeFor(data.size(), /*is_read=*/false);
+  p.seq = next_seq_++;
+  p.cookie = cookie;
+  p.is_read = false;
+  p.lba = lba;
+  p.write_data.assign(data.begin(), data.end());
+  pending_.push(std::move(p));
+  stats_.writes++;
+  stats_.bytes_written += data.size();
+  return Status::kOk;
+}
+
+Status SimBlockDevice::SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t cookie) {
+  if (out.size() % config_.block_size != 0 || out.empty()) {
+    return Status::kInvalidArgument;
+  }
+  const uint64_t nblocks = out.size() / config_.block_size;
+  if (lba + nblocks > config_.num_blocks) {
+    return Status::kInvalidArgument;
+  }
+  if (pending_.size() >= config_.queue_depth) {
+    stats_.queue_full_rejections++;
+    return Status::kQueueFull;
+  }
+  Pending p;
+  p.complete_at = CompletionTimeFor(out.size(), /*is_read=*/true);
+  p.seq = next_seq_++;
+  p.cookie = cookie;
+  p.is_read = true;
+  p.lba = lba;
+  p.read_target = out;
+  pending_.push(std::move(p));
+  stats_.reads++;
+  stats_.bytes_read += out.size();
+  return Status::kOk;
+}
+
+size_t SimBlockDevice::PollCompletions(std::span<Completion> out) {
+  const TimeNs now = clock_.Now();
+  size_t n = 0;
+  while (n < out.size() && !pending_.empty() && pending_.top().complete_at <= now) {
+    // priority_queue::top is const; we move out then pop, which is safe because nothing reads
+    // the moved-from element before the pop.
+    Pending p = std::move(const_cast<Pending&>(pending_.top()));
+    pending_.pop();
+    const size_t offset = p.lba * config_.block_size;
+    if (p.is_read) {
+      std::memcpy(p.read_target.data(), media_.data() + offset, p.read_target.size());
+    } else {
+      std::memcpy(media_.data() + offset, p.write_data.data(), p.write_data.size());
+    }
+    out[n++] = Completion{p.cookie, Status::kOk};
+  }
+  return n;
+}
+
+TimeNs SimBlockDevice::NextCompletionTime() const {
+  return pending_.empty() ? 0 : pending_.top().complete_at;
+}
+
+void SimBlockDevice::RawRead(uint64_t byte_offset, std::span<uint8_t> out) const {
+  DEMI_CHECK(byte_offset + out.size() <= media_.size());
+  std::memcpy(out.data(), media_.data() + byte_offset, out.size());
+}
+
+}  // namespace demi

@@ -1,0 +1,95 @@
+// SimBlockDevice: the simulated NVMe/SPDK substrate.
+//
+// Substitution for an Intel Optane SSD driven through SPDK (DESIGN.md §2): an asynchronous,
+// block-addressed submit/poll interface with a configurable latency model (default tuned to the
+// paper's 3D-XPoint device: ~10 µs writes). Cattree drives this exactly as it would drive SPDK:
+// submit, yield, poll completions from the fast-path coroutine.
+
+#ifndef SRC_STORAGE_SIM_BLOCK_DEVICE_H_
+#define SRC_STORAGE_SIM_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace demi {
+
+class SimBlockDevice {
+ public:
+  struct Config {
+    size_t block_size = 4096;
+    size_t num_blocks = 16384;  // 64 MB
+    DurationNs read_latency = 7 * kMicrosecond;
+    DurationNs write_latency = 10 * kMicrosecond;
+    uint64_t bandwidth_bytes_per_sec = 2'000'000'000ULL;  // 2 GB/s; 0 = infinite
+    size_t queue_depth = 64;
+  };
+
+  struct Completion {
+    uint64_t cookie;
+    Status status;
+  };
+
+  SimBlockDevice(const Config& config, Clock& clock);
+
+  // Submits an asynchronous write of `data` (must be a whole number of blocks) at `lba`.
+  // The data is captured at submit time (models DMA from the submission ring).
+  Status SubmitWrite(uint64_t lba, std::span<const uint8_t> data, uint64_t cookie);
+
+  // Submits an asynchronous read of `out.size()` bytes (whole blocks) at `lba`; `out` must stay
+  // valid until the completion is polled. Data lands in `out` when the completion is delivered.
+  Status SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t cookie);
+
+  // Polls for finished operations; returns the number written to `out`.
+  size_t PollCompletions(std::span<Completion> out);
+
+  // Earliest pending completion time (0 if idle) for stepped VirtualClock tests.
+  TimeNs NextCompletionTime() const;
+
+  const Config& config() const { return config_; }
+  size_t CapacityBytes() const { return config_.block_size * config_.num_blocks; }
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+    uint64_t queue_full_rejections = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Direct synchronous access for tests/recovery tooling (not a datapath API).
+  void RawRead(uint64_t byte_offset, std::span<uint8_t> out) const;
+
+ private:
+  struct Pending {
+    TimeNs complete_at;
+    uint64_t seq;
+    uint64_t cookie;
+    bool is_read;
+    uint64_t lba;
+    std::vector<uint8_t> write_data;  // writes: captured data
+    std::span<uint8_t> read_target;   // reads: caller's destination
+    bool operator>(const Pending& o) const {
+      return complete_at != o.complete_at ? complete_at > o.complete_at : seq > o.seq;
+    }
+  };
+
+  TimeNs CompletionTimeFor(size_t bytes, bool is_read);
+
+  Config config_;
+  Clock& clock_;
+  std::vector<uint8_t> media_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>> pending_;
+  uint64_t next_seq_ = 0;
+  TimeNs device_free_at_ = 0;
+  Stats stats_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_STORAGE_SIM_BLOCK_DEVICE_H_

@@ -1,0 +1,386 @@
+// Unit and property tests for the DMA-capable heap: pool allocator, UAF protection, Buffer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/memory/buffer.h"
+#include "src/memory/dma.h"
+#include "src/memory/pool_allocator.h"
+
+namespace demi {
+namespace {
+
+// Registrar that records registrations so tests can observe DMA behaviour.
+class RecordingRegistrar final : public DmaRegistrar {
+ public:
+  uint64_t RegisterRegion(void* base, size_t len) override {
+    registered_.insert(base);
+    total_registrations_++;
+    return next_key_++;
+  }
+  void UnregisterRegion(void* base) override { registered_.erase(base); }
+
+  bool IsRegistered(void* base) const { return registered_.count(base) > 0; }
+  size_t num_registered() const { return registered_.size(); }
+  size_t total_registrations() const { return total_registrations_; }
+
+ private:
+  std::set<void*> registered_;
+  uint64_t next_key_ = 100;
+  size_t total_registrations_ = 0;
+};
+
+TEST(PoolAllocatorTest, AllocFreeBasic) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(alloc.Owns(p));
+  EXPECT_EQ(alloc.ObjectSize(p), 64u);
+  std::memset(p, 0xAB, 64);
+  alloc.Free(p);
+  EXPECT_EQ(alloc.GetStats().live_objects, 0u);
+}
+
+TEST(PoolAllocatorTest, SizeClassRounding) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(17);
+  EXPECT_EQ(alloc.ObjectSize(p), 32u);
+  alloc.Free(p);
+  void* q = alloc.Alloc(1);
+  EXPECT_EQ(alloc.ObjectSize(q), 16u);
+  alloc.Free(q);
+}
+
+TEST(PoolAllocatorTest, LifoReuse) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(128);
+  alloc.Free(p);
+  void* q = alloc.Alloc(128);
+  EXPECT_EQ(p, q);  // Hoard-style LIFO free list
+  alloc.Free(q);
+}
+
+TEST(PoolAllocatorTest, DistinctObjectsDoNotAlias) {
+  PoolAllocator alloc;
+  std::set<void*> seen;
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1000; i++) {
+    void* p = alloc.Alloc(256);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate allocation";
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) {
+    alloc.Free(p);
+  }
+}
+
+TEST(PoolAllocatorTest, SpillsToNewSuperblockWhenFull) {
+  PoolAllocator alloc;
+  // 64 kB objects: only a few fit per 256 kB superblock.
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 16; i++) {
+    ptrs.push_back(alloc.Alloc(64 * 1024));
+  }
+  EXPECT_GT(alloc.GetStats().superblocks, 1u);
+  for (void* p : ptrs) {
+    alloc.Free(p);
+  }
+}
+
+TEST(PoolAllocatorTest, HugeAllocationsWork) {
+  PoolAllocator alloc;
+  const size_t huge = 1 << 20;  // 1 MB, beyond kMaxPooledObject
+  void* p = alloc.Alloc(huge);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(alloc.Owns(p));
+  std::memset(p, 0x5A, huge);
+  alloc.Free(p);
+}
+
+TEST(PoolAllocatorTest, HugeAllocationWithOsRefDefersFree) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(1 << 20);
+  alloc.IncRef(p);
+  alloc.Free(p);  // deferred: libOS still holds it
+  // Writing must still be safe (memory not released).
+  std::memset(p, 1, 16);
+  alloc.DecRef(p);  // now truly released
+}
+
+TEST(UafProtectionTest, FreeDeferredWhileLibOsHoldsRef) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(2048);
+  alloc.IncRef(p);
+  alloc.Free(p);
+  EXPECT_EQ(alloc.GetStats().deferred_frees, 1u);
+  // The object must NOT be recycled yet: a new allocation can't return it.
+  void* q = alloc.Alloc(2048);
+  EXPECT_NE(p, q);
+  alloc.DecRef(p);
+  EXPECT_EQ(alloc.GetStats().deferred_frees, 0u);
+  // Now it is recyclable (LIFO: comes right back).
+  void* r = alloc.Alloc(2048);
+  EXPECT_EQ(r, p);
+  alloc.Free(q);
+  alloc.Free(r);
+}
+
+TEST(UafProtectionTest, MultipleLibOsRefsUseOverflowTable) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(4096);
+  alloc.IncRef(p);  // bitmap bit
+  alloc.IncRef(p);  // overflow
+  alloc.IncRef(p);  // overflow
+  EXPECT_EQ(alloc.GetStats().overflow_refs, 2u);
+  alloc.Free(p);
+  alloc.DecRef(p);
+  alloc.DecRef(p);
+  EXPECT_EQ(alloc.GetStats().deferred_frees, 1u);
+  alloc.DecRef(p);  // last ref: recycled
+  EXPECT_EQ(alloc.GetStats().deferred_frees, 0u);
+  EXPECT_EQ(alloc.GetStats().overflow_refs, 0u);
+}
+
+TEST(UafProtectionTest, RefWithoutFreeKeepsObjectAlive) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(1024);
+  alloc.IncRef(p);
+  alloc.DecRef(p);
+  // App still owns it; must not have been recycled.
+  void* q = alloc.Alloc(1024);
+  EXPECT_NE(p, q);
+  alloc.Free(p);
+  alloc.Free(q);
+}
+
+TEST(DmaTest, LazyRegistrationOnFirstRkey) {
+  RecordingRegistrar reg;
+  PoolAllocator alloc(reg);
+  void* p = alloc.Alloc(2048);
+  EXPECT_EQ(reg.total_registrations(), 0u);
+  uint64_t key1 = alloc.GetRkey(p);
+  EXPECT_EQ(reg.total_registrations(), 1u);
+  // Same superblock: cached, no re-registration (the paper's get_rkey design).
+  void* q = alloc.Alloc(2048);
+  uint64_t key2 = alloc.GetRkey(q);
+  EXPECT_EQ(key1, key2);
+  EXPECT_EQ(reg.total_registrations(), 1u);
+  alloc.Free(p);
+  alloc.Free(q);
+}
+
+TEST(DmaTest, UnregisterOnRelease) {
+  RecordingRegistrar reg;
+  {
+    PoolAllocator alloc(reg);
+    void* p = alloc.Alloc(2048);
+    alloc.GetRkey(p);
+    EXPECT_EQ(reg.num_registered(), 1u);
+    alloc.Free(p);
+  }
+  EXPECT_EQ(reg.num_registered(), 0u);
+}
+
+TEST(PoolAllocatorTest, ReleaseEmptySuperblocksReturnsMemory) {
+  PoolAllocator alloc;
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; i++) {
+    ptrs.push_back(alloc.Alloc(512));
+  }
+  for (void* p : ptrs) {
+    alloc.Free(p);
+  }
+  EXPECT_GT(alloc.GetStats().superblocks, 0u);
+  alloc.ReleaseEmptySuperblocks();
+  EXPECT_EQ(alloc.GetStats().superblocks, 0u);
+  EXPECT_EQ(alloc.GetStats().bytes_reserved, 0u);
+}
+
+// Property test: random alloc/free/ref sequences never corrupt free lists or alias objects.
+TEST(PoolAllocatorPropertyTest, RandomizedWorkloadMaintainsInvariants) {
+  PoolAllocator alloc;
+  Rng rng(2024);
+  struct Live {
+    void* ptr;
+    size_t size;
+    uint8_t fill;
+    int os_refs;
+    bool app_owned;
+  };
+  std::vector<Live> live;
+  for (int step = 0; step < 20'000; step++) {
+    const uint64_t action = rng.NextBounded(100);
+    if (action < 45 || live.empty()) {
+      const size_t size = 1ull << (4 + rng.NextBounded(8));  // 16B .. 2 kB
+      void* p = alloc.Alloc(size);
+      ASSERT_NE(p, nullptr);
+      const uint8_t fill = static_cast<uint8_t>(rng.Next());
+      std::memset(p, fill, size);
+      live.push_back({p, size, fill, 0, true});
+    } else {
+      const size_t i = rng.NextBounded(live.size());
+      Live& obj = live[i];
+      // Verify the fill is intact: no other object overwrote us.
+      for (size_t b = 0; b < obj.size; b += 97) {
+        ASSERT_EQ(static_cast<uint8_t*>(obj.ptr)[b], obj.fill) << "heap corruption";
+      }
+      if (action < 65 && obj.app_owned) {
+        alloc.Free(obj.ptr);
+        obj.app_owned = false;
+      } else if (action < 80) {
+        alloc.IncRef(obj.ptr);
+        obj.os_refs++;
+      } else if (obj.os_refs > 0) {
+        alloc.DecRef(obj.ptr);
+        obj.os_refs--;
+      }
+      if (!obj.app_owned && obj.os_refs == 0) {
+        live.erase(live.begin() + static_cast<long>(i));
+      }
+    }
+  }
+  // Drain.
+  for (Live& obj : live) {
+    while (obj.os_refs-- > 0) {
+      alloc.DecRef(obj.ptr);
+    }
+    if (obj.app_owned) {
+      alloc.Free(obj.ptr);
+    }
+  }
+  EXPECT_EQ(alloc.GetStats().live_objects, 0u);
+  EXPECT_EQ(alloc.GetStats().deferred_frees, 0u);
+}
+
+TEST(BufferTest, AllocateAndRelease) {
+  PoolAllocator alloc;
+  {
+    Buffer b = Buffer::Allocate(alloc, 2048);
+    EXPECT_EQ(b.size(), 2048u);
+    std::memset(b.mutable_data(), 7, b.size());
+  }
+  EXPECT_EQ(alloc.GetStats().live_objects, 0u);
+}
+
+TEST(BufferTest, FromAppZeroCopyAboveThreshold) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(4096);
+  std::memset(p, 3, 4096);
+  {
+    Buffer b = Buffer::FromApp(alloc, p, 4096);
+    EXPECT_EQ(b.data(), p);  // zero-copy: same memory
+    // App frees while libOS holds the buffer: UAF protection defers.
+    alloc.Free(p);
+    EXPECT_EQ(alloc.GetStats().deferred_frees, 1u);
+    EXPECT_EQ(b.data()[100], 3);
+  }
+  EXPECT_EQ(alloc.GetStats().deferred_frees, 0u);
+}
+
+TEST(BufferTest, FromAppCopiesBelowThreshold) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(64);
+  std::memset(p, 9, 64);
+  Buffer b = Buffer::FromApp(alloc, p, 64);
+  EXPECT_NE(static_cast<const void*>(b.data()), p);  // copied
+  EXPECT_EQ(b.data()[10], 9);
+  alloc.Free(p);  // immediately reusable: libOS took a copy
+}
+
+TEST(BufferTest, FromAppCopiesForeignMemory) {
+  PoolAllocator alloc;
+  char stack_buf[32] = "hello";
+  Buffer b = Buffer::FromApp(alloc, stack_buf, sizeof(stack_buf));
+  EXPECT_EQ(std::memcmp(b.data(), "hello", 5), 0);
+}
+
+TEST(BufferTest, SliceSharesMemory) {
+  PoolAllocator alloc;
+  Buffer b = Buffer::Allocate(alloc, 2048);
+  std::memset(b.mutable_data(), 0, 2048);
+  b.mutable_data()[100] = 42;
+  Buffer s = b.Slice(100, 50);
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(s.data()[0], 42);
+  EXPECT_EQ(s.data(), b.data() + 100);
+}
+
+TEST(BufferTest, SliceKeepsObjectAliveAfterOriginalDies) {
+  PoolAllocator alloc;
+  Buffer s;
+  {
+    Buffer b = Buffer::Allocate(alloc, 2048);
+    b.mutable_data()[5] = 11;
+    s = b.Slice(0, 10);
+  }
+  EXPECT_EQ(s.data()[5], 11);  // slice's reference kept it alive
+  s = Buffer();
+  EXPECT_EQ(alloc.GetStats().live_objects, 0u);
+  EXPECT_EQ(alloc.GetStats().deferred_frees, 0u);
+}
+
+TEST(BufferTest, TrimAdjustsView) {
+  PoolAllocator alloc;
+  Buffer b = Buffer::Allocate(alloc, 100);
+  for (int i = 0; i < 100; i++) {
+    b.mutable_data()[i] = static_cast<uint8_t>(i);
+  }
+  b.TrimFront(10);
+  EXPECT_EQ(b.size(), 90u);
+  EXPECT_EQ(b.data()[0], 10);
+  b.TrimTo(5);
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(BufferTest, ReleaseToAppTransfersOwnership) {
+  PoolAllocator alloc;
+  Buffer b = Buffer::Allocate(alloc, 2048);
+  std::memset(b.mutable_data(), 0xCD, 2048);
+  void* p = b.ReleaseToApp();
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(b.valid());
+  // App now owns p: data intact, and app must free it.
+  EXPECT_EQ(static_cast<uint8_t*>(p)[7], 0xCD);
+  alloc.Free(p);
+  EXPECT_EQ(alloc.GetStats().live_objects, 0u);
+}
+
+TEST(BufferTest, MoveTransfersWithoutRefchurn) {
+  PoolAllocator alloc;
+  Buffer a = Buffer::Allocate(alloc, 2048);
+  const uint8_t* data = a.data();
+  Buffer b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.data(), data);
+}
+
+// Parameterized sweep: Buffer round-trips across the zero-copy threshold boundary.
+class BufferSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BufferSizeSweep, FromAppRoundTripPreservesData) {
+  PoolAllocator alloc;
+  const size_t size = GetParam();
+  void* p = alloc.Alloc(size);
+  for (size_t i = 0; i < size; i++) {
+    static_cast<uint8_t*>(p)[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  Buffer b = Buffer::FromApp(alloc, p, size);
+  for (size_t i = 0; i < size; i += 13) {
+    ASSERT_EQ(b.data()[i], static_cast<uint8_t>(i * 31 + 7));
+  }
+  const bool zero_copy = size >= PoolAllocator::kZeroCopyThreshold;
+  EXPECT_EQ(static_cast<const void*>(b.data()) == p, zero_copy);
+  alloc.Free(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BufferSizeSweep,
+                         ::testing::Values(1, 16, 100, 512, 1023, 1024, 1025, 4096, 65536,
+                                           1 << 20));
+
+}  // namespace
+}  // namespace demi
