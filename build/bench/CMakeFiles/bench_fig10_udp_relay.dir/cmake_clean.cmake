@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_udp_relay.dir/bench_fig10_udp_relay.cc.o"
+  "CMakeFiles/bench_fig10_udp_relay.dir/bench_fig10_udp_relay.cc.o.d"
+  "bench_fig10_udp_relay"
+  "bench_fig10_udp_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_udp_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

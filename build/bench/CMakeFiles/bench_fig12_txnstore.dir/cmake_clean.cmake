@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_txnstore.dir/bench_fig12_txnstore.cc.o"
+  "CMakeFiles/bench_fig12_txnstore.dir/bench_fig12_txnstore.cc.o.d"
+  "bench_fig12_txnstore"
+  "bench_fig12_txnstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_txnstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_echo_logging.dir/bench_fig7_echo_logging.cc.o"
+  "CMakeFiles/bench_fig7_echo_logging.dir/bench_fig7_echo_logging.cc.o.d"
+  "bench_fig7_echo_logging"
+  "bench_fig7_echo_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_echo_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_netpipe.dir/bench_fig8_netpipe.cc.o"
+  "CMakeFiles/bench_fig8_netpipe.dir/bench_fig8_netpipe.cc.o.d"
+  "bench_fig8_netpipe"
+  "bench_fig8_netpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_netpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tcp.dir/bench_micro_tcp.cc.o"
+  "CMakeFiles/bench_micro_tcp.dir/bench_micro_tcp.cc.o.d"
+  "bench_micro_tcp"
+  "bench_micro_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_relay_demo.dir/udp_relay_demo.cpp.o"
+  "CMakeFiles/udp_relay_demo.dir/udp_relay_demo.cpp.o.d"
+  "udp_relay_demo"
+  "udp_relay_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_relay_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/echo.cc" "src/CMakeFiles/demi.dir/apps/echo.cc.o" "gcc" "src/CMakeFiles/demi.dir/apps/echo.cc.o.d"
+  "/root/repo/src/apps/minikv.cc" "src/CMakeFiles/demi.dir/apps/minikv.cc.o" "gcc" "src/CMakeFiles/demi.dir/apps/minikv.cc.o.d"
+  "/root/repo/src/apps/minirpc.cc" "src/CMakeFiles/demi.dir/apps/minirpc.cc.o" "gcc" "src/CMakeFiles/demi.dir/apps/minirpc.cc.o.d"
+  "/root/repo/src/apps/txnstore.cc" "src/CMakeFiles/demi.dir/apps/txnstore.cc.o" "gcc" "src/CMakeFiles/demi.dir/apps/txnstore.cc.o.d"
+  "/root/repo/src/apps/udp_relay.cc" "src/CMakeFiles/demi.dir/apps/udp_relay.cc.o" "gcc" "src/CMakeFiles/demi.dir/apps/udp_relay.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/demi.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/demi.dir/common/logging.cc.o.d"
+  "/root/repo/src/core/libos.cc" "src/CMakeFiles/demi.dir/core/libos.cc.o" "gcc" "src/CMakeFiles/demi.dir/core/libos.cc.o.d"
+  "/root/repo/src/core/pdpix_c.cc" "src/CMakeFiles/demi.dir/core/pdpix_c.cc.o" "gcc" "src/CMakeFiles/demi.dir/core/pdpix_c.cc.o.d"
+  "/root/repo/src/liboses/catmint.cc" "src/CMakeFiles/demi.dir/liboses/catmint.cc.o" "gcc" "src/CMakeFiles/demi.dir/liboses/catmint.cc.o.d"
+  "/root/repo/src/liboses/catnap.cc" "src/CMakeFiles/demi.dir/liboses/catnap.cc.o" "gcc" "src/CMakeFiles/demi.dir/liboses/catnap.cc.o.d"
+  "/root/repo/src/liboses/catnip.cc" "src/CMakeFiles/demi.dir/liboses/catnip.cc.o" "gcc" "src/CMakeFiles/demi.dir/liboses/catnip.cc.o.d"
+  "/root/repo/src/liboses/cattree.cc" "src/CMakeFiles/demi.dir/liboses/cattree.cc.o" "gcc" "src/CMakeFiles/demi.dir/liboses/cattree.cc.o.d"
+  "/root/repo/src/memory/pool_allocator.cc" "src/CMakeFiles/demi.dir/memory/pool_allocator.cc.o" "gcc" "src/CMakeFiles/demi.dir/memory/pool_allocator.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/CMakeFiles/demi.dir/net/ethernet.cc.o" "gcc" "src/CMakeFiles/demi.dir/net/ethernet.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/CMakeFiles/demi.dir/net/headers.cc.o" "gcc" "src/CMakeFiles/demi.dir/net/headers.cc.o.d"
+  "/root/repo/src/net/tcp/congestion.cc" "src/CMakeFiles/demi.dir/net/tcp/congestion.cc.o" "gcc" "src/CMakeFiles/demi.dir/net/tcp/congestion.cc.o.d"
+  "/root/repo/src/net/tcp/tcp.cc" "src/CMakeFiles/demi.dir/net/tcp/tcp.cc.o" "gcc" "src/CMakeFiles/demi.dir/net/tcp/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/CMakeFiles/demi.dir/net/udp.cc.o" "gcc" "src/CMakeFiles/demi.dir/net/udp.cc.o.d"
+  "/root/repo/src/netsim/pcap_writer.cc" "src/CMakeFiles/demi.dir/netsim/pcap_writer.cc.o" "gcc" "src/CMakeFiles/demi.dir/netsim/pcap_writer.cc.o.d"
+  "/root/repo/src/netsim/sim_network.cc" "src/CMakeFiles/demi.dir/netsim/sim_network.cc.o" "gcc" "src/CMakeFiles/demi.dir/netsim/sim_network.cc.o.d"
+  "/root/repo/src/netsim/sim_rdma.cc" "src/CMakeFiles/demi.dir/netsim/sim_rdma.cc.o" "gcc" "src/CMakeFiles/demi.dir/netsim/sim_rdma.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/CMakeFiles/demi.dir/runtime/scheduler.cc.o" "gcc" "src/CMakeFiles/demi.dir/runtime/scheduler.cc.o.d"
+  "/root/repo/src/storage/log_device.cc" "src/CMakeFiles/demi.dir/storage/log_device.cc.o" "gcc" "src/CMakeFiles/demi.dir/storage/log_device.cc.o.d"
+  "/root/repo/src/storage/sim_block_device.cc" "src/CMakeFiles/demi.dir/storage/sim_block_device.cc.o" "gcc" "src/CMakeFiles/demi.dir/storage/sim_block_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catmint_test.dir/catmint_test.cc.o"
+  "CMakeFiles/catmint_test.dir/catmint_test.cc.o.d"
+  "catmint_test"
+  "catmint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catmint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdpix_c_test.dir/pdpix_c_test.cc.o"
+  "CMakeFiles/pdpix_c_test.dir/pdpix_c_test.cc.o.d"
+  "pdpix_c_test"
+  "pdpix_c_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdpix_c_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_advanced_test.dir/tcp_advanced_test.cc.o"
+  "CMakeFiles/tcp_advanced_test.dir/tcp_advanced_test.cc.o.d"
+  "tcp_advanced_test"
+  "tcp_advanced_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
