@@ -100,6 +100,27 @@ WindowedEchoResult DuetWindowedEcho(const EchoSetup& setup, size_t message_size,
   return result;
 }
 
+void DumpMetrics(const char* label, LibOS& os) {
+  std::printf("\n--- metrics: %s ---\n", label);
+  const std::string text = os.metrics().ExportText();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+size_t ExportTraceJson(LibOS& os, const std::string& path) {
+  Tracer& tracer = os.tracer();
+  if (tracer.size() == 0) {
+    return 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return 0;
+  }
+  const std::string json = tracer.ExportChromeJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return tracer.size();
+}
+
 void PrintHeader(const char* title, const char* paper_note, bool latency_columns) {
   std::printf("\n=== %s ===\n", title);
   if (paper_note != nullptr && paper_note[0] != '\0') {

@@ -119,6 +119,16 @@ struct WindowedEchoResult {
 WindowedEchoResult DuetWindowedEcho(const EchoSetup& setup, size_t message_size, size_t window,
                                     uint64_t ops);
 
+// --- Observability dumps ---
+
+// Prints a libOS's full metrics registry (text export) under a labelled banner.
+void DumpMetrics(const char* label, LibOS& os);
+
+// Writes the libOS's tracer contents as Chrome trace_event JSON to `path` and returns the
+// number of events written (0 if the tracer is empty or the file can't be opened). Load the
+// output at chrome://tracing or ui.perfetto.dev.
+size_t ExportTraceJson(LibOS& os, const std::string& path);
+
 // --- Table formatting ---
 
 void PrintHeader(const char* title, const char* paper_note, bool latency_columns = true);

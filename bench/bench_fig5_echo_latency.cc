@@ -175,9 +175,14 @@ void Main() {
                       kMsgSize, kIters);
     PrintLatencyRow("Catnip UDP (DPDK libOS)", r.rtt, "userspace UDP stack");
   }
+  // Observability demo: record a scheduler/packet trace on the TCP client for its run, then
+  // dump its metrics registry after the table (docs/OBSERVABILITY.md walks through reading
+  // both).
+  CatnipPair tcp_pair;
+  tcp_pair.client->tracer().Enable(4096);
   {
-    CatnipPair pair;
-    auto r = DuetEcho({*pair.server, *pair.client, {kServerIp, 5203}, SocketType::kStream},
+    auto r = DuetEcho({*tcp_pair.server, *tcp_pair.client, {kServerIp, 5203},
+                       SocketType::kStream},
                       kMsgSize, kIters);
     const double per_io_ns = (r.rtt.Mean() - raw_nic.Mean()) / 4.0;
     char note[96];
@@ -188,6 +193,13 @@ void Main() {
   PrintLatencyRow("MiniRpc (eRPC-like)", MiniRpcRtt(), "specialized, not portable");
   PrintLatencyRow("raw SimNic (testpmd-like)", raw_nic, "no stack, L2 forward");
   PrintLatencyRow("raw SimRdma (perftest-like)", raw_rdma, "device send/recv only");
+
+  DumpMetrics("Catnip TCP client after Fig.5 run", *tcp_pair.client);
+  const char* trace_path = "fig5_catnip_tcp_trace.json";
+  const size_t events = ExportTraceJson(*tcp_pair.client, trace_path);
+  std::printf("\ntrace: %zu events held (%llu recorded, %llu dropped by ring) -> %s\n", events,
+              static_cast<unsigned long long>(tcp_pair.client->tracer().total_recorded()),
+              static_cast<unsigned long long>(tcp_pair.client->tracer().dropped()), trace_path);
 }
 
 }  // namespace bench

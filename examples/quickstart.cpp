@@ -2,8 +2,9 @@
 // process on the simulated fabric.
 //
 // Walks the whole PDPIX surface: socket/bind/listen/accept/connect, push/pop, qtokens and
-// wait, the DMA-capable heap, and zero-copy buffer ownership. Build & run:
-//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+// wait, the DMA-capable heap, and zero-copy buffer ownership (reference: docs/API.md).
+// Build & run (add -G Ninja if you prefer that generator):
+//   cmake -B build -S . && cmake --build build -j && ./build/examples/quickstart
 
 #include <cstdio>
 #include <cstring>

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Documentation consistency checker, run as a CTest case (see top-level CMakeLists.txt).
+#
+# 1. Every intra-repo link in the repo's markdown files must resolve to an existing file or
+#    directory (external http(s)/mailto links and pure #anchors are skipped).
+# 2. Every metric name documented in docs/OBSERVABILITY.md must appear as a literal in src/ —
+#    so the reference can never drift from what the registry actually exports.
+#
+# Usage: check_docs.sh [repo_root]   (defaults to the script's parent directory)
+
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 1
+
+fail=0
+
+# --- 1. intra-repo markdown links ---
+
+# Markdown files under version-controlled paths (exclude build trees and third-party dirs).
+mapfile -t md_files < <(find . -name '*.md' \
+  -not -path './build/*' -not -path './build-*/*' -not -path '*/.git/*' | sort)
+
+for md in "${md_files[@]}"; do
+  dir=$(dirname "$md")
+  # Extract [text](target) link targets; tolerate several links per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;  # external or same-file anchor
+    esac
+    path="${target%%#*}"      # strip fragment
+    [ -z "$path" ] && continue
+    if [ "${path#/}" != "$path" ]; then
+      resolved=".$path"       # absolute-style link: resolve from repo root
+    else
+      resolved="$dir/$path"   # relative link: resolve from the file's directory
+    fi
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN LINK: $md -> $target (resolved: $resolved)"
+      fail=1
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)[:space:]]+\)' "$md" | sed -E 's/.*\(([^)]+)\)/\1/')
+done
+
+# --- 2. metric names in docs/OBSERVABILITY.md exist in src/ ---
+
+obs_doc="docs/OBSERVABILITY.md"
+metrics=()
+if [ ! -f "$obs_doc" ]; then
+  echo "MISSING: $obs_doc"
+  fail=1
+else
+  # Metric names are the first backticked cell of each reference-table row: | `comp.metric` |
+  mapfile -t metrics < <(grep -oE '^\| `[a-z0-9_]+\.[a-z0-9_]+`' "$obs_doc" \
+    | sed -E 's/^\| `([^`]+)`/\1/' | sort -u)
+  if [ "${#metrics[@]}" -lt 12 ]; then
+    echo "SUSPICIOUS: only ${#metrics[@]} metric names found in $obs_doc (expected >= 12)"
+    fail=1
+  fi
+  for m in "${metrics[@]}"; do
+    if ! grep -rqF "\"$m\"" src/; then
+      echo "UNDOCUMENTED DRIFT: metric \`$m\` in $obs_doc not found as a literal in src/"
+      fail=1
+    fi
+  done
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK (${#md_files[@]} markdown files, ${#metrics[@]} documented metrics)"

@@ -2,17 +2,89 @@
 
 namespace demi {
 
+void LibOS::InitObservability() {
+  sched_.SetTracer(&tracer_);
+  tokens_.SetTracer(&tracer_);
+
+  const Scheduler::Stats& ss = sched_.stats();
+  metrics_.RegisterCallback("sched.polls", "sched", "polls", "Scheduler Poll() rounds",
+                            [&ss] { return ss.polls; });
+  metrics_.RegisterCallback("sched.resumptions", "sched", "resumes",
+                            "Fiber resumptions across all polls", [&ss] { return ss.resumptions; });
+  metrics_.RegisterCallback("sched.fibers_spawned", "sched", "fibers", "Fibers spawned",
+                            [&ss] { return ss.fibers_spawned; });
+  metrics_.RegisterCallback("sched.fibers_completed", "sched", "fibers",
+                            "Fibers run to completion", [&ss] { return ss.fibers_completed; });
+  metrics_.RegisterCallback("sched.timer_fires", "sched", "timers", "Timer deadlines fired",
+                            [&ss] { return ss.timer_fires; });
+  metrics_.RegisterCallback("sched.stale_wakes", "sched", "wakes",
+                            "Ready bits found on dead/recycled fiber slots",
+                            [&ss] { return ss.stale_wakes; });
+  metrics_.RegisterCallback("sched.blocks_scanned", "sched", "blocks",
+                            "Waker blocks scanned with a ready bit set",
+                            [&ss] { return ss.blocks_scanned; });
+  metrics_.RegisterCallback("sched.blocks_skipped", "sched", "blocks",
+                            "Waker blocks skipped as all-clear (the tzcnt fast path)",
+                            [&ss] { return ss.blocks_skipped; });
+  metrics_.RegisterCallback("sched.yields", "sched", "yields", "co_await Yield{} suspensions",
+                            [&ss] { return ss.yields; });
+  metrics_.RegisterCallback("sched.fiber_blocks", "sched", "blocks",
+                            "Suspensions into blocking awaitables (Event/Sleep)",
+                            [&ss] { return ss.fiber_blocks; });
+  metrics_.RegisterCallback("sched.live_fibers", "sched", "fibers", "Currently live fibers",
+                            [this] { return sched_.NumLiveFibers(); });
+  metrics_.RegisterCallback("sched.runnable", "sched", "fibers",
+                            "Run-queue depth (fibers with their ready bit set)",
+                            [this] { return sched_.NumRunnable(); });
+
+  metrics_.RegisterCallback("heap.superblocks", "heap", "blocks", "Live superblocks",
+                            [this] { return alloc_.GetStats().superblocks; });
+  metrics_.RegisterCallback("heap.live_objects", "heap", "objects",
+                            "App-owned or libOS-referenced objects",
+                            [this] { return alloc_.GetStats().live_objects; });
+  metrics_.RegisterCallback("heap.deferred_frees", "heap", "objects",
+                            "Objects freed by the app but pinned by a libOS reference (UAF)",
+                            [this] { return alloc_.GetStats().deferred_frees; });
+  metrics_.RegisterCallback("heap.registered_blocks", "heap", "blocks",
+                            "DMA-registered superblocks",
+                            [this] { return alloc_.GetStats().registered_blocks; });
+  metrics_.RegisterCallback("heap.overflow_refs", "heap", "refs",
+                            "Side-table refcount entries",
+                            [this] { return alloc_.GetStats().overflow_refs; });
+  metrics_.RegisterCallback("heap.bytes_reserved", "heap", "bytes", "Bytes reserved from the OS",
+                            [this] { return alloc_.GetStats().bytes_reserved; });
+
+  wait_calls_ = &metrics_.RegisterCounter("core.wait_calls", "core", "calls",
+                                          "wait/wait_any/wait_all invocations");
+  wait_poll_rounds_ = &metrics_.RegisterCounter(
+      "core.wait_poll_rounds", "core", "rounds",
+      "Scheduler rounds run while blocked in a wait_* call");
+  wait_ns_ = &metrics_.RegisterHistogram("core.wait_ns", "core", "ns",
+                                         "Latency of completed wait_* calls");
+  metrics_.RegisterCallback("core.tokens_pending", "core", "tokens",
+                            "Issued qtokens not yet completed",
+                            [this] { return tokens_.NumPending(); });
+}
+
 Result<QResult> LibOS::Wait(QToken qt, DurationNs timeout) {
   if (!tokens_.IsValid(qt)) {
     return Status::kBadQToken;
   }
-  const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
+  wait_calls_->Inc();
+  const TimeNs start = clock_.Now();
+  const TimeNs deadline = timeout == 0 ? 0 : start + timeout;
   for (;;) {
     if (tokens_.IsDone(qt)) {
-      return tokens_.Take(qt);
+      auto r = tokens_.Take(qt);
+      wait_ns_->Record(clock_.Now() - start);
+      if (r.ok()) {
+        tracer_.Record(TraceEventType::kQTokenRedeemed, static_cast<uint32_t>(r->qd), qt);
+      }
+      return r;
     }
     sched_.Poll();
     RunExternalPump();
+    wait_poll_rounds_->Inc();
     if (deadline != 0 && clock_.Now() >= deadline && !tokens_.IsDone(qt)) {
       return Status::kTimedOut;
     }
@@ -26,18 +98,26 @@ Result<QResult> LibOS::WaitAny(std::span<const QToken> qts, size_t* index_out,
       return Status::kBadQToken;
     }
   }
-  const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
+  wait_calls_->Inc();
+  const TimeNs start = clock_.Now();
+  const TimeNs deadline = timeout == 0 ? 0 : start + timeout;
   for (;;) {
     for (size_t i = 0; i < qts.size(); i++) {
       if (tokens_.IsDone(qts[i])) {
         if (index_out != nullptr) {
           *index_out = i;
         }
-        return tokens_.Take(qts[i]);
+        auto r = tokens_.Take(qts[i]);
+        wait_ns_->Record(clock_.Now() - start);
+        if (r.ok()) {
+          tracer_.Record(TraceEventType::kQTokenRedeemed, static_cast<uint32_t>(r->qd), qts[i]);
+        }
+        return r;
       }
     }
     sched_.Poll();
     RunExternalPump();
+    wait_poll_rounds_->Inc();
     if (deadline != 0 && clock_.Now() >= deadline) {
       for (size_t i = 0; i < qts.size(); i++) {
         if (tokens_.IsDone(qts[i])) {
@@ -54,13 +134,16 @@ Result<QResult> LibOS::WaitAny(std::span<const QToken> qts, size_t* index_out,
 
 size_t LibOS::WaitAnyHarvest(std::span<const QToken> qts, std::vector<QResult>* events,
                              std::vector<size_t>* indices, DurationNs timeout) {
-  const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
+  wait_calls_->Inc();
+  const TimeNs start = clock_.Now();
+  const TimeNs deadline = timeout == 0 ? 0 : start + timeout;
   for (;;) {
     size_t harvested = 0;
     for (size_t i = 0; i < qts.size(); i++) {
       if (tokens_.IsDone(qts[i])) {
         auto r = tokens_.Take(qts[i]);
         if (r.ok()) {
+          tracer_.Record(TraceEventType::kQTokenRedeemed, static_cast<uint32_t>(r->qd), qts[i]);
           if (events != nullptr) {
             events->push_back(*r);
           }
@@ -72,10 +155,12 @@ size_t LibOS::WaitAnyHarvest(std::span<const QToken> qts, std::vector<QResult>* 
       }
     }
     if (harvested > 0) {
+      wait_ns_->Record(clock_.Now() - start);
       return harvested;
     }
     sched_.Poll();
     RunExternalPump();
+    wait_poll_rounds_->Inc();
     if (deadline != 0 && clock_.Now() >= deadline) {
       return 0;
     }

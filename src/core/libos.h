@@ -20,6 +20,8 @@
 #include "src/core/types.h"
 #include "src/memory/buffer.h"
 #include "src/memory/pool_allocator.h"
+#include "src/observability/metrics.h"
+#include "src/observability/trace.h"
 #include "src/runtime/scheduler.h"
 
 namespace demi {
@@ -97,6 +99,15 @@ class LibOS {
   Clock& clock() { return clock_; }
   QTokenTable& tokens() { return tokens_; }
 
+  // --- Observability (docs/OBSERVABILITY.md) ---
+  // Every libOS carries a metrics registry (populated at construction with scheduler, heap and
+  // wait metrics; concrete libOSes add their stacks' counters) and a tracer that is wired into
+  // the scheduler, the qtoken table and the device stacks but records nothing until enabled.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
   // Runs one scheduler round (fast-path poll + runnable coroutines) without blocking. µs-scale
   // apps call this (or wait) at least every millisecond per the system model (§3.2).
   size_t PollOnce() { return sched_.Poll(); }
@@ -111,7 +122,9 @@ class LibOS {
 
  protected:
   LibOS(const char* name, Clock& clock, DmaRegistrar& registrar)
-      : name_(name), clock_(clock), sched_(clock), alloc_(registrar) {}
+      : name_(name), clock_(clock), tracer_(clock), sched_(clock), alloc_(registrar) {
+    InitObservability();
+  }
 
   // Completes a qtoken inline (fast path) or from a coroutine.
   void CompleteToken(QToken qt, QResult result) { tokens_.Complete(qt, std::move(result)); }
@@ -125,10 +138,23 @@ class LibOS {
   const char* name_;
   std::function<void()> external_pump_;
   Clock& clock_;
+  // Observability members precede the scheduler: the scheduler traces fiber teardown from its
+  // destructor, so the tracer must be destroyed after it.
+  MetricsRegistry metrics_;
+  Tracer tracer_;
   Scheduler sched_;
   PoolAllocator alloc_;
   QTokenTable tokens_;
   QueueDesc next_qd_ = 3;  // 0..2 reserved out of POSIX habit
+
+ private:
+  // Registers the common instruments (sched.*, heap.*, core.*) and wires the tracer into the
+  // scheduler and qtoken table; concrete libOSes register their stacks on top.
+  void InitObservability();
+
+  Counter* wait_calls_ = nullptr;
+  Counter* wait_poll_rounds_ = nullptr;
+  Histogram* wait_ns_ = nullptr;
 };
 
 // Converts a popped Buffer into an app-owned single-segment sgarray. The buffer must be a whole

@@ -12,12 +12,16 @@
 #include <vector>
 
 #include "src/core/types.h"
+#include "src/observability/trace.h"
 #include "src/runtime/event.h"
 
 namespace demi {
 
 class QTokenTable {
  public:
+  // Attaches a tracer for kQTokenIssued events (the redeem side is traced by LibOS::Wait*).
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
   QToken Allocate(OpCode op, QueueDesc qd) {
     uint32_t slot;
     if (!free_.empty()) {
@@ -37,7 +41,11 @@ class QTokenTable {
     if (e.generation == 0) {
       e.generation = 1;
     }
-    return (static_cast<uint64_t>(e.generation) << 32) | slot;
+    const QToken qt = (static_cast<uint64_t>(e.generation) << 32) | slot;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kQTokenIssued, static_cast<uint32_t>(qd), qt);
+    }
+    return qt;
   }
 
   bool IsValid(QToken qt) const {
@@ -146,6 +154,7 @@ class QTokenTable {
 
   std::vector<std::unique_ptr<Entry>> entries_;
   std::vector<uint32_t> free_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace demi

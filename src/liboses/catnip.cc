@@ -14,14 +14,24 @@ Catnip::Catnip(SimNetwork& network, const Config& config, Clock& clock)
       tcp_(eth_, sched_, alloc_, clock, config.tcp) {
   alloc_.SetRegistrar(nic_.registrar());
   reap_interval_ = config.reap_interval;
+  eth_.RegisterMetrics(metrics_);
+  eth_.SetTracer(&tracer_);
+  udp_.RegisterMetrics(metrics_);
+  tcp_.SetObservability(&metrics_, &tracer_);
   if (config.disk != nullptr) {
     storage_ = std::make_unique<StorageQueueEngine>(*config.disk, sched_, alloc_, tokens_);
+    disk_ = config.disk;
+    disk_->RegisterMetrics(metrics_);
+    disk_->SetTracer(&tracer_);
   }
   sched_.Spawn(FastPathFiber());
 }
 
 Catnip::~Catnip() {
   shutdown_ = true;
+  if (disk_ != nullptr) {
+    disk_->SetTracer(nullptr);  // the external device may outlive this libOS's tracer
+  }
   // Destroy fiber frames first: they hold Buffers and connection references that must release
   // into a still-live heap (the base-class allocator outlives derived members but not fibers
   // destroyed by the base-class scheduler's own destructor).

@@ -118,6 +118,7 @@ class Catnip final : public LibOS {
   UdpStack udp_;
   TcpStack tcp_;
   std::unique_ptr<StorageQueueEngine> storage_;
+  SimBlockDevice* disk_ = nullptr;  // external device: tracer detached at destruction
   std::unordered_map<QueueDesc, QueueState> queues_;
   std::deque<QueueDesc> deferred_close_;
   uint32_t reap_interval_ = 1024;

@@ -6,12 +6,16 @@ namespace demi {
 
 Cattree::Cattree(SimBlockDevice& disk, Clock& clock)
     : LibOS("cattree", clock, NullDmaRegistrar::Global()),
-      storage_(disk, sched_, alloc_, tokens_) {
+      storage_(disk, sched_, alloc_, tokens_),
+      disk_(&disk) {
+  disk_->RegisterMetrics(metrics_);
+  disk_->SetTracer(&tracer_);
   sched_.Spawn(FastPathFiber());
 }
 
 Cattree::~Cattree() {
   shutdown_ = true;
+  disk_->SetTracer(nullptr);  // the external device may outlive this libOS's tracer
   sched_.Shutdown();  // release fiber-held buffers while the heap is alive
 }
 

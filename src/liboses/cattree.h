@@ -41,6 +41,7 @@ class Cattree final : public LibOS {
   Task<void> FastPathFiber();
 
   StorageQueueEngine storage_;
+  SimBlockDevice* disk_;  // external device: tracer detached at destruction
   std::unordered_map<QueueDesc, QueueState> queues_;
   bool shutdown_ = false;
 };

@@ -1,11 +1,32 @@
 #include "src/net/ethernet.h"
 
 #include "src/common/logging.h"
+#include "src/observability/metrics.h"
+#include "src/observability/trace.h"
 
 namespace demi {
 
 EthernetLayer::EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload)
     : nic_(nic), local_ip_(local_ip), checksum_offload_(checksum_offload) {}
+
+void EthernetLayer::RegisterMetrics(MetricsRegistry& registry) {
+  registry.RegisterCallback("eth.ipv4_rx", "eth", "packets", "IPv4 packets received for us",
+                            [this] { return stats_.ipv4_rx; });
+  registry.RegisterCallback("eth.ipv4_tx", "eth", "packets", "IPv4 packets transmitted",
+                            [this] { return stats_.ipv4_tx; });
+  registry.RegisterCallback("eth.arp_requests_sent", "eth", "packets", "ARP requests sent",
+                            [this] { return stats_.arp_requests_sent; });
+  registry.RegisterCallback("eth.arp_replies_sent", "eth", "packets", "ARP replies sent",
+                            [this] { return stats_.arp_replies_sent; });
+  registry.RegisterCallback("eth.pending_dropped", "eth", "packets",
+                            "Packets dropped while waiting on ARP resolution",
+                            [this] { return stats_.pending_dropped; });
+  registry.RegisterCallback("eth.parse_errors", "eth", "frames", "Unparseable received frames",
+                            [this] { return stats_.parse_errors; });
+  registry.RegisterCallback("eth.no_receiver", "eth", "packets",
+                            "IPv4 packets with no registered protocol receiver",
+                            [this] { return stats_.no_receiver; });
+}
 
 void EthernetLayer::RegisterReceiver(IpProto proto, Ipv4Receiver* receiver) {
   receivers_[static_cast<uint32_t>(proto)] = receiver;
@@ -35,6 +56,9 @@ Status EthernetLayer::TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto pro
     segs[i + 1] = l4_segments[i];
   }
   stats_.ipv4_tx++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventType::kPacketTx, static_cast<uint32_t>(proto), l4_len);
+  }
   return nic_.TxBurst(dst_mac, std::span<const std::span<const uint8_t>>(segs,
                                                                          l4_segments.size() + 1));
 }
@@ -131,6 +155,10 @@ size_t EthernetLayer::PollOnce() {
       continue;
     }
     stats_.ipv4_rx++;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kPacketRx, static_cast<uint32_t>(ip->protocol),
+                      ip->total_length - Ipv4Header::kSize);
+    }
     auto recv_it = receivers_.find(static_cast<uint32_t>(ip->protocol));
     if (recv_it == receivers_.end()) {
       stats_.no_receiver++;

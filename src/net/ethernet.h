@@ -19,6 +19,9 @@
 
 namespace demi {
 
+class MetricsRegistry;
+class Tracer;
+
 class Ipv4Receiver {
  public:
   virtual ~Ipv4Receiver() = default;
@@ -80,6 +83,12 @@ class EthernetLayer {
   };
   const Stats& stats() const { return stats_; }
 
+  // Registers the eth.* counters as callback gauges (docs/OBSERVABILITY.md).
+  void RegisterMetrics(MetricsRegistry& registry);
+  // Attaches a tracer for kPacketTx/kPacketRx events; the L3 dispatch point sees every UDP and
+  // TCP packet once, so packet events are recorded here rather than per-stack.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   static constexpr size_t kRxBurst = 32;
   static constexpr size_t kMaxPendingPerIp = 64;
@@ -102,6 +111,7 @@ class EthernetLayer {
   std::unordered_map<uint32_t, std::deque<PendingPacket>> pending_;  // keyed by dst ip
 
   Stats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace demi

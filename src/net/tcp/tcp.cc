@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/observability/metrics.h"
 
 namespace demi {
 
@@ -443,6 +444,7 @@ void TcpConnection::ProcessAck(const TcpHeader& hdr, TimeNs now) {
       seg.retransmitted = true;
       SendDataSegment(seg, now);
       stats_.fast_retransmits++;
+      stack_.TraceRetransmit(local_.port, seg.seq);
       cc_->OnFastRetransmit(now);
       dup_acks_ = 0;
     }
@@ -626,6 +628,7 @@ Task<void> TcpConnection::ConnectFiber() {
     timeout *= 2;
     SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true);
     stats_.retransmits++;
+    stack_.TraceRetransmit(local_.port, iss_);
   }
 }
 
@@ -647,6 +650,7 @@ Task<void> TcpConnection::SynAckFiber() {
     timeout *= 2;
     SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options);
     stats_.retransmits++;
+    stack_.TraceRetransmit(local_.port, iss_);
   }
 }
 
@@ -675,6 +679,7 @@ Task<void> TcpConnection::RetransmitFiber() {
     rtt_.Backoff();
     SendDataSegment(seg, now);  // also refreshes rto_deadline via current rto
     stats_.retransmits++;
+    stack_.TraceRetransmit(local_.port, seg.seq);
     cc_->OnTimeout(now);
   }
 }
@@ -887,15 +892,82 @@ void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   }
 }
 
+namespace {
+void AccumulateConnStats(TcpConnection::ConnStats* into, const TcpConnection::ConnStats& s) {
+  into->segments_sent += s.segments_sent;
+  into->segments_received += s.segments_received;
+  into->bytes_sent += s.bytes_sent;
+  into->bytes_received += s.bytes_received;
+  into->retransmits += s.retransmits;
+  into->fast_retransmits += s.fast_retransmits;
+  into->out_of_order += s.out_of_order;
+  into->dup_acks_seen += s.dup_acks_seen;
+  into->paws_drops += s.paws_drops;
+  into->ts_rtt_samples += s.ts_rtt_samples;
+}
+}  // namespace
+
 void TcpStack::Reap() {
   for (auto it = conns_.begin(); it != conns_.end();) {
     if (it->second->state() == TcpState::kClosed && it->second->app_released()) {
+      AccumulateConnStats(&reaped_conn_stats_, it->second->conn_stats());
       it = conns_.erase(it);
       stats_.conns_reaped++;
     } else {
       ++it;
     }
   }
+}
+
+TcpConnection::ConnStats TcpStack::AggregateConnStats() const {
+  TcpConnection::ConnStats total = reaped_conn_stats_;
+  for (const auto& [key, conn] : conns_) {
+    AccumulateConnStats(&total, conn->conn_stats());
+  }
+  return total;
+}
+
+void TcpStack::SetObservability(MetricsRegistry* registry, Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  MetricsRegistry& reg = *registry;
+  reg.RegisterCallback("tcp.segments_rx", "tcp", "segments", "Segments received by the stack",
+                       [this] { return stats_.segments_rx; });
+  reg.RegisterCallback("tcp.segments_tx", "tcp", "segments", "Segments transmitted",
+                       [this] { return stats_.segments_tx; });
+  reg.RegisterCallback("tcp.rst_sent", "tcp", "segments", "RSTs sent",
+                       [this] { return stats_.rst_sent; });
+  reg.RegisterCallback("tcp.no_connection", "tcp", "segments",
+                       "Segments for no known connection or listener",
+                       [this] { return stats_.no_connection; });
+  reg.RegisterCallback("tcp.parse_errors", "tcp", "segments", "Unparseable segments",
+                       [this] { return stats_.parse_errors; });
+  reg.RegisterCallback("tcp.conns_opened", "tcp", "conns", "Connections opened",
+                       [this] { return stats_.conns_opened; });
+  reg.RegisterCallback("tcp.conns_reaped", "tcp", "conns", "Closed connections reaped",
+                       [this] { return stats_.conns_reaped; });
+  reg.RegisterCallback("tcp.connections", "tcp", "conns", "Current connection table size",
+                       [this] { return conns_.size(); });
+  reg.RegisterCallback("tcp.bytes_sent", "tcp", "bytes", "Payload bytes sent (all conns)",
+                       [this] { return AggregateConnStats().bytes_sent; });
+  reg.RegisterCallback("tcp.bytes_received", "tcp", "bytes",
+                       "Payload bytes received (all conns)",
+                       [this] { return AggregateConnStats().bytes_received; });
+  reg.RegisterCallback("tcp.retransmits", "tcp", "segments", "RTO + handshake retransmissions",
+                       [this] { return AggregateConnStats().retransmits; });
+  reg.RegisterCallback("tcp.fast_retransmits", "tcp", "segments",
+                       "Fast retransmits (3 duplicate acks)",
+                       [this] { return AggregateConnStats().fast_retransmits; });
+  reg.RegisterCallback("tcp.out_of_order", "tcp", "segments",
+                       "Segments arriving out of order (reassembly queue)",
+                       [this] { return AggregateConnStats().out_of_order; });
+  reg.RegisterCallback("tcp.dup_acks", "tcp", "acks", "Duplicate acks seen",
+                       [this] { return AggregateConnStats().dup_acks_seen; });
+  reg.RegisterCallback("tcp.paws_drops", "tcp", "segments",
+                       "Segments rejected by PAWS (RFC 7323)",
+                       [this] { return AggregateConnStats().paws_drops; });
 }
 
 }  // namespace demi

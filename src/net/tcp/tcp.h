@@ -27,6 +27,7 @@
 #include "src/net/ethernet.h"
 #include "src/net/tcp/congestion.h"
 #include "src/net/tcp/tcp_types.h"
+#include "src/observability/trace.h"
 #include "src/runtime/event.h"
 #include "src/runtime/scheduler.h"
 
@@ -291,6 +292,14 @@ class TcpStack final : public Ipv4Receiver {
   const Stats& stats() const { return stats_; }
   size_t NumConnections() const { return conns_.size(); }
 
+  // Stack-wide per-connection totals: live connections summed with everything already reaped,
+  // so counters never go backwards when closed state is garbage-collected.
+  TcpConnection::ConnStats AggregateConnStats() const;
+
+  // Registers the tcp.* metrics into `registry` and (optionally) attaches a tracer for
+  // kRetransmit events; either pointer may be null (docs/OBSERVABILITY.md).
+  void SetObservability(MetricsRegistry* registry, Tracer* tracer);
+
  private:
   friend class TcpConnection;
 
@@ -309,6 +318,11 @@ class TcpStack final : public Ipv4Receiver {
 
   Status SendSegment(const TcpHeader& hdr, Ipv4Addr dst, std::span<const uint8_t> payload);
   void SendRst(const TcpHeader& in, Ipv4Addr dst);
+  void TraceRetransmit(uint16_t local_port, SeqNum seq) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kRetransmit, local_port, seq.v);
+    }
+  }
   uint16_t AllocEphemeralPort();
   SeqNum NewIss() { return SeqNum{static_cast<uint32_t>(rng_.Next())}; }
 
@@ -323,6 +337,8 @@ class TcpStack final : public Ipv4Receiver {
   std::unordered_map<uint16_t, std::unique_ptr<TcpListener>> listeners_;
   uint16_t next_ephemeral_ = 40000;
   Stats stats_;
+  TcpConnection::ConnStats reaped_conn_stats_;  // totals of connections already reaped
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace demi

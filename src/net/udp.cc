@@ -1,9 +1,29 @@
 #include "src/net/udp.h"
 
+#include "src/observability/metrics.h"
+
 namespace demi {
 
 UdpStack::UdpStack(EthernetLayer& eth, PoolAllocator& alloc) : eth_(eth), alloc_(alloc) {
   eth_.RegisterReceiver(IpProto::kUdp, this);
+}
+
+void UdpStack::RegisterMetrics(MetricsRegistry& registry) {
+  registry.RegisterCallback("udp.tx_datagrams", "udp", "datagrams", "Datagrams sent",
+                            [this] { return stats_.tx_datagrams; });
+  registry.RegisterCallback("udp.rx_datagrams", "udp", "datagrams", "Datagrams delivered",
+                            [this] { return stats_.rx_datagrams; });
+  registry.RegisterCallback("udp.rx_no_socket", "udp", "datagrams",
+                            "Datagrams dropped: no socket bound to the port",
+                            [this] { return stats_.rx_no_socket; });
+  registry.RegisterCallback("udp.rx_queue_drops", "udp", "datagrams",
+                            "Datagrams dropped: per-socket receive queue full",
+                            [this] { return stats_.rx_queue_drops; });
+  registry.RegisterCallback("udp.parse_errors", "udp", "datagrams",
+                            "Unparseable or checksum-failed datagrams",
+                            [this] { return stats_.parse_errors; });
+  registry.RegisterCallback("udp.sockets", "udp", "sockets", "Currently bound sockets",
+                            [this] { return sockets_.size(); });
 }
 
 Result<UdpStack::Socket*> UdpStack::Bind(uint16_t port) {

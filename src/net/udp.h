@@ -67,6 +67,9 @@ class UdpStack final : public Ipv4Receiver {
   };
   const Stats& stats() const { return stats_; }
 
+  // Registers the udp.* counters as callback gauges (docs/OBSERVABILITY.md).
+  void RegisterMetrics(MetricsRegistry& registry);
+
  private:
   EthernetLayer& eth_;
   PoolAllocator& alloc_;

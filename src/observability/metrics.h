@@ -1,0 +1,133 @@
+// MetricsRegistry: the uniform observability surface over every datapath component.
+//
+// The paper's evaluation (§7) lives and dies on nanosecond-granularity datapath counters —
+// wait latency, scheduler poll behaviour, retransmits. Components keep their existing plain
+// `Stats` structs on the hot path (a plain increment, zero new cost) and *register* them here
+// as callback gauges sampled only at snapshot time; metrics that no component owned before
+// (wait latency histograms, registry-owned counters) are allocated by the registry itself.
+// Counters and gauges are lock-free (relaxed atomics) so a snapshot taken from another thread
+// never blocks the datapath.
+//
+// Names are dotted `component.metric` strings (see docs/OBSERVABILITY.md for the full
+// reference); snapshots export as aligned text or JSON.
+
+#ifndef SRC_OBSERVABILITY_METRICS_H_
+#define SRC_OBSERVABILITY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace demi {
+
+enum class MetricType : uint8_t { kCounter, kGauge, kCallback, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+// Monotonically increasing, lock-free.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time signed value, lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // Snapshot of one metric. Scalar metrics fill `value`; histograms fill the latency fields.
+  struct Sample {
+    std::string name;
+    std::string component;
+    std::string unit;
+    MetricType type = MetricType::kCounter;
+    int64_t value = 0;
+    // Histogram-only.
+    uint64_t count = 0;
+    double mean = 0.0;
+    uint64_t min = 0;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    uint64_t p999 = 0;
+    uint64_t max = 0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration is idempotent per name: re-registering an existing name of the same type
+  // returns the existing instrument (callbacks are replaced). References stay valid for the
+  // registry's lifetime. Not for the hot path — register at construction time.
+  Counter& RegisterCounter(std::string name, std::string component, std::string unit,
+                           std::string help);
+  Gauge& RegisterGauge(std::string name, std::string component, std::string unit,
+                       std::string help);
+  Histogram& RegisterHistogram(std::string name, std::string component, std::string unit,
+                               std::string help);
+  // Samples `fn()` at snapshot time: how pre-existing component `Stats` structs are retrofitted
+  // without touching their increment sites.
+  void RegisterCallback(std::string name, std::string component, std::string unit,
+                        std::string help, std::function<uint64_t()> fn);
+
+  // Drops a metric (component being torn down before the registry). Returns false if absent.
+  bool Unregister(std::string_view name);
+  // Drops every metric registered under `component`; returns how many were removed.
+  size_t UnregisterComponent(std::string_view component);
+
+  bool Has(std::string_view name) const { return index_.count(std::string(name)) > 0; }
+  size_t NumMetrics() const { return entries_.size(); }
+  size_t NumComponents() const;
+
+  // Samples every metric, sorted by (component, name).
+  std::vector<Sample> Snapshot() const;
+
+  // Aligned human-readable table (one line per metric).
+  std::string ExportText() const;
+  // {"metrics":[{"name":...,"component":...,"type":...,"unit":...,...}]}
+  std::string ExportJson() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string component;
+    std::string unit;
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<uint64_t()> callback;
+  };
+
+  Entry& Intern(std::string name, std::string component, std::string unit, std::string help,
+                MetricType type);
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, size_t> index_;  // name -> entries_ slot
+};
+
+}  // namespace demi
+
+#endif  // SRC_OBSERVABILITY_METRICS_H_

@@ -63,24 +63,33 @@ Scheduler::FiberId Scheduler::Spawn(Task<void> task) {
   f.resume_point = f.root;
   f.live = true;
   live_fibers_++;
+  stats_.fibers_spawned++;
   WakerFor(id).Wake();
   return id;
 }
 
 size_t Scheduler::Poll() {
   FireDueTimers();
+  stats_.polls++;
   size_t resumed = 0;
   const size_t num_blocks = blocks_.size();  // snapshot: fibers spawned mid-poll run next round
   for (size_t b = 0; b < num_blocks; b++) {
     uint64_t bits = blocks_[b].ready;
     if (bits == 0) {
+      stats_.blocks_skipped++;
       continue;
     }
+    stats_.blocks_scanned++;
     blocks_[b].ready &= ~bits;  // consume readiness; running fibers must re-arm to stay runnable
     ForEachSetBit(bits, [&](int bit) {
       const FiberId id = static_cast<FiberId>(b * 64 + static_cast<size_t>(bit));
       if (id >= fibers_.size() || !fibers_[id].live) {
+        stats_.stale_wakes++;
         return;  // stale wake of a recycled/dead slot
+      }
+      fibers_[id].runs++;
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventType::kFiberScheduled, id, fibers_[id].runs);
       }
       std::coroutine_handle<> to_run = fibers_[id].resume_point;
       {
@@ -96,6 +105,7 @@ size_t Scheduler::Poll() {
       }
     });
   }
+  stats_.resumptions += resumed;
   return resumed;
 }
 
@@ -138,10 +148,15 @@ void Scheduler::FireDueTimers() {
   while (!timers_.empty() && timers_.top().deadline <= now) {
     timers_.top().waker.Wake();
     timers_.pop();
+    stats_.timer_fires++;
   }
 }
 
 void Scheduler::ReleaseFiber(FiberId id) {
+  stats_.fibers_completed++;
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventType::kFiberCompleted, id);
+  }
   Fiber& f = fibers_[id];
   f.root.destroy();
   f.root = {};
@@ -157,12 +172,16 @@ void Scheduler::Yield::await_suspend(std::coroutine_handle<> h) noexcept {
   Scheduler* s = Scheduler::Current();
   DEMI_CHECK(s != nullptr);
   s->SetResumePoint(h);
+  s->stats_.yields++;
+  if (s->tracer_ != nullptr) {
+    s->tracer_->Record(TraceEventType::kFiberYielded, s->running_fiber_);
+  }
   s->CurrentWaker().Wake();  // stay runnable
 }
 
 void Scheduler::SleepAwaitable::await_suspend(std::coroutine_handle<> h) noexcept {
   DEMI_CHECK(Scheduler::Current() == sched);
-  sched->SetResumePoint(h);
+  sched->SetResumePointForAwait(h);  // a sleep is a blocking suspension, not a yield
   sched->AddTimer(deadline, sched->CurrentWaker());
 }
 

@@ -25,6 +25,7 @@
 #include "src/common/bitops.h"
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/observability/trace.h"
 #include "src/runtime/task.h"
 
 namespace demi {
@@ -96,6 +97,32 @@ class Scheduler {
   Clock& clock() { return clock_; }
   TimeNs Now() const { return clock_.Now(); }
 
+  // Cumulative scheduling counters (docs/OBSERVABILITY.md lists each as `sched.*`). Plain
+  // increments on the poll path; registered into the owning libOS's MetricsRegistry as
+  // callback gauges.
+  struct Stats {
+    uint64_t polls = 0;              // Poll() calls
+    uint64_t resumptions = 0;        // fiber resumes across all polls
+    uint64_t fibers_spawned = 0;
+    uint64_t fibers_completed = 0;
+    uint64_t timer_fires = 0;        // timers whose deadline fired
+    uint64_t stale_wakes = 0;        // ready bits of dead/recycled slots
+    uint64_t blocks_scanned = 0;     // waker blocks with at least one ready bit
+    uint64_t blocks_skipped = 0;     // waker blocks skipped because all 64 bits were clear
+    uint64_t yields = 0;             // co_await Yield{} suspensions
+    uint64_t fiber_blocks = 0;       // suspensions into a blocking awaitable (Event/Sleep)
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Times this fiber slot has been resumed (cumulative across slot reuse).
+  uint64_t FiberRunCount(FiberId id) const {
+    return id < fibers_.size() ? fibers_[id].runs : 0;
+  }
+
+  // Attaches a tracer for kFiberScheduled/kFiberBlocked/kFiberYielded/kFiberCompleted events;
+  // nullptr detaches. The tracer must outlive the scheduler.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
   // --- Called from inside a running fiber (via thread-local current context) ---
   static Scheduler* Current();
   static FiberId CurrentFiber();
@@ -108,8 +135,15 @@ class Scheduler {
   void AddTimer(TimeNs deadline, Waker waker);
 
   // Called by blocking awaitables at suspension: records where to resume the current fiber.
-  // `h` is the innermost suspended coroutine of the running fiber.
-  void SetResumePointForAwait(std::coroutine_handle<> h) { SetResumePoint(h); }
+  // `h` is the innermost suspended coroutine of the running fiber. Distinct from the Yield
+  // path so blocked-vs-yielded suspensions are counted (and traced) separately.
+  void SetResumePointForAwait(std::coroutine_handle<> h) {
+    SetResumePoint(h);
+    stats_.fiber_blocks++;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kFiberBlocked, running_fiber_);
+    }
+  }
 
   // Earliest pending timer deadline, or 0 if none. Lets stepped-mode tests advance a
   // VirtualClock exactly to the next event.
@@ -146,6 +180,7 @@ class Scheduler {
     std::coroutine_handle<internal::Promise<void>> root;  // for done-check and destroy
     std::coroutine_handle<> resume_point;                 // innermost suspended coroutine
     bool live = false;
+    uint64_t runs = 0;  // resumptions of this slot (survives slot reuse; per-fiber run count)
   };
 
   // Set by awaitables at suspension: where to resume this fiber next.
@@ -167,6 +202,8 @@ class Scheduler {
   std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers_;
 
   FiberId running_fiber_ = kInvalidFiber;
+  Stats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 // RAII guard for the thread-local current-scheduler context (exposed for tests).

@@ -4,11 +4,30 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/observability/metrics.h"
+#include "src/observability/trace.h"
 
 namespace demi {
 
 SimBlockDevice::SimBlockDevice(const Config& config, Clock& clock)
     : config_(config), clock_(clock), media_(config.block_size * config.num_blocks, 0) {}
+
+void SimBlockDevice::RegisterMetrics(MetricsRegistry& registry) {
+  registry.RegisterCallback("blockdev.reads", "blockdev", "ops", "Read operations submitted",
+                            [this] { return stats_.reads; });
+  registry.RegisterCallback("blockdev.writes", "blockdev", "ops", "Write operations submitted",
+                            [this] { return stats_.writes; });
+  registry.RegisterCallback("blockdev.bytes_read", "blockdev", "bytes", "Bytes read",
+                            [this] { return stats_.bytes_read; });
+  registry.RegisterCallback("blockdev.bytes_written", "blockdev", "bytes", "Bytes written",
+                            [this] { return stats_.bytes_written; });
+  registry.RegisterCallback("blockdev.queue_full_rejections", "blockdev", "ops",
+                            "Submissions rejected because the queue was full",
+                            [this] { return stats_.queue_full_rejections; });
+  registry.RegisterCallback("blockdev.pending", "blockdev", "ops",
+                            "Operations submitted and not yet completed",
+                            [this] { return pending_.size(); });
+}
 
 TimeNs SimBlockDevice::CompletionTimeFor(size_t bytes, bool is_read) {
   const TimeNs now = clock_.Now();
@@ -43,6 +62,9 @@ Status SimBlockDevice::SubmitWrite(uint64_t lba, std::span<const uint8_t> data, 
   pending_.push(std::move(p));
   stats_.writes++;
   stats_.bytes_written += data.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventType::kDiskSubmit, 0, data.size());
+  }
   return Status::kOk;
 }
 
@@ -68,6 +90,9 @@ Status SimBlockDevice::SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t
   pending_.push(std::move(p));
   stats_.reads++;
   stats_.bytes_read += out.size();
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventType::kDiskSubmit, 1, out.size());
+  }
   return Status::kOk;
 }
 
@@ -86,6 +111,9 @@ size_t SimBlockDevice::PollCompletions(std::span<Completion> out) {
       std::memcpy(media_.data() + offset, p.write_data.data(), p.write_data.size());
     }
     out[n++] = Completion{p.cookie, Status::kOk};
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kDiskComplete, p.is_read ? 1 : 0, p.cookie);
+    }
   }
   return n;
 }

@@ -18,6 +18,9 @@
 
 namespace demi {
 
+class MetricsRegistry;
+class Tracer;
+
 class SimBlockDevice {
  public:
   struct Config {
@@ -62,6 +65,12 @@ class SimBlockDevice {
   };
   const Stats& stats() const { return stats_; }
 
+  // Registers the blockdev.* counters as callback gauges (docs/OBSERVABILITY.md). Called by
+  // whichever libOS is driving this device; the registry must not outlive the device.
+  void RegisterMetrics(MetricsRegistry& registry);
+  // Attaches a tracer for kDiskSubmit/kDiskComplete events.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
   // Direct synchronous access for tests/recovery tooling (not a datapath API).
   void RawRead(uint64_t byte_offset, std::span<uint8_t> out) const;
 
@@ -88,6 +97,7 @@ class SimBlockDevice {
   uint64_t next_seq_ = 0;
   TimeNs device_free_at_ = 0;
   Stats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace demi

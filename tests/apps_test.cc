@@ -83,6 +83,9 @@ TEST(EchoAppTest, CatnipUdpEchoThreaded) {
   auto result = RunEchoClient(client, copts);
   stop = true;
   server_thread.join();
+  if (result.errors != 0) {
+    std::fputs(client.metrics().ExportText().c_str(), stderr);
+  }
   EXPECT_EQ(result.errors, 0u);
   EXPECT_EQ(result.rtt.count(), 500u);
 }
@@ -109,6 +112,9 @@ TEST(EchoAppTest, CatmintEchoThreaded) {
   auto result = RunEchoClient(client, copts);
   stop = true;
   server_thread.join();
+  if (result.errors != 0) {
+    std::fputs(client.metrics().ExportText().c_str(), stderr);
+  }
   EXPECT_EQ(result.errors, 0u);
   EXPECT_EQ(result.rtt.count(), 500u);
 }
