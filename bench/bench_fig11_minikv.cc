@@ -13,6 +13,7 @@
 
 #include "bench/bench_common.h"
 #include "src/apps/minikv.h"
+#include "src/faults/fault_injector.h"
 
 namespace demi {
 namespace bench {
@@ -143,8 +144,24 @@ void Main() {
     MonotonicClock clock;
     SimBlockDevice disk(SimBlockDevice::Config{}, clock);
     CatnipPair pair(LinkConfig{}, &disk);
+    // Opt-in chaos: DEMI_FAULT_PLAN / DEMI_FAULT_SEED arm an injector so the bench doubles
+    // as a throughput-under-faults probe (docs/FAULTS.md). Unset env = plain Figure 11 run.
+    FaultInjector faults;
+    if (auto plan = FaultPlan::FromEnv(); plan.has_value() && plan->Any()) {
+      faults.Arm(*plan);
+      pair.net.SetFaultInjector(&faults);
+      disk.SetFaultInjector(&faults);
+      faults.RegisterMetrics(pair.server->metrics());
+      std::printf("(chaos armed: %s)\n", plan->ToString().c_str());
+    }
     Row row = DuetRow(*pair.server, *pair.client, {kServerIp, 5701}, true, kOps / 2, "aof");
     PrintRow("Catnip (x Cattree for AOF)", row, "userspace TCP + SPDK log");
+    const uint64_t injected = faults.GetStats().disk_io_errors + faults.GetStats().disk_delays +
+                              faults.GetStats().frames_corrupted + faults.GetStats().frames_dropped;
+    if (injected > 0) {
+      std::printf("(chaos: %llu faults injected, run still completed)\n",
+                  static_cast<unsigned long long>(injected));
+    }
   }
   {
     MonotonicClock clock;

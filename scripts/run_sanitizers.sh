@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under AddressSanitizer and UBSan.
+#
+# Usage: scripts/run_sanitizers.sh [repo_root]
+#
+# Each sanitizer gets its own build tree (build-asan/, build-ubsan/) configured with
+# -DDEMI_SANITIZE=<name>; the chaos soak is shortened via DEMI_CHAOS_SEEDS so a full
+# sanitized sweep stays CI-friendly. ThreadSanitizer is available via DEMI_SANITIZE=thread
+# but is not part of the default sweep: the simulation is single-threaded by design.
+
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+# Sanitized runs are ~5x slower; a handful of seeds still exercises every fault path.
+export DEMI_CHAOS_SEEDS="${DEMI_CHAOS_SEEDS:-5}"
+
+for san in address undefined; do
+  bdir="$ROOT/build-${san}"
+  [ "$san" = address ] && bdir="$ROOT/build-asan"
+  [ "$san" = undefined ] && bdir="$ROOT/build-ubsan"
+  echo "=== DEMI_SANITIZE=$san -> $bdir ==="
+  cmake -B "$bdir" -S "$ROOT" -DDEMI_SANITIZE="$san" > /dev/null
+  cmake --build "$bdir" -j "$JOBS" > /dev/null
+  (cd "$bdir" && ctest --output-on-failure -j "$JOBS")
+done
+
+echo "All sanitizer sweeps passed."

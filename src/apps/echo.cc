@@ -67,9 +67,14 @@ void EchoServerApp::HandlePop(size_t index, QResult& r) {
     // Persist before replying (Figure 7): one durable log append per message. This Wait blocks
     // only on our own libOS (the disk lives with us), so Pump stays composable.
     auto log_qt = os_.Push(log_qd_, r.sga);
-    DEMI_CHECK(log_qt.ok());
-    auto log_r = os_.Wait(*log_qt);
-    DEMI_CHECK(log_r.ok() && log_r->status == Status::kOk);
+    if (log_qt.ok()) {
+      auto log_r = os_.Wait(*log_qt);
+      if (!log_r.ok() || log_r->status != Status::kOk) {
+        stats_.log_failures++;  // degrade: echo anyway, message just isn't durable
+      }
+    } else {
+      stats_.log_failures++;
+    }
   }
   // Echo the same buffers back; UAF protection lets us free right after push.
   Result<QToken> push_qt = options_.type == SocketType::kStream

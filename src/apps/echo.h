@@ -30,6 +30,7 @@ struct EchoServerStats {
   uint64_t requests = 0;
   uint64_t bytes = 0;
   uint64_t connections = 0;
+  uint64_t log_failures = 0;  // log appends that failed terminally (message echoed, not durable)
 };
 
 // Pumpable echo server: arm tokens at construction, then call Pump() (non-blocking) each loop

@@ -265,18 +265,34 @@ size_t MiniKvServerApp::Pump() {
           case KvOp::kSet: {
             stats_.sets++;
             im.store.Set(req.key, req.value);
+            KvStatus set_status = KvStatus::kOk;
             if (im.aof_qd != kInvalidQd) {
               // Durable before acknowledged: append the raw request frame (fsync-equivalent).
+              // A terminal append failure (e.g. disk retry budget exhausted under injected
+              // faults) degrades to a kError reply — the value is live in memory but the client
+              // knows it isn't durable.
               void* rec = os_.DmaMalloc(frame.size());
-              std::memcpy(rec, frame.data(), frame.size());
-              auto aof_push =
-                  os_.Push(im.aof_qd, Sgarray::Of(rec, static_cast<uint32_t>(frame.size())));
-              os_.DmaFree(rec);
-              DEMI_CHECK(aof_push.ok());
-              auto aof_r = os_.Wait(*aof_push);
-              DEMI_CHECK(aof_r.ok() && aof_r->status == Status::kOk);
+              if (rec == nullptr) {
+                set_status = KvStatus::kError;
+              } else {
+                std::memcpy(rec, frame.data(), frame.size());
+                auto aof_push =
+                    os_.Push(im.aof_qd, Sgarray::Of(rec, static_cast<uint32_t>(frame.size())));
+                os_.DmaFree(rec);
+                if (!aof_push.ok()) {
+                  set_status = KvStatus::kError;
+                } else {
+                  auto aof_r = os_.Wait(*aof_push);
+                  if (!aof_r.ok() || aof_r->status != Status::kOk) {
+                    set_status = KvStatus::kError;
+                  }
+                }
+              }
+              if (set_status != KvStatus::kOk) {
+                stats_.aof_failures++;
+              }
             }
-            const size_t n = KvEncodeResponse(KvStatus::kOk, "", hdr, sizeof(hdr));
+            const size_t n = KvEncodeResponse(set_status, "", hdr, sizeof(hdr));
             void* out = os_.DmaMalloc(n);
             std::memcpy(out, hdr, n);
             auto push = os_.Push(qd, Sgarray::Of(out, static_cast<uint32_t>(n)));

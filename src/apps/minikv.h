@@ -57,6 +57,7 @@ struct MiniKvStats {
   uint64_t dels = 0;
   uint64_t hits = 0;
   uint64_t connections = 0;
+  uint64_t aof_failures = 0;  // SETs answered kError because the AOF append failed terminally
 };
 
 // Pumpable PDPIX MiniKv server (see EchoServerApp for the pump pattern).

@@ -68,6 +68,7 @@ Catmint::Catmint(SimNetwork& network, const Config& config, Clock& clock)
   if (config.disk != nullptr) {
     storage_ = std::make_unique<StorageQueueEngine>(*config.disk, sched_, alloc_, tokens_);
     config.disk->RegisterMetrics(metrics_);
+    storage_->log().RegisterMetrics(metrics_);
   }
   sched_.Spawn(FastPathFiber());
   sched_.Spawn(FlowControlFiber());

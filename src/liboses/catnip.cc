@@ -23,6 +23,7 @@ Catnip::Catnip(SimNetwork& network, const Config& config, Clock& clock)
     disk_ = config.disk;
     disk_->RegisterMetrics(metrics_);
     disk_->SetTracer(&tracer_);
+    storage_->log().RegisterMetrics(metrics_);
   }
   sched_.Spawn(FastPathFiber());
 }
@@ -248,7 +249,12 @@ Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
       // (references) the buffers.
       Status status = Status::kOk;
       for (uint32_t i = 0; i < sga.num_segs && status == Status::kOk; i++) {
-        status = q->conn->Push(Buffer::FromApp(alloc_, sga.segs[i].buf, sga.segs[i].len));
+        Buffer buf = Buffer::TryFromApp(alloc_, sga.segs[i].buf, sga.segs[i].len);
+        if (!buf.valid()) {
+          status = Status::kNoMemory;  // heap exhausted: surface ENOMEM through the qtoken
+          break;
+        }
+        status = q->conn->Push(std::move(buf));
       }
       const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
       QResult r;
@@ -273,7 +279,13 @@ Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
     case QKind::kMemory: {
       const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
       // Copy into a libOS-owned buffer: the channel hands ownership to the popper.
-      Buffer buf = Buffer::Allocate(alloc_, sga.TotalBytes());
+      Buffer buf = Buffer::TryAllocate(alloc_, sga.TotalBytes());
+      QResult r;
+      if (!buf.valid()) {
+        r.status = Status::kNoMemory;
+        CompleteToken(qt, r);
+        return qt;
+      }
       size_t off = 0;
       for (uint32_t i = 0; i < sga.num_segs; i++) {
         std::memcpy(buf.mutable_data() + off, sga.segs[i].buf, sga.segs[i].len);
@@ -281,7 +293,6 @@ Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
       }
       q->mem->items.push_back(std::move(buf));
       q->mem->readable.Notify();
-      QResult r;
       r.status = Status::kOk;
       CompleteToken(qt, r);
       return qt;
@@ -302,22 +313,30 @@ Result<QToken> Catnip::PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to
   Status status;
   if (sga.num_segs == 1) {
     // Zero-copy single segment.
-    Buffer buf = Buffer::FromApp(alloc_, sga.segs[0].buf, sga.segs[0].len);
-    if (buf.size() >= PoolAllocator::kZeroCopyThreshold) {
-      buf.Rkey();
+    Buffer buf = Buffer::TryFromApp(alloc_, sga.segs[0].buf, sga.segs[0].len);
+    if (!buf.valid()) {
+      status = Status::kNoMemory;
+    } else {
+      if (buf.size() >= PoolAllocator::kZeroCopyThreshold) {
+        buf.Rkey();
+      }
+      status = udp_.SendTo(*q->udp, to, buf);
     }
-    status = udp_.SendTo(*q->udp, to, buf);
   } else {
-    Buffer buf = Buffer::Allocate(alloc_, sga.TotalBytes());
-    size_t off = 0;
-    for (uint32_t i = 0; i < sga.num_segs; i++) {
-      std::memcpy(buf.mutable_data() + off, sga.segs[i].buf, sga.segs[i].len);
-      off += sga.segs[i].len;
+    Buffer buf = Buffer::TryAllocate(alloc_, sga.TotalBytes());
+    if (!buf.valid()) {
+      status = Status::kNoMemory;
+    } else {
+      size_t off = 0;
+      for (uint32_t i = 0; i < sga.num_segs; i++) {
+        std::memcpy(buf.mutable_data() + off, sga.segs[i].buf, sga.segs[i].len);
+        off += sga.segs[i].len;
+      }
+      if (buf.size() >= PoolAllocator::kZeroCopyThreshold) {
+        buf.Rkey();
+      }
+      status = udp_.SendTo(*q->udp, to, buf);
     }
-    if (buf.size() >= PoolAllocator::kZeroCopyThreshold) {
-      buf.Rkey();
-    }
-    status = udp_.SendTo(*q->udp, to, buf);
   }
   const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
   QResult r;

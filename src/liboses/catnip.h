@@ -65,6 +65,8 @@ class Catnip final : public LibOS {
   SimNic& nic() { return nic_; }
   Ipv4Addr local_ip() const { return eth_.local_ip(); }
   bool has_storage() const { return storage_ != nullptr; }
+  // Null unless constructed with a disk; chaos tests use this to tune the log retry policy.
+  StorageQueueEngine* storage() { return storage_.get(); }
 
  private:
   struct MemChannel {

@@ -10,6 +10,7 @@ Cattree::Cattree(SimBlockDevice& disk, Clock& clock)
       disk_(&disk) {
   disk_->RegisterMetrics(metrics_);
   disk_->SetTracer(&tracer_);
+  storage_.log().RegisterMetrics(metrics_);
   sched_.Spawn(FastPathFiber());
 }
 

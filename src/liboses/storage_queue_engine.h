@@ -35,7 +35,11 @@ class StorageQueueEngine {
     std::vector<Buffer> pinned;
     pinned.reserve(sga.num_segs);
     for (uint32_t i = 0; i < sga.num_segs; i++) {
-      pinned.push_back(Buffer::FromApp(alloc_, sga.segs[i].buf, sga.segs[i].len));
+      Buffer buf = Buffer::TryFromApp(alloc_, sga.segs[i].buf, sga.segs[i].len);
+      if (!buf.valid()) {
+        return FailOp(qt, Status::kNoMemory);  // heap exhausted: ENOMEM via the qtoken
+      }
+      pinned.push_back(std::move(buf));
     }
     return PushOpPinned(qt, std::move(pinned));  // parameters move into the frame immediately
   }
@@ -50,7 +54,12 @@ class StorageQueueEngine {
       co_return;
     }
     *cursor = result->next_cursor;
-    Buffer buf = Buffer::Allocate(alloc_, result->payload.size());
+    Buffer buf = Buffer::TryAllocate(alloc_, result->payload.size());
+    if (!buf.valid()) {
+      qr.status = Status::kNoMemory;  // cursor already advanced past a durable record; the
+      tokens_.Complete(qt, qr);       // caller may Seek back and re-pop once memory frees up
+      co_return;
+    }
     if (!result->payload.empty()) {
       std::memcpy(buf.mutable_data(), result->payload.data(), result->payload.size());
     }
@@ -70,6 +79,15 @@ class StorageQueueEngine {
   Status Truncate(uint64_t offset) { return log_.Truncate(offset); }
 
  private:
+  // Completes `qt` with a failure status on the next scheduler round (ops are spawned, so the
+  // failure must still arrive asynchronously through the qtoken like any other completion).
+  Task<void> FailOp(QToken qt, Status status) {
+    QResult qr;
+    qr.status = status;
+    tokens_.Complete(qt, qr);
+    co_return;
+  }
+
   Task<void> PushOpPinned(QToken qt, std::vector<Buffer> pinned) {
     // Flatten into the record image (models the controller's DMA gather from the ring).
     std::vector<uint8_t> record;

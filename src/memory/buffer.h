@@ -28,26 +28,47 @@ class Buffer {
 
   // Wraps application memory handed to the libOS by push(). Takes a libOS reference above the
   // zero-copy threshold; copies below it. `ptr` must lie in `alloc`'s heap for the zero-copy
-  // path (PDPIX requires all I/O memory to come from the DMA-capable heap).
-  static Buffer FromApp(PoolAllocator& alloc, const void* ptr, size_t len) {
+  // path (PDPIX requires all I/O memory to come from the DMA-capable heap). Returns an invalid
+  // Buffer (!valid()) if the heap is exhausted — datapath callers surface kNoMemory instead of
+  // aborting.
+  static Buffer TryFromApp(PoolAllocator& alloc, const void* ptr, size_t len) {
     if (len >= PoolAllocator::kZeroCopyThreshold && alloc.Owns(ptr)) {
       void* base = const_cast<void*>(ptr);
       alloc.IncRef(base);
       return Buffer(&alloc, base, 0, len, /*owned=*/false);
     }
     void* copy = alloc.Alloc(len == 0 ? 1 : len);
-    DEMI_CHECK(copy != nullptr);
+    if (copy == nullptr) {
+      return Buffer();
+    }
     std::memcpy(copy, ptr, len);
     alloc.IncRef(copy);
     return Buffer(&alloc, copy, 0, len, /*owned=*/true);
   }
 
-  // Allocates a fresh libOS-owned buffer (e.g., for incoming packet payloads).
-  static Buffer Allocate(PoolAllocator& alloc, size_t len) {
+  // As TryFromApp, but heap exhaustion is a fatal invariant violation (control-path callers).
+  static Buffer FromApp(PoolAllocator& alloc, const void* ptr, size_t len) {
+    Buffer b = TryFromApp(alloc, ptr, len);
+    DEMI_CHECK(b.valid());
+    return b;
+  }
+
+  // Allocates a fresh libOS-owned buffer (e.g., for incoming packet payloads). Returns an
+  // invalid Buffer (!valid()) if the heap is exhausted.
+  static Buffer TryAllocate(PoolAllocator& alloc, size_t len) {
     void* base = alloc.Alloc(len == 0 ? 1 : len);
-    DEMI_CHECK(base != nullptr);
+    if (base == nullptr) {
+      return Buffer();
+    }
     alloc.IncRef(base);
     return Buffer(&alloc, base, 0, len, /*owned=*/true);
+  }
+
+  // As TryAllocate, but heap exhaustion is a fatal invariant violation.
+  static Buffer Allocate(PoolAllocator& alloc, size_t len) {
+    Buffer b = TryAllocate(alloc, len);
+    DEMI_CHECK(b.valid());
+    return b;
   }
 
   Buffer(const Buffer& other) { CopyFrom(other); }

@@ -6,6 +6,7 @@
 
 #include "src/common/bitops.h"
 #include "src/common/logging.h"
+#include "src/faults/fault_injector.h"
 
 namespace demi {
 
@@ -90,6 +91,20 @@ PoolAllocator::Superblock* PoolAllocator::HeaderOf(const void* ptr) {
   return reinterpret_cast<Superblock*>(base);
 }
 
+void PoolAllocator::IndexBlock(Superblock* sb) {
+  const auto base = reinterpret_cast<uintptr_t>(sb);
+  for (uintptr_t unit = base; unit < base + sb->block_size; unit += kSuperblockSize) {
+    block_index_[unit] = sb;
+  }
+}
+
+void PoolAllocator::UnindexBlock(Superblock* sb) {
+  const auto base = reinterpret_cast<uintptr_t>(sb);
+  for (uintptr_t unit = base; unit < base + sb->block_size; unit += kSuperblockSize) {
+    block_index_.erase(unit);
+  }
+}
+
 PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size_t object_size,
                                                         size_t block_size) {
   void* mem = std::aligned_alloc(kSuperblockSize, block_size);
@@ -146,12 +161,16 @@ PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size
 
   stats_.superblocks++;
   stats_.bytes_reserved += block_size;
+  IndexBlock(sb);
   return sb;
 }
 
 void* PoolAllocator::Alloc(size_t size) {
   if (size == 0) {
     size = 1;
+  }
+  if (faults_ != nullptr && faults_->AllocShouldFail(size)) {
+    return nullptr;  // injected exhaustion: identical to the real out-of-memory path
   }
   if (size > kMaxPooledObject) {
     // Huge path: dedicated superblock holding exactly one object.
@@ -231,6 +250,7 @@ void PoolAllocator::FreeHugeBlock(Superblock* sb) {
   }
   stats_.superblocks--;
   stats_.bytes_reserved -= sb->block_size;
+  UnindexBlock(sb);
   std::free(sb);
 }
 
@@ -304,7 +324,15 @@ bool PoolAllocator::Owns(const void* ptr) const {
   if (ptr == nullptr) {
     return false;
   }
-  const Superblock* sb = HeaderOf(ptr);
+  // Foreign pointers (app stack/heap memory handed to push) must not be probed via HeaderOf():
+  // dereferencing the masked-down address reads memory this allocator does not own. The base
+  // index answers ownership without touching the pointee.
+  const auto unit = reinterpret_cast<uintptr_t>(ptr) & ~(uintptr_t{kSuperblockSize} - 1);
+  const auto it = block_index_.find(unit);
+  if (it == block_index_.end()) {
+    return false;
+  }
+  const Superblock* sb = it->second;
   return sb->magic == kSuperblockMagic && sb->owner == this;
 }
 
@@ -358,6 +386,7 @@ void PoolAllocator::ReleaseEmptySuperblocks() {
         }
         stats_.superblocks--;
         stats_.bytes_reserved -= sb->block_size;
+        UnindexBlock(sb);
         std::free(sb);
       } else {
         kept.push_back(sb);

@@ -26,6 +26,8 @@
 
 namespace demi {
 
+class FaultInjector;
+
 class PoolAllocator {
  public:
   // Superblocks are 256 kB and 256 kB-aligned; objects larger than kMaxPooledObject get a
@@ -64,7 +66,9 @@ class PoolAllocator {
   // belongs to; the allocator itself may outlive the device.
   void UnregisterAll();
 
-  // True if `ptr` was allocated by this allocator (by superblock magic check).
+  // True if `ptr` was allocated by this allocator. Safe for arbitrary pointers: the check is a
+  // lookup in the superblock base index, never a dereference of unowned memory (a magic-number
+  // probe at the masked-down address would read out of bounds for foreign heap pointers).
   bool Owns(const void* ptr) const;
 
   // Usable size of the object holding `ptr` (its size class).
@@ -84,6 +88,10 @@ class PoolAllocator {
   // Returns fully-free cached superblocks to the system (not used on the datapath).
   void ReleaseEmptySuperblocks();
 
+  // Optional chaos hook (null by default): consulted per Alloc for injected failures, which
+  // surface as nullptr exactly like real heap exhaustion. See src/faults/fault_injector.h.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   struct Superblock;
   struct SizeClass;
@@ -94,12 +102,18 @@ class PoolAllocator {
   Superblock* NewSuperblock(size_t class_index, size_t object_size, size_t block_size);
   void RecycleObject(Superblock* sb, uint32_t index);
   void FreeHugeBlock(Superblock* sb);
+  void IndexBlock(Superblock* sb);
+  void UnindexBlock(Superblock* sb);
 
   DmaRegistrar* registrar_;
   std::vector<SizeClass> classes_;
+  // Every kSuperblockSize-aligned unit covered by a live superblock, mapped to its header
+  // (huge blocks span several units). Owns() consults this instead of touching memory.
+  std::unordered_map<uintptr_t, Superblock*> block_index_;
   // libOS references beyond the first for an object (rare; e.g., same buffer on several I/Os).
   std::unordered_map<const void*, uint32_t> overflow_refs_;
   Stats stats_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace demi

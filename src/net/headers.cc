@@ -192,7 +192,12 @@ void UdpHeader::Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
   PutU16(out + 6, c);
 }
 
-std::optional<UdpHeader> UdpHeader::Parse(std::span<const uint8_t> in) {
+std::optional<UdpHeader> UdpHeader::Parse(std::span<const uint8_t> in, Ipv4Addr src_ip,
+                                          Ipv4Addr dst_ip, bool verify,
+                                          bool* checksum_failed) {
+  if (checksum_failed != nullptr) {
+    *checksum_failed = false;
+  }
   if (in.size() < kSize) {
     return std::nullopt;
   }
@@ -202,6 +207,20 @@ std::optional<UdpHeader> UdpHeader::Parse(std::span<const uint8_t> in) {
   h.length = GetU16(in.data() + 4);
   if (h.length < kSize || h.length > in.size()) {
     return std::nullopt;
+  }
+  if (verify && GetU16(in.data() + 6) != 0) {  // wire checksum 0 = "no checksum" (RFC 768)
+    InternetChecksum sum;
+    sum.AddU32(src_ip.value);
+    sum.AddU32(dst_ip.value);
+    sum.AddU16(static_cast<uint16_t>(IpProto::kUdp));
+    sum.AddU16(h.length);
+    sum.Add(in.subspan(0, h.length));
+    if (sum.Finish() != 0) {
+      if (checksum_failed != nullptr) {
+        *checksum_failed = true;
+      }
+      return std::nullopt;
+    }
   }
   return h;
 }
@@ -270,7 +289,10 @@ void TcpHeader::Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
 
 std::optional<TcpHeader> TcpHeader::Parse(std::span<const uint8_t> in, Ipv4Addr src_ip,
                                           Ipv4Addr dst_ip, size_t* header_len_out,
-                                          bool verify) {
+                                          bool verify, bool* checksum_failed) {
+  if (checksum_failed != nullptr) {
+    *checksum_failed = false;
+  }
   if (in.size() < kBaseSize) {
     return std::nullopt;
   }
@@ -286,6 +308,9 @@ std::optional<TcpHeader> TcpHeader::Parse(std::span<const uint8_t> in, Ipv4Addr 
     sum.AddU16(static_cast<uint16_t>(in.size()));
     sum.Add(in);
     if (sum.Finish() != 0) {
+      if (checksum_failed != nullptr) {
+        *checksum_failed = true;
+      }
       return std::nullopt;
     }
   }

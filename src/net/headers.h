@@ -86,7 +86,12 @@ struct UdpHeader {
   // skipped under device checksum offload.
   void Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
                  std::span<const uint8_t> payload, bool compute_checksum = true) const;
-  static std::optional<UdpHeader> Parse(std::span<const uint8_t> in);
+  // Parses; with `verify`, checks the pseudo-header checksum in software (skipped when the wire
+  // checksum is 0 — RFC 768 "no checksum" — or under device RX offload). `checksum_failed`, if
+  // non-null, is set when verification (not framing) caused the failure.
+  static std::optional<UdpHeader> Parse(std::span<const uint8_t> in, Ipv4Addr src_ip = {},
+                                        Ipv4Addr dst_ip = {}, bool verify = false,
+                                        bool* checksum_failed = nullptr);
 };
 
 // --- TCP ---
@@ -140,10 +145,11 @@ struct TcpHeader {
   // checksum offload, like DPDK TX offload).
   void Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
                  std::span<const uint8_t> payload, bool compute_checksum = true) const;
-  // Parses; verifies the checksum unless the device validated it on RX.
+  // Parses; verifies the checksum unless the device validated it on RX. `checksum_failed`, if
+  // non-null, is set when verification (not framing) caused the failure.
   static std::optional<TcpHeader> Parse(std::span<const uint8_t> in, Ipv4Addr src_ip,
                                         Ipv4Addr dst_ip, size_t* header_len_out,
-                                        bool verify = true);
+                                        bool verify = true, bool* checksum_failed = nullptr);
 };
 
 // Internet checksum (RFC 1071) with incremental accumulation for pseudo-headers.

@@ -486,7 +486,13 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
       return;
     }
     if (seq == rcv_nxt_) {
-      Buffer buf = Buffer::Allocate(stack_.allocator(), payload.size());
+      Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size());
+      if (!buf.valid()) {
+        // Heap exhausted: drop without advancing rcv_nxt_; the un-acked sender retransmits.
+        stack_.CountRxAllocDrop();
+        ScheduleAck();
+        return;
+      }
       std::memcpy(buf.mutable_data(), payload.data(), payload.size());
       rcv_nxt_ = rcv_nxt_ + static_cast<uint32_t>(payload.size());
       ready_bytes_ += buf.size();
@@ -497,10 +503,15 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
       // Out of order: stash for reassembly (dedup by start seq; overlaps resolved on drain).
       stats_.out_of_order++;
       if (reassembly_.find(seq.v) == reassembly_.end()) {
-        Buffer buf = Buffer::Allocate(stack_.allocator(), payload.size());
-        std::memcpy(buf.mutable_data(), payload.data(), payload.size());
-        reassembly_bytes_ += buf.size();
-        reassembly_.emplace(seq.v, std::move(buf));
+        Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size());
+        if (!buf.valid()) {
+          // The reassembly stash is an optimization; dropping only costs a retransmit later.
+          stack_.CountRxAllocDrop();
+        } else {
+          std::memcpy(buf.mutable_data(), payload.data(), payload.size());
+          reassembly_bytes_ += buf.size();
+          reassembly_.emplace(seq.v, std::move(buf));
+        }
       }
     }
   }
@@ -671,7 +682,9 @@ Task<void> TcpConnection::RetransmitFiber() {
     // without counting toward the abort limit (RFC 1122 4.2.2.17 — the connection stays open
     // as long as the receiver keeps acking).
     if (snd_wnd_ != 0 && ++consecutive_retx_ > stack_.config().max_retransmits) {
-      EnterClosed(Status::kTimedOut);
+      // Established-connection give-up: the abort status (not a connect timeout) reaches every
+      // waiter — pending pops complete with it and subsequent pushes return it.
+      EnterClosed(Status::kConnectionAborted);
       break;
     }
     InflightSegment& seg = inflight_.front();
@@ -757,7 +770,7 @@ Task<void> TcpConnection::TimeWaitFiber() {
 TcpStack::TcpStack(EthernetLayer& eth, Scheduler& scheduler, PoolAllocator& alloc, Clock& clock,
                    TcpConfig config)
     : eth_(eth), scheduler_(scheduler), alloc_(alloc), clock_(clock), config_(config),
-      rng_(0xDEADBEEF) {
+      rng_(config.isn_seed) {
   eth_.RegisterReceiver(IpProto::kTcp, this);
 }
 
@@ -852,10 +865,15 @@ void TcpStack::SendRst(const TcpHeader& in, Ipv4Addr dst) {
 
 void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   size_t hdr_len = 0;
-  const auto hdr =
-      TcpHeader::Parse(l4, ip.src, ip.dst, &hdr_len, /*verify=*/!eth_.checksum_offload());
+  bool checksum_failed = false;
+  const auto hdr = TcpHeader::Parse(l4, ip.src, ip.dst, &hdr_len,
+                                    /*verify=*/!eth_.checksum_offload(), &checksum_failed);
   if (!hdr) {
-    stats_.parse_errors++;
+    if (checksum_failed) {
+      stats_.rx_checksum_drops++;  // corruption caught before it could reach a connection
+    } else {
+      stats_.parse_errors++;
+    }
     return;
   }
   stats_.segments_rx++;
@@ -944,6 +962,12 @@ void TcpStack::SetObservability(MetricsRegistry* registry, Tracer* tracer) {
                        [this] { return stats_.no_connection; });
   reg.RegisterCallback("tcp.parse_errors", "tcp", "segments", "Unparseable segments",
                        [this] { return stats_.parse_errors; });
+  reg.RegisterCallback("tcp.rx_checksum_drops", "tcp", "segments",
+                       "Segments dropped: software checksum verification failed",
+                       [this] { return stats_.rx_checksum_drops; });
+  reg.RegisterCallback("tcp.rx_alloc_drops", "tcp", "segments",
+                       "Segment payloads dropped on heap exhaustion (recovered by retransmit)",
+                       [this] { return stats_.rx_alloc_drops; });
   reg.RegisterCallback("tcp.conns_opened", "tcp", "conns", "Connections opened",
                        [this] { return stats_.conns_opened; });
   reg.RegisterCallback("tcp.conns_reaped", "tcp", "conns", "Closed connections reaped",

@@ -286,11 +286,15 @@ class TcpStack final : public Ipv4Receiver {
     uint64_t rst_sent = 0;
     uint64_t no_connection = 0;
     uint64_t parse_errors = 0;
+    uint64_t rx_checksum_drops = 0;  // software-verified checksum mismatch (corruption caught)
+    uint64_t rx_alloc_drops = 0;     // segment payload dropped: heap exhausted (sender retransmits)
     uint64_t conns_opened = 0;
     uint64_t conns_reaped = 0;
   };
   const Stats& stats() const { return stats_; }
   size_t NumConnections() const { return conns_.size(); }
+  // Called by connections when an RX payload is dropped on heap exhaustion.
+  void CountRxAllocDrop() { stats_.rx_alloc_drops++; }
 
   // Stack-wide per-connection totals: live connections summed with everything already reaped,
   // so counters never go backwards when closed state is garbage-collected.

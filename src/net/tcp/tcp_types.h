@@ -87,6 +87,10 @@ struct TcpConfig {
   DurationNs time_wait = 10 * kMillisecond;
 
   size_t max_syn_backlog = 128;
+
+  // Seed for the ISN generator. Deterministic by default so tests replay exactly; chaos runs
+  // vary it per seed and replays pin it (see docs/FAULTS.md).
+  uint64_t isn_seed = 0xDEADBEEF;
 };
 
 }  // namespace demi

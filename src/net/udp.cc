@@ -20,8 +20,14 @@ void UdpStack::RegisterMetrics(MetricsRegistry& registry) {
                             "Datagrams dropped: per-socket receive queue full",
                             [this] { return stats_.rx_queue_drops; });
   registry.RegisterCallback("udp.parse_errors", "udp", "datagrams",
-                            "Unparseable or checksum-failed datagrams",
+                            "Unparseable datagrams",
                             [this] { return stats_.parse_errors; });
+  registry.RegisterCallback("udp.rx_checksum_drops", "udp", "datagrams",
+                            "Datagrams dropped: software checksum verification failed",
+                            [this] { return stats_.rx_checksum_drops; });
+  registry.RegisterCallback("udp.rx_alloc_drops", "udp", "datagrams",
+                            "Datagrams dropped: DMA heap exhausted while landing the payload",
+                            [this] { return stats_.rx_alloc_drops; });
   registry.RegisterCallback("udp.sockets", "udp", "sockets", "Currently bound sockets",
                             [this] { return sockets_.size(); });
 }
@@ -70,9 +76,17 @@ Status UdpStack::SendTo(Socket& socket, SocketAddress dst, const Buffer& payload
 }
 
 void UdpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
-  const auto udp = UdpHeader::Parse(l4);
+  // Without device RX offload the stack verifies the pseudo-header checksum in software; this
+  // is what catches injected bit flips before they reach the application.
+  bool checksum_failed = false;
+  const auto udp =
+      UdpHeader::Parse(l4, ip.src, ip.dst, !eth_.checksum_offload(), &checksum_failed);
   if (!udp) {
-    stats_.parse_errors++;
+    if (checksum_failed) {
+      stats_.rx_checksum_drops++;
+    } else {
+      stats_.parse_errors++;
+    }
     return;
   }
   auto it = sockets_.find(udp->dst_port);
@@ -87,7 +101,12 @@ void UdpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   }
   const size_t payload_len = udp->length - UdpHeader::kSize;
   // Incoming data lands in a fresh DMA-heap buffer; pop() will hand ownership to the app.
-  Buffer buf = Buffer::Allocate(alloc_, payload_len);
+  // Exhaustion degrades to a drop (a NIC with no mbufs), never an abort.
+  Buffer buf = Buffer::TryAllocate(alloc_, payload_len);
+  if (!buf.valid()) {
+    stats_.rx_alloc_drops++;
+    return;
+  }
   if (payload_len > 0) {
     std::memcpy(buf.mutable_data(), l4.data() + UdpHeader::kSize, payload_len);
   }

@@ -64,6 +64,8 @@ class UdpStack final : public Ipv4Receiver {
     uint64_t rx_no_socket = 0;
     uint64_t rx_queue_drops = 0;
     uint64_t parse_errors = 0;
+    uint64_t rx_checksum_drops = 0;  // software-verified checksum mismatch (corruption caught)
+    uint64_t rx_alloc_drops = 0;     // heap exhausted while landing a payload
   };
   const Stats& stats() const { return stats_; }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/faults/fault_injector.h"
 
 namespace demi {
 
@@ -40,6 +41,19 @@ void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) 
   if (rng_.NextBool(link_.loss)) {
     stats_.frames_dropped_loss++;
     return;
+  }
+
+  // Injected faults, after the stochastic link model so existing seeds are undisturbed when no
+  // injector is attached: flap/partition windows swallow the frame, corruption flips bits and
+  // delivers it anyway (the stacks' checksums must catch it).
+  if (faults_ != nullptr) {
+    if (faults_->NetShouldDrop(src, dst, now)) {
+      stats_.frames_dropped_fault++;
+      return;
+    }
+    if (faults_->NetMaybeCorrupt(frame)) {
+      stats_.frames_corrupted++;
+    }
   }
 
   TimeNs deliver_at = depart + link_.latency + link_.per_frame_overhead;

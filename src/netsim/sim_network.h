@@ -32,6 +32,8 @@
 
 namespace demi {
 
+class FaultInjector;
+
 struct LinkConfig {
   DurationNs latency = 1 * kMicrosecond;  // one-way propagation + switching
   uint64_t bandwidth_bps = 100'000'000'000ULL;  // 100 Gbps; 0 = infinite
@@ -67,12 +69,21 @@ class SimNetwork {
   const LinkConfig& link() const { return link_; }
   void set_link(const LinkConfig& link) { link_ = link; }
 
+  // Optional chaos hook (null by default): consulted per frame for injected corruption, link
+  // flaps and pairwise partitions. See src/faults/fault_injector.h.
+  void SetFaultInjector(FaultInjector* faults) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_ = faults;
+  }
+
   struct Stats {
     uint64_t frames_sent = 0;
     uint64_t frames_dropped_loss = 0;
     uint64_t frames_dropped_queue = 0;
+    uint64_t frames_dropped_fault = 0;  // swallowed by an injected flap/partition window
     uint64_t frames_duplicated = 0;
     uint64_t frames_reordered = 0;
+    uint64_t frames_corrupted = 0;      // delivered with injected bit flips
   };
   Stats GetStats() const;
 
@@ -105,6 +116,7 @@ class SimNetwork {
   std::map<uint64_t, std::unique_ptr<Port>> ports_;  // keyed by MAC value
   std::unique_ptr<PcapWriter> pcap_;
   Stats stats_;
+  FaultInjector* faults_ = nullptr;
 
  public:
   // A receive endpoint. Devices poll it for deliverable frames.

@@ -33,6 +33,20 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "disk_submit";
     case TraceEventType::kDiskComplete:
       return "disk_complete";
+    case TraceEventType::kFaultFrameCorrupt:
+      return "fault_frame_corrupt";
+    case TraceEventType::kFaultLinkFlap:
+      return "fault_link_flap";
+    case TraceEventType::kFaultPartition:
+      return "fault_partition";
+    case TraceEventType::kFaultDiskError:
+      return "fault_disk_error";
+    case TraceEventType::kFaultDiskDelay:
+      return "fault_disk_delay";
+    case TraceEventType::kFaultTornWrite:
+      return "fault_torn_write";
+    case TraceEventType::kFaultAllocFail:
+      return "fault_alloc_fail";
   }
   return "unknown";
 }

@@ -33,6 +33,14 @@ enum class TraceEventType : uint8_t {
   kRetransmit,       // arg1 = local port, arg2 = sequence number
   kDiskSubmit,       // arg1 = 1 read / 0 write, arg2 = bytes
   kDiskComplete,     // arg1 = 1 read / 0 write, arg2 = cookie
+  // Injected faults (src/faults/fault_injector.h; see docs/FAULTS.md).
+  kFaultFrameCorrupt,  // arg1 = first flipped bit index, arg2 = frame bytes
+  kFaultLinkFlap,      // arg2 = down-window ns
+  kFaultPartition,     // arg1 = src MAC (low 32 bits), arg2 = dst MAC
+  kFaultDiskError,     // arg1 = 1 read / 0 write, arg2 = cookie
+  kFaultDiskDelay,     // arg1 = 1 read / 0 write, arg2 = extra latency ns
+  kFaultTornWrite,     // arg1 = bytes that reached the media, arg2 = cookie
+  kFaultAllocFail,     // arg2 = requested bytes
 };
 
 const char* TraceEventTypeName(TraceEventType type);

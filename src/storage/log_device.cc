@@ -1,14 +1,25 @@
 #include "src/storage/log_device.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/observability/metrics.h"
 
 namespace demi {
 
 namespace {
 uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) & ~(a - 1); }
 }  // namespace
+
+void LogDevice::RegisterMetrics(MetricsRegistry& registry) {
+  registry.RegisterCallback("log.io_retries", "log", "ops",
+                            "Transient device errors absorbed by backoff+retry",
+                            [this] { return stats_.io_retries; });
+  registry.RegisterCallback("log.io_terminal_errors", "log", "ops",
+                            "Appends/reads failed after the retry budget was spent",
+                            [this] { return stats_.io_terminal_errors; });
+}
 
 LogDevice::LogDevice(SimBlockDevice& device, Scheduler& scheduler)
     : device_(device), scheduler_(scheduler), block_size_(device.config().block_size) {
@@ -22,11 +33,14 @@ Task<void> LogDevice::AcquireAppendLock() {
   append_locked_ = true;
 }
 
-Task<Status> LogDevice::SubmitWriteAndWait(uint64_t lba, std::span<const uint8_t> data) {
+Task<Status> LogDevice::SubmitOnceAndWait(bool is_read, uint64_t lba,
+                                          std::span<const uint8_t> data,
+                                          std::span<uint8_t> out) {
   IoWait wait;
   const uint64_t cookie = next_cookie_++;
   for (;;) {
-    const Status s = device_.SubmitWrite(lba, data, cookie);
+    const Status s =
+        is_read ? device_.SubmitRead(lba, out, cookie) : device_.SubmitWrite(lba, data, cookie);
     if (s == Status::kOk) {
       break;
     }
@@ -40,28 +54,41 @@ Task<Status> LogDevice::SubmitWriteAndWait(uint64_t lba, std::span<const uint8_t
   while (!wait.done) {
     co_await wait.event.Wait();
   }
-  co_return Status::kOk;
+  co_return wait.status;
+}
+
+Task<Status> LogDevice::SubmitWriteAndWait(uint64_t lba, std::span<const uint8_t> data) {
+  DurationNs backoff = retry_.initial_backoff;
+  for (uint32_t attempt = 0;; attempt++) {
+    const Status s = co_await SubmitOnceAndWait(/*is_read=*/false, lba, data, {});
+    if (s != Status::kIoError) {
+      co_return s;  // success, or a non-retryable submission error
+    }
+    if (attempt >= retry_.max_retries) {
+      stats_.io_terminal_errors++;
+      co_return s;  // budget spent: the terminal error propagates to the qtoken
+    }
+    stats_.io_retries++;
+    co_await scheduler_.Sleep(backoff);
+    backoff = std::min<DurationNs>(backoff * 2, retry_.max_backoff);
+  }
 }
 
 Task<Status> LogDevice::SubmitReadAndWait(uint64_t lba, std::span<uint8_t> out) {
-  IoWait wait;
-  const uint64_t cookie = next_cookie_++;
-  for (;;) {
-    const Status s = device_.SubmitRead(lba, out, cookie);
-    if (s == Status::kOk) {
-      break;
-    }
-    if (s != Status::kQueueFull) {
+  DurationNs backoff = retry_.initial_backoff;
+  for (uint32_t attempt = 0;; attempt++) {
+    const Status s = co_await SubmitOnceAndWait(/*is_read=*/true, lba, {}, out);
+    if (s != Status::kIoError) {
       co_return s;
     }
-    co_await Scheduler::Yield{};
+    if (attempt >= retry_.max_retries) {
+      stats_.io_terminal_errors++;
+      co_return s;
+    }
+    stats_.io_retries++;
+    co_await scheduler_.Sleep(backoff);
+    backoff = std::min<DurationNs>(backoff * 2, retry_.max_backoff);
   }
-  outstanding_++;
-  waiting_[cookie] = &wait;
-  while (!wait.done) {
-    co_await wait.event.Wait();
-  }
-  co_return Status::kOk;
 }
 
 Task<Result<uint64_t>> LogDevice::Append(std::span<const uint8_t> payload) {
@@ -178,6 +205,7 @@ void LogDevice::PollDevice() {
       auto it = waiting_.find(comps[i].cookie);
       if (it != waiting_.end()) {
         it->second->done = true;
+        it->second->status = comps[i].status;
         it->second->event.Notify();
         waiting_.erase(it);
         outstanding_--;

@@ -25,6 +25,8 @@
 
 namespace demi {
 
+class MetricsRegistry;
+
 class LogDevice {
  public:
   LogDevice(SimBlockDevice& device, Scheduler& scheduler);
@@ -59,6 +61,26 @@ class LogDevice {
   // Rebuilds head_/tail_ by scanning the device (crash-recovery path, synchronous).
   Status Recover();
 
+  // Bounded exponential backoff applied to transient device I/O errors (injected faults, flaky
+  // media). After 1 + max_retries failed attempts the last error becomes terminal and
+  // propagates to the caller — and from there through Cattree to the waiting qtoken.
+  struct RetryPolicy {
+    uint32_t max_retries = 6;
+    DurationNs initial_backoff = 10 * kMicrosecond;
+    DurationNs max_backoff = 1 * kMillisecond;
+  };
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  struct Stats {
+    uint64_t io_retries = 0;          // transient device errors absorbed by backoff+retry
+    uint64_t io_terminal_errors = 0;  // retry budget exhausted; error surfaced to the caller
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Exposes the retry counters as `log.*` metrics (see docs/OBSERVABILITY.md).
+  void RegisterMetrics(MetricsRegistry& registry);
+
  private:
   static constexpr uint32_t kRecordMagic = 0x4C4F4752;  // "LOGR"
   static constexpr size_t kHeaderSize = 8;
@@ -66,10 +88,16 @@ class LogDevice {
 
   struct IoWait {
     bool done = false;
+    Status status = Status::kOk;  // completion status from the device
     Event event;
   };
 
-  // Issues a device op, retrying while the device queue is full, and awaits its completion.
+  // One submission attempt: retries while the device queue is full, then awaits the completion
+  // and returns its status.
+  Task<Status> SubmitOnceAndWait(bool is_read, uint64_t lba, std::span<const uint8_t> data,
+                                 std::span<uint8_t> out);
+  // Issues a device op with transient-error retry per retry_policy(); returns the terminal
+  // status once the op succeeds or the budget is spent.
   Task<Status> SubmitWriteAndWait(uint64_t lba, std::span<const uint8_t> data);
   Task<Status> SubmitReadAndWait(uint64_t lba, std::span<uint8_t> out);
   Task<void> AcquireAppendLock();
@@ -88,6 +116,8 @@ class LogDevice {
   uint64_t next_cookie_ = 1;
   size_t outstanding_ = 0;
   std::unordered_map<uint64_t, IoWait*> waiting_;
+  RetryPolicy retry_;
+  Stats stats_;
 };
 
 }  // namespace demi

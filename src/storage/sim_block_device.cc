@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/faults/fault_injector.h"
 #include "src/observability/metrics.h"
 #include "src/observability/trace.h"
 
@@ -27,6 +28,9 @@ void SimBlockDevice::RegisterMetrics(MetricsRegistry& registry) {
   registry.RegisterCallback("blockdev.pending", "blockdev", "ops",
                             "Operations submitted and not yet completed",
                             [this] { return pending_.size(); });
+  registry.RegisterCallback("blockdev.io_errors", "blockdev", "ops",
+                            "Completions delivered with an error status",
+                            [this] { return stats_.io_errors; });
 }
 
 TimeNs SimBlockDevice::CompletionTimeFor(size_t bytes, bool is_read) {
@@ -59,6 +63,17 @@ Status SimBlockDevice::SubmitWrite(uint64_t lba, std::span<const uint8_t> data, 
   p.is_read = false;
   p.lba = lba;
   p.write_data.assign(data.begin(), data.end());
+  p.media_bytes = p.write_data.size();
+  if (faults_ != nullptr) {
+    const auto fault = faults_->DiskOnSubmit(/*is_read=*/false, data.size(), cookie);
+    p.complete_at += fault.extra_latency;
+    if (fault.io_error) {
+      p.status = Status::kIoError;
+      // Torn write: a prefix still lands on the media before the "crash"; a plain transient
+      // error leaves the media untouched.
+      p.media_bytes = fault.torn ? fault.torn_bytes : 0;
+    }
+  }
   pending_.push(std::move(p));
   stats_.writes++;
   stats_.bytes_written += data.size();
@@ -87,6 +102,13 @@ Status SimBlockDevice::SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t
   p.is_read = true;
   p.lba = lba;
   p.read_target = out;
+  if (faults_ != nullptr) {
+    const auto fault = faults_->DiskOnSubmit(/*is_read=*/true, out.size(), cookie);
+    p.complete_at += fault.extra_latency;
+    if (fault.io_error) {
+      p.status = Status::kIoError;
+    }
+  }
   pending_.push(std::move(p));
   stats_.reads++;
   stats_.bytes_read += out.size();
@@ -106,11 +128,16 @@ size_t SimBlockDevice::PollCompletions(std::span<Completion> out) {
     pending_.pop();
     const size_t offset = p.lba * config_.block_size;
     if (p.is_read) {
-      std::memcpy(p.read_target.data(), media_.data() + offset, p.read_target.size());
-    } else {
-      std::memcpy(media_.data() + offset, p.write_data.data(), p.write_data.size());
+      if (p.status == Status::kOk) {
+        std::memcpy(p.read_target.data(), media_.data() + offset, p.read_target.size());
+      }
+    } else if (p.media_bytes > 0) {
+      std::memcpy(media_.data() + offset, p.write_data.data(), p.media_bytes);
     }
-    out[n++] = Completion{p.cookie, Status::kOk};
+    if (p.status != Status::kOk) {
+      stats_.io_errors++;
+    }
+    out[n++] = Completion{p.cookie, p.status};
     if (tracer_ != nullptr) {
       tracer_->Record(TraceEventType::kDiskComplete, p.is_read ? 1 : 0, p.cookie);
     }

@@ -18,6 +18,7 @@
 
 namespace demi {
 
+class FaultInjector;
 class MetricsRegistry;
 class Tracer;
 
@@ -62,6 +63,7 @@ class SimBlockDevice {
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
     uint64_t queue_full_rejections = 0;
+    uint64_t io_errors = 0;  // completions delivered with a non-kOk status (injected faults)
   };
   const Stats& stats() const { return stats_; }
 
@@ -70,6 +72,10 @@ class SimBlockDevice {
   void RegisterMetrics(MetricsRegistry& registry);
   // Attaches a tracer for kDiskSubmit/kDiskComplete events.
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Optional chaos hook (null by default): consulted per submitted op for injected transient
+  // I/O errors, latency spikes and crash-point torn writes. See src/faults/fault_injector.h.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
 
   // Direct synchronous access for tests/recovery tooling (not a datapath API).
   void RawRead(uint64_t byte_offset, std::span<uint8_t> out) const;
@@ -81,6 +87,8 @@ class SimBlockDevice {
     uint64_t cookie;
     bool is_read;
     uint64_t lba;
+    Status status = Status::kOk;      // injected fault outcome, decided at submit time
+    size_t media_bytes = 0;           // writes: how much of write_data reaches the media
     std::vector<uint8_t> write_data;  // writes: captured data
     std::span<uint8_t> read_target;   // reads: caller's destination
     bool operator>(const Pending& o) const {
@@ -98,6 +106,7 @@ class SimBlockDevice {
   TimeNs device_free_at_ = 0;
   Stats stats_;
   Tracer* tracer_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace demi

@@ -358,7 +358,7 @@ TEST(TcpMtuTest, MssClampsToSmallerMtu) {
 
 // --- Retransmission limits ---
 
-TEST(TcpDeadPeerTest, RetransmitLimitTimesOutTheConnection) {
+TEST(TcpDeadPeerTest, RetransmitLimitAbortsTheConnection) {
   VirtualClock clock;
   SimNetwork net(LinkConfig{}, 3);
   TcpConfig cfg;
@@ -397,7 +397,8 @@ TEST(TcpDeadPeerTest, RetransmitLimitTimesOutTheConnection) {
     step(false);
   }
   EXPECT_EQ((*client)->state(), TcpState::kClosed);
-  EXPECT_EQ((*client)->error(), Status::kTimedOut);
+  // Established-connection give-up surfaces as an abort, not a connect timeout.
+  EXPECT_EQ((*client)->error(), Status::kConnectionAborted);
   EXPECT_GE((*client)->conn_stats().retransmits, 4u);
 }
 
