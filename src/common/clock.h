@@ -25,6 +25,12 @@ class Clock {
  public:
   virtual ~Clock() = default;
   virtual TimeNs Now() const = 0;
+  // True for manually-stepped clocks (VirtualClock): time only moves when code moves it, so
+  // pollers that would otherwise busy-wait for a deadline must step the clock themselves.
+  virtual bool IsManual() const { return false; }
+  // Steps a manual clock forward to `t`; no-op on real clocks (time advances on its own) and
+  // when `t` is in the past (time never goes backwards).
+  virtual void AdvanceTo(TimeNs t) {}
 };
 
 // Wall-clock-free monotonic time; used by benchmarks and live runs.
@@ -48,6 +54,12 @@ class VirtualClock final : public Clock {
   explicit VirtualClock(TimeNs start = 0) : now_(start) {}
 
   TimeNs Now() const override { return now_; }
+  bool IsManual() const override { return true; }
+  void AdvanceTo(TimeNs t) override {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
   void Advance(DurationNs delta) { now_ += delta; }
   void SetTime(TimeNs t) { now_ = t; }
 

@@ -101,8 +101,12 @@ Result<QResult> LibOS::WaitAny(std::span<const QToken> qts, size_t* index_out,
   wait_calls_->Inc();
   const TimeNs start = clock_.Now();
   const TimeNs deadline = timeout == 0 ? 0 : start + timeout;
+  // Fairness: rotate where the scan starts so that when several tokens are done at once, a
+  // perpetually-busy low index cannot starve the others across repeated WaitAny calls.
+  const size_t rot = qts.empty() ? 0 : wait_any_rr_++ % qts.size();
   for (;;) {
-    for (size_t i = 0; i < qts.size(); i++) {
+    for (size_t k = 0; k < qts.size(); k++) {
+      const size_t i = (rot + k) % qts.size();
       if (tokens_.IsDone(qts[i])) {
         if (index_out != nullptr) {
           *index_out = i;
@@ -119,7 +123,8 @@ Result<QResult> LibOS::WaitAny(std::span<const QToken> qts, size_t* index_out,
     RunExternalPump();
     wait_poll_rounds_->Inc();
     if (deadline != 0 && clock_.Now() >= deadline) {
-      for (size_t i = 0; i < qts.size(); i++) {
+      for (size_t k = 0; k < qts.size(); k++) {
+        const size_t i = (rot + k) % qts.size();
         if (tokens_.IsDone(qts[i])) {
           if (index_out != nullptr) {
             *index_out = i;
@@ -137,9 +142,13 @@ size_t LibOS::WaitAnyHarvest(std::span<const QToken> qts, std::vector<QResult>* 
   wait_calls_->Inc();
   const TimeNs start = clock_.Now();
   const TimeNs deadline = timeout == 0 ? 0 : start + timeout;
+  // Harvest order rotates like WaitAny: callers that only consume a prefix of `events` would
+  // otherwise favor low indices forever.
+  const size_t rot = qts.empty() ? 0 : wait_any_rr_++ % qts.size();
   for (;;) {
     size_t harvested = 0;
-    for (size_t i = 0; i < qts.size(); i++) {
+    for (size_t k = 0; k < qts.size(); k++) {
+      const size_t i = (rot + k) % qts.size();
       if (tokens_.IsDone(qts[i])) {
         auto r = tokens_.Take(qts[i]);
         if (r.ok()) {

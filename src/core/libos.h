@@ -155,6 +155,9 @@ class LibOS {
   Counter* wait_calls_ = nullptr;
   Counter* wait_poll_rounds_ = nullptr;
   Histogram* wait_ns_ = nullptr;
+  // Rotating scan start for WaitAny/WaitAnyHarvest: scanning from index 0 every call lets a
+  // busy low-index qtoken shadow completions on higher indices indefinitely.
+  size_t wait_any_rr_ = 0;
 };
 
 // Converts a popped Buffer into an app-owned single-segment sgarray. The buffer must be a whole

@@ -9,7 +9,7 @@ namespace demi {
 Catnip::Catnip(SimNetwork& network, const Config& config, Clock& clock)
     : LibOS("catnip", clock, NullDmaRegistrar::Global()),
       nic_(network, config.mac, clock),
-      eth_(nic_, config.ip, config.checksum_offload),
+      eth_(nic_, config.ip, config.checksum_offload, config.rx_burst_frames),
       udp_(eth_, alloc_),
       tcp_(eth_, sched_, alloc_, clock, config.tcp) {
   alloc_.SetRegistrar(nic_.registrar());

@@ -36,6 +36,9 @@ class Catnip final : public LibOS {
     // NIC checksum offload (default on, as DPDK deployments configure); off = software
     // checksums (ablation).
     bool checksum_offload = true;
+    // Frames the fast path drains from the NIC per scheduler round (DPDK rx_burst nb_pkts);
+    // 1 reproduces the pre-batching frame-per-poll datapath for ablation.
+    size_t rx_burst_frames = EthernetLayer::kDefaultRxBurst;
     // Reap closed TCP state every N fast-path iterations.
     uint32_t reap_interval = 1024;
   };

@@ -6,8 +6,12 @@
 
 namespace demi {
 
-EthernetLayer::EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload)
-    : nic_(nic), local_ip_(local_ip), checksum_offload_(checksum_offload) {}
+EthernetLayer::EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload,
+                             size_t rx_burst_frames)
+    : nic_(nic),
+      local_ip_(local_ip),
+      checksum_offload_(checksum_offload),
+      rx_frames_(rx_burst_frames == 0 ? 1 : rx_burst_frames) {}
 
 void EthernetLayer::RegisterMetrics(MetricsRegistry& registry) {
   registry.RegisterCallback("eth.ipv4_rx", "eth", "packets", "IPv4 packets received for us",
@@ -26,6 +30,12 @@ void EthernetLayer::RegisterMetrics(MetricsRegistry& registry) {
   registry.RegisterCallback("eth.no_receiver", "eth", "packets",
                             "IPv4 packets with no registered protocol receiver",
                             [this] { return stats_.no_receiver; });
+  registry.RegisterCallback("eth.rx_bursts", "eth", "bursts",
+                            "PollOnce calls that returned at least one frame",
+                            [this] { return stats_.rx_bursts; });
+  registry.RegisterCallback("eth.rx_burst_frames", "eth", "frames",
+                            "Frames delivered through RX bursts",
+                            [this] { return stats_.rx_burst_frames; });
 }
 
 void EthernetLayer::RegisterReceiver(IpProto proto, Ipv4Receiver* receiver) {
@@ -129,10 +139,13 @@ void EthernetLayer::HandleArp(std::span<const uint8_t> payload) {
 }
 
 size_t EthernetLayer::PollOnce() {
-  WireFrame frames[kRxBurst];
-  const size_t n = nic_.RxBurst(frames);
+  const size_t n = nic_.RxBurst(rx_frames_);
+  if (n > 0) {
+    stats_.rx_bursts++;
+    stats_.rx_burst_frames += n;
+  }
   for (size_t i = 0; i < n; i++) {
-    std::span<const uint8_t> frame(frames[i]);
+    std::span<const uint8_t> frame(rx_frames_[i]);
     const auto eth = EthernetHeader::Parse(frame);
     if (!eth) {
       stats_.parse_errors++;

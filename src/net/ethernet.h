@@ -46,12 +46,18 @@ class ArpCache {
 
 class EthernetLayer {
  public:
+  static constexpr size_t kDefaultRxBurst = 32;
+
   // `checksum_offload` models the NIC's TX/RX checksum offload (on by default, as every
   // datacenter DPDK deployment configures): the stacks skip software IP/TCP/UDP checksums and
   // trust RX validation. Turn off for the software-checksum ablation.
-  EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload = true);
+  // `rx_burst_frames` is the RxBurst size PollOnce drains per call (DPDK's rx_burst nb_pkts);
+  // 1 reproduces the pre-batching frame-per-poll datapath for ablation.
+  EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload = true,
+                size_t rx_burst_frames = kDefaultRxBurst);
 
   bool checksum_offload() const { return checksum_offload_; }
+  size_t rx_burst_frames() const { return rx_frames_.size(); }
 
   Ipv4Addr local_ip() const { return local_ip_; }
   MacAddr local_mac() const { return nic_.mac(); }
@@ -80,6 +86,8 @@ class EthernetLayer {
     uint64_t pending_dropped = 0;
     uint64_t parse_errors = 0;
     uint64_t no_receiver = 0;
+    uint64_t rx_bursts = 0;        // PollOnce calls that returned at least one frame
+    uint64_t rx_burst_frames = 0;  // frames delivered through those bursts
   };
   const Stats& stats() const { return stats_; }
 
@@ -90,7 +98,6 @@ class EthernetLayer {
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
-  static constexpr size_t kRxBurst = 32;
   static constexpr size_t kMaxPendingPerIp = 64;
 
   void SendArp(ArpPacket::Op op, MacAddr dst_mac, MacAddr target_mac, Ipv4Addr target_ip);
@@ -101,6 +108,9 @@ class EthernetLayer {
   SimNic& nic_;
   Ipv4Addr local_ip_;
   bool checksum_offload_;
+  // Reused RX frame ring, sized to the configured burst: one RxBurst fill per PollOnce
+  // without per-poll stack churn (frames keep their capacity across polls).
+  std::vector<WireFrame> rx_frames_;
   ArpCache arp_cache_;
   std::unordered_map<uint32_t, Ipv4Receiver*> receivers_;  // keyed by IpProto
 

@@ -243,6 +243,14 @@ size_t TcpHeader::SerializedSize() const {
 
 void TcpHeader::Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
                           std::span<const uint8_t> payload, bool compute_checksum) const {
+  const std::span<const uint8_t> one[1] = {payload};
+  Serialize(out, src_ip, dst_ip, std::span<const std::span<const uint8_t>>(one, 1),
+            compute_checksum);
+}
+
+void TcpHeader::Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                          std::span<const std::span<const uint8_t>> payload_slices,
+                          bool compute_checksum) const {
   const size_t hdr_len = SerializedSize();
   PutU16(out, src_port);
   PutU16(out + 2, dst_port);
@@ -276,13 +284,19 @@ void TcpHeader::Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
     out[o++] = 0;  // EOL padding
   }
   if (compute_checksum) {
+    size_t payload_len = 0;
+    for (const auto& slice : payload_slices) {
+      payload_len += slice.size();
+    }
     InternetChecksum sum;
     sum.AddU32(src_ip.value);
     sum.AddU32(dst_ip.value);
     sum.AddU16(static_cast<uint16_t>(IpProto::kTcp));
-    sum.AddU16(static_cast<uint16_t>(hdr_len + payload.size()));
+    sum.AddU16(static_cast<uint16_t>(hdr_len + payload_len));
     sum.Add({out, hdr_len});
-    sum.Add(payload);
+    for (const auto& slice : payload_slices) {
+      sum.Add(slice);
+    }
     PutU16(out + 16, sum.Finish());
   }
 }

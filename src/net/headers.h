@@ -145,6 +145,12 @@ struct TcpHeader {
   // checksum offload, like DPDK TX offload).
   void Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
                  std::span<const uint8_t> payload, bool compute_checksum = true) const;
+  // Gather variant: the payload is the concatenation of `payload_slices` (the zero-copy
+  // coalesced send path hands one Buffer view per slice; InternetChecksum accumulates
+  // correctly across odd-length slice boundaries).
+  void Serialize(uint8_t* out, Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                 std::span<const std::span<const uint8_t>> payload_slices,
+                 bool compute_checksum = true) const;
   // Parses; verifies the checksum unless the device validated it on RX. `checksum_failed`, if
   // non-null, is set when verification (not framing) caused the failure.
   static std::optional<TcpHeader> Parse(std::span<const uint8_t> in, Ipv4Addr src_ip,

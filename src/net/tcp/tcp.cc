@@ -15,6 +15,29 @@ Task<void> RunFiber(std::shared_ptr<TcpConnection> conn, Task<void> body) {
 }
 }  // namespace
 
+// ============================== SegmentPayload ====================================
+
+void SegmentPayload::TrimFront(size_t n) {
+  bytes_ -= n;
+  size_t keep = 0;
+  for (size_t i = 0; i < count_; i++) {
+    if (n >= slices_[i].size()) {
+      n -= slices_[i].size();
+      slices_[i] = Buffer{};  // fully covered: drop the reference (buffer may recycle)
+      continue;
+    }
+    if (n > 0) {
+      slices_[i].TrimFront(n);
+      n = 0;
+    }
+    if (keep != i) {
+      slices_[keep] = std::move(slices_[i]);
+    }
+    keep++;
+  }
+  count_ = keep;
+}
+
 // ============================== TcpConnection =====================================
 
 TcpConnection::TcpConnection(TcpStack& stack, SocketAddress local, SocketAddress remote,
@@ -81,11 +104,18 @@ std::optional<Buffer> TcpConnection::PopData() {
   if (ready_.empty()) {
     return std::nullopt;
   }
+  const bool window_was_closed = ReceiveCapacityLeft() == 0;
   Buffer b = std::move(ready_.front());
   ready_.pop_front();
   ready_bytes_ -= b.size();
-  // The receive window just opened; let the acker advertise it.
-  ScheduleAck();
+  // The receive window just opened; advertise it — urgently if it had slammed shut (the peer
+  // may be persist-probing against a zero window), lazily otherwise (the next data segment or
+  // delayed ack carries the update).
+  if (window_was_closed) {
+    ScheduleAck();
+  } else {
+    ScheduleDelayedAck(stack_.clock().Now());
+  }
   return b;
 }
 
@@ -218,12 +248,17 @@ void TcpConnection::SendDataSegment(InflightSegment& seg, TimeNs now) {
   hdr.flags.fin = seg.fin;
   hdr.window = AdvertisedWindow();
   StampTimestamps(&hdr);
-  stack_.SendSegment(hdr, remote_.ip, {seg.data.data(), seg.data.size()});
+  std::span<const uint8_t> slices[SegmentPayload::kMaxSlices];
+  const size_t nslices = seg.data.Gather(slices);
+  stack_.SendSegment(hdr, remote_.ip, {slices, nslices});
   seg.sent_at = now;
   seg.rto_deadline = now + rtt_.rto();
   stats_.segments_sent++;
   stats_.bytes_sent += seg.data.size();
-  ack_needed_ = false;  // this segment carried the ack
+  // This segment carried the ack: drop any pending pure-ack obligation (piggybacking).
+  ack_needed_ = false;
+  ack_immediate_ = false;
+  full_segs_since_ack_ = 0;
 }
 
 void TcpConnection::TrySend(TimeNs now) {
@@ -232,28 +267,42 @@ void TcpConnection::TrySend(TimeNs now) {
       state_ != TcpState::kClosing) {
     return;
   }
+  const bool coalesce = stack_.config().coalesce_segments;
   bool sent_any = false;
   while (!unsent_.empty()) {
     const size_t window = EffectiveSendWindow();
     if (window == 0) {
       break;
     }
-    Buffer& front = unsent_.front();
-    const size_t take = std::min({front.size(), EffectiveMss(), window});
+    const size_t budget = std::min(EffectiveMss(), window);
     InflightSegment seg;
     seg.seq = snd_nxt_;
-    if (take == front.size()) {
-      // Whole buffer fits in one segment: move it, avoiding a second reference (which would
-      // spill into the allocator's overflow table).
-      seg.data = std::move(front);
-      unsent_.pop_front();
-    } else {
-      seg.data = front.Slice(0, take);
-      front.TrimFront(take);
+    size_t filled = 0;
+    // Gather queued buffers (or leading slices of them) until the segment fills to MSS/window
+    // or runs out of gather slots; with coalescing off, one Push buffer per segment.
+    while (!unsent_.empty() && filled < budget && !seg.data.full()) {
+      Buffer& front = unsent_.front();
+      const size_t take = std::min(front.size(), budget - filled);
+      if (take == front.size()) {
+        // Whole buffer fits in this segment: move it, avoiding a second reference (which
+        // would spill into the allocator's overflow table).
+        seg.data.Append(std::move(front));
+        unsent_.pop_front();
+      } else {
+        seg.data.Append(front.Slice(0, take));
+        front.TrimFront(take);
+      }
+      filled += take;
+      if (!coalesce) {
+        break;
+      }
     }
-    unsent_bytes_ -= take;
-    snd_nxt_ = snd_nxt_ + static_cast<uint32_t>(take);
-    bytes_inflight_ += take;
+    unsent_bytes_ -= filled;
+    snd_nxt_ = snd_nxt_ + static_cast<uint32_t>(filled);
+    bytes_inflight_ += filled;
+    if (seg.data.num_slices() > 1) {
+      stats_.coalesced_segments++;
+    }
     SendDataSegment(seg, now);
     inflight_.push_back(std::move(seg));
     sent_any = true;
@@ -276,10 +325,31 @@ void TcpConnection::TrySend(TimeNs now) {
 }
 
 void TcpConnection::ScheduleAck() {
-  if (!ack_needed_) {
+  if (!ack_needed_ || !ack_immediate_) {
+    // Newly needed, or escalating an armed delayed ack: wake the acker out of its timed wait.
     ack_needed_ = true;
+    ack_immediate_ = true;
     ack_event_.Notify();
   }
+}
+
+void TcpConnection::ScheduleDelayedAck(TimeNs now) {
+  if (!stack_.config().delayed_acks) {
+    ScheduleAck();  // ablation: legacy ack-per-segment (plus the fixed ack_delay, if set)
+    return;
+  }
+  if (ack_needed_) {
+    return;  // already armed (or immediate); never push an armed deadline back (RFC 1122)
+  }
+  ack_needed_ = true;
+  ack_immediate_ = false;
+  ack_deadline_ = now + DelayedAckTimeout();
+  ack_event_.Notify();
+}
+
+DurationNs TcpConnection::DelayedAckTimeout() const {
+  // RFC 1122 4.2.3.2 hard cap: never hold an ack longer than 500 ms, whatever the config says.
+  return std::min<DurationNs>(stack_.config().delayed_ack_timeout, 500 * kMillisecond);
 }
 
 void TcpConnection::OnSegment(const TcpHeader& hdr, std::span<const uint8_t> payload,
@@ -405,11 +475,27 @@ void TcpConnection::ProcessAck(const TcpHeader& hdr, TimeNs now) {
         sampled = true;  // prefer the timestamp sample over the per-segment timer
       }
     }
+    // Karn's algorithm (RFC 6298 §3): if the cumulative ack covers ANY retransmitted segment,
+    // the ack's timing is driven by the retransmission and every per-segment timer in the
+    // range is ambiguous — take no timer sample at all. (A lost first segment held later ones
+    // in the peer's reassembly queue; the cumulative ack releasing them measures the RTO, not
+    // the path RTT.) Timestamp RTTM above is retransmission-safe and exempt.
+    bool ack_covers_retx = false;
+    for (const InflightSegment& seg : inflight_) {
+      const uint32_t seg_len = static_cast<uint32_t>(seg.data.size()) + (seg.fin ? 1 : 0);
+      if (ack < seg.seq + seg_len) {
+        break;  // past the fully-covered prefix
+      }
+      if (seg.retransmitted) {
+        ack_covers_retx = true;
+        break;
+      }
+    }
     while (!inflight_.empty()) {
       InflightSegment& seg = inflight_.front();
       const uint32_t seg_len = static_cast<uint32_t>(seg.data.size()) + (seg.fin ? 1 : 0);
       if (ack >= seg.seq + seg_len) {
-        if (!seg.retransmitted && !sampled) {
+        if (!seg.retransmitted && !ack_covers_retx && !sampled) {
           rtt_.OnSample(now - seg.sent_at);
           sampled = true;
         }
@@ -458,6 +544,12 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
                                 TimeNs now) {
   SeqNum seq{hdr.seq};
 
+  // Ack policy (RFC 1122 4.2.3.2, RFC 5681 §4.2): in-order sub-threshold data may ride a
+  // delayed ack; everything ambiguous or urgent — duplicates (the peer is retransmitting),
+  // out-of-order arrivals (dup-ack drives fast retransmit), gap fills, FIN advancement, and
+  // every `ack_every_segments`-th full-sized segment — acks immediately.
+  bool immediate = false;
+
   if (hdr.flags.fin) {
     const SeqNum fin_at = seq + static_cast<uint32_t>(payload.size());
     if (!remote_fin_seen_) {
@@ -469,6 +561,7 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
   if (!payload.empty()) {
     // Left-trim data we already have.
     if (seq < rcv_nxt_) {
+      immediate = true;  // duplicate bytes: re-ack now so the retransmitting peer resyncs
       const uint32_t overlap = static_cast<uint32_t>(rcv_nxt_ - seq);
       if (overlap >= payload.size()) {
         payload = {};
@@ -497,11 +590,20 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
       rcv_nxt_ = rcv_nxt_ + static_cast<uint32_t>(payload.size());
       ready_bytes_ += buf.size();
       ready_.push_back(std::move(buf));
+      const SeqNum before_drain = rcv_nxt_;
       DrainReassembly();
+      if (rcv_nxt_ != before_drain) {
+        immediate = true;  // this segment filled a gap: ack the whole advance right away
+      }
+      if (payload.size() >= EffectiveMss() &&
+          ++full_segs_since_ack_ >= stack_.config().ack_every_segments) {
+        immediate = true;
+      }
       readable_.Notify();
     } else if (seq > rcv_nxt_) {
       // Out of order: stash for reassembly (dedup by start seq; overlaps resolved on drain).
       stats_.out_of_order++;
+      immediate = true;  // dup-ack immediately so the peer's fast retransmit can trigger
       if (reassembly_.find(seq.v) == reassembly_.end()) {
         Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size());
         if (!buf.valid()) {
@@ -520,11 +622,18 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
   if (remote_fin_seen_ && !remote_fin_received_ && rcv_nxt_ == remote_fin_seq_) {
     rcv_nxt_ = rcv_nxt_ + 1;
     remote_fin_received_ = true;
+    immediate = true;  // don't hold the peer's close on a delay timer
     HandleFinReached(now);
     readable_.Notify();
+  } else if (remote_fin_seen_ && !remote_fin_received_) {
+    immediate = true;  // FIN past a gap: keep dup-acking until the hole fills
   }
 
-  ScheduleAck();
+  if (immediate) {
+    ScheduleAck();
+  } else {
+    ScheduleDelayedAck(now);
+  }
 }
 
 void TcpConnection::DrainReassembly() {
@@ -699,21 +808,34 @@ Task<void> TcpConnection::RetransmitFiber() {
 
 Task<void> TcpConnection::AckerFiber() {
   Scheduler& sched = stack_.scheduler();
-  const DurationNs delay = stack_.config().ack_delay;
+  const DurationNs legacy_delay = stack_.config().ack_delay;
   while (state_ != TcpState::kClosed) {
     if (!ack_needed_) {
       co_await ack_event_.Wait();
       continue;
     }
-    if (delay > 0) {
-      // Delayed ack: coalesce acks arriving within the window.
-      co_await sched.Sleep(delay);
+    if (!ack_immediate_) {
+      // Delayed ack armed: hold until the deadline unless escalated to immediate (or
+      // piggybacked away by an outgoing data segment) first.
+      const TimeNs now = stack_.clock().Now();
+      if (now < ack_deadline_) {
+        co_await ack_event_.WaitWithTimeout(sched, ack_deadline_);
+        continue;  // re-evaluate: escalated, piggybacked, or deadline reached
+      }
+    } else if (legacy_delay > 0 && !stack_.config().delayed_acks) {
+      // Legacy fixed-delay coalescing (only with the RFC 1122 machinery disabled).
+      co_await sched.Sleep(legacy_delay);
     }
     if (state_ == TcpState::kClosed) {
       break;
     }
     if (ack_needed_) {
+      if (!ack_immediate_) {
+        stats_.delayed_acks++;  // held to the timer; no data segment piggybacked it
+      }
       ack_needed_ = false;
+      ack_immediate_ = false;
+      full_segs_since_ack_ = 0;
       SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false);
     }
   }
@@ -740,7 +862,7 @@ Task<void> TcpConnection::SenderFiber() {
         Buffer& front = unsent_.front();
         InflightSegment seg;
         seg.seq = snd_nxt_;
-        seg.data = front.Slice(0, 1);
+        seg.data.Append(front.Slice(0, 1));
         front.TrimFront(1);
         if (front.empty()) {
           unsent_.pop_front();
@@ -837,18 +959,23 @@ void TcpStack::CloseListener(TcpListener* listener) {
 }
 
 Status TcpStack::SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
-                             std::span<const uint8_t> payload) {
+                             std::span<const std::span<const uint8_t>> payload_slices) {
   uint8_t hdr_bytes[TcpHeader::kBaseSize + TcpHeader::kMaxOptionBytes];
-  hdr.Serialize(hdr_bytes, eth_.local_ip(), dst, payload,
+  hdr.Serialize(hdr_bytes, eth_.local_ip(), dst, payload_slices,
                 /*compute_checksum=*/!eth_.checksum_offload());
   const size_t hdr_len = hdr.SerializedSize();
   stats_.segments_tx++;
-  if (payload.empty()) {
-    std::span<const uint8_t> segs[1] = {{hdr_bytes, hdr_len}};
-    return eth_.SendIpv4(dst, IpProto::kTcp, segs);
+  // Gather [tcp hdr | payload slices...]; the ethernet layer prepends its own header slot.
+  DEMI_CHECK(payload_slices.size() <= SegmentPayload::kMaxSlices);
+  std::span<const uint8_t> segs[1 + SegmentPayload::kMaxSlices];
+  segs[0] = {hdr_bytes, hdr_len};
+  size_t n = 1;
+  for (const auto& slice : payload_slices) {
+    if (!slice.empty()) {
+      segs[n++] = slice;
+    }
   }
-  std::span<const uint8_t> segs[2] = {{hdr_bytes, hdr_len}, payload};
-  return eth_.SendIpv4(dst, IpProto::kTcp, segs);
+  return eth_.SendIpv4(dst, IpProto::kTcp, {segs, n});
 }
 
 void TcpStack::SendRst(const TcpHeader& in, Ipv4Addr dst) {
@@ -922,6 +1049,8 @@ void AccumulateConnStats(TcpConnection::ConnStats* into, const TcpConnection::Co
   into->dup_acks_seen += s.dup_acks_seen;
   into->paws_drops += s.paws_drops;
   into->ts_rtt_samples += s.ts_rtt_samples;
+  into->coalesced_segments += s.coalesced_segments;
+  into->delayed_acks += s.delayed_acks;
 }
 }  // namespace
 
@@ -992,6 +1121,12 @@ void TcpStack::SetObservability(MetricsRegistry* registry, Tracer* tracer) {
   reg.RegisterCallback("tcp.paws_drops", "tcp", "segments",
                        "Segments rejected by PAWS (RFC 7323)",
                        [this] { return AggregateConnStats().paws_drops; });
+  reg.RegisterCallback("tcp.coalesced_segments", "tcp", "segments",
+                       "Data segments sent carrying more than one gathered buffer slice",
+                       [this] { return AggregateConnStats().coalesced_segments; });
+  reg.RegisterCallback("tcp.delayed_acks", "tcp", "acks",
+                       "Pure acks held to the delayed-ack timer before sending",
+                       [this] { return AggregateConnStats().delayed_acks; });
 }
 
 }  // namespace demi

@@ -36,7 +36,9 @@ namespace demi {
 class TcpStack;
 class TcpListener;
 
-// RFC 6298 RTT estimation with exponential backoff.
+// RFC 6298 RTT estimation with exponential backoff. Karn's algorithm (§3 of the RFC) lives in
+// the caller: acks whose range covers a retransmitted segment never produce a timer sample
+// (timestamp-based RTTM samples are immune and always valid).
 class RttEstimator {
  public:
   explicit RttEstimator(const TcpConfig& config)
@@ -52,13 +54,9 @@ class RttEstimator {
       srtt_ = (7 * srtt_ + rtt) / 8;
     }
     rto_ = Clamp(srtt_ + std::max<DurationNs>(4 * rttvar_, 1));
-    backoff_ = 0;
   }
 
-  void Backoff() {
-    backoff_++;
-    rto_ = Clamp(rto_ * 2);
-  }
+  void Backoff() { rto_ = Clamp(rto_ * 2); }
 
   DurationNs rto() const { return rto_; }
   DurationNs srtt() const { return srtt_; }
@@ -71,7 +69,41 @@ class RttEstimator {
   DurationNs srtt_ = 0;
   DurationNs rttvar_ = 0;
   DurationNs rto_;
-  int backoff_ = 0;
+};
+
+// One wire segment's zero-copy payload: up to kMaxSlices gathered Buffer views. Coalescing
+// sub-MSS pushes into full-MSS segments preserves zero-copy by carrying several application
+// buffer slices per segment; each slice pins its buffer until cumulatively acked (§5.3, §6.3).
+class SegmentPayload {
+ public:
+  // The NIC TX gather list holds 8 entries: [eth+ip hdr | tcp hdr | payload slices...].
+  static constexpr size_t kMaxSlices = 6;
+
+  size_t size() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+  size_t num_slices() const { return count_; }
+  bool full() const { return count_ == kMaxSlices; }
+
+  void Append(Buffer b) {
+    bytes_ += b.size();
+    slices_[count_++] = std::move(b);
+  }
+
+  // Drops `n` leading bytes (partial cumulative-ack trim), releasing fully-covered slices.
+  void TrimFront(size_t n);
+
+  // Copies the live slices' spans into `out[0..kMaxSlices)`; returns the slice count.
+  size_t Gather(std::span<const uint8_t>* out) const {
+    for (size_t i = 0; i < count_; i++) {
+      out[i] = {slices_[i].data(), slices_[i].size()};
+    }
+    return count_;
+  }
+
+ private:
+  Buffer slices_[kMaxSlices];
+  size_t count_ = 0;
+  size_t bytes_ = 0;
 };
 
 class TcpConnection {
@@ -123,18 +155,24 @@ class TcpConnection {
     uint64_t dup_acks_seen = 0;
     uint64_t paws_drops = 0;        // segments rejected by PAWS (RFC 7323 §5)
     uint64_t ts_rtt_samples = 0;    // RTT samples taken from tsecr (RTTM)
+    uint64_t coalesced_segments = 0;  // data segments that carried >1 gathered buffer slice
+    uint64_t delayed_acks = 0;        // pure acks held to the delayed-ack timer before sending
   };
   bool timestamps_enabled() const { return ts_enabled_; }
   const ConnStats& conn_stats() const { return stats_; }
+  const RttEstimator& rtt_estimator() const { return rtt_; }
   size_t BytesInFlight() const { return bytes_inflight_; }
   size_t cwnd() const { return cc_->cwnd(); }
+  // Wire payload budget per segment (MSS minus negotiated option overhead); what the
+  // coalescer fills to and the "full-sized segment" threshold of the ack policy.
+  size_t effective_mss() const { return EffectiveMss(); }
 
  private:
   friend class TcpStack;
 
   struct InflightSegment {
     SeqNum seq;
-    Buffer data;      // empty for bare FIN
+    SegmentPayload data;  // empty for bare FIN
     bool fin = false;
     TimeNs sent_at = 0;
     TimeNs rto_deadline = 0;
@@ -155,7 +193,9 @@ class TcpConnection {
   void TrySend(TimeNs now);
   void SendDataSegment(InflightSegment& seg, TimeNs now);
   Status SendControl(TcpFlags flags, SeqNum seq, bool with_options);
-  void ScheduleAck();
+  void ScheduleAck();                   // immediate: the acker sends on its next run
+  void ScheduleDelayedAck(TimeNs now);  // coalescing: arm (or keep) the delayed-ack deadline
+  DurationNs DelayedAckTimeout() const;
   uint32_t NowTsval() const;
   void StampTimestamps(TcpHeader* hdr) const;
   void ArmRetransmitter() { retx_event_.Notify(); }
@@ -224,6 +264,9 @@ class TcpConnection {
   RttEstimator rtt_;
 
   bool ack_needed_ = false;
+  bool ack_immediate_ = false;        // send on the next acker run; don't wait for the timer
+  TimeNs ack_deadline_ = 0;           // armed delayed-ack deadline (valid while ack_needed_)
+  uint32_t full_segs_since_ack_ = 0;  // full-MSS segments received since we last sent an ack
   Event readable_;
   Event established_;
   Event retx_event_;
@@ -320,7 +363,10 @@ class TcpStack final : public Ipv4Receiver {
     }
   };
 
-  Status SendSegment(const TcpHeader& hdr, Ipv4Addr dst, std::span<const uint8_t> payload);
+  // Sends one segment whose payload is the concatenation of `payload_slices` (zero-copy
+  // gather: header + slices go to the NIC as one TX burst). Empty for control segments.
+  Status SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
+                     std::span<const std::span<const uint8_t>> payload_slices);
   void SendRst(const TcpHeader& in, Ipv4Addr dst);
   void TraceRetransmit(uint16_t local_port, SeqNum seq) {
     if (tracer_ != nullptr) {

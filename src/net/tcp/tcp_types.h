@@ -72,8 +72,23 @@ struct TcpConfig {
   size_t recv_buffer_bytes = 1 << 20;
   uint8_t window_scale = 7;  // advertise 2^7 scaling (RFC 7323)
 
-  // Delayed-ack: 0 = ack on the next acker-fiber run (one scheduler round, near-immediate).
+  // Legacy fixed ack delay: 0 = ack on the next acker-fiber run (one scheduler round,
+  // near-immediate). Only consulted when `delayed_acks` below is off (the ablation knob).
   DurationNs ack_delay = 0;
+
+  // RFC 1122 delayed/coalesced acks: hold a pure ack for up to `delayed_ack_timeout`, ack
+  // immediately after every `ack_every_segments`-th full-sized segment, and ack immediately on
+  // out-of-order or window-recovery events. The default timeout is 500 µs — the µs-fabric
+  // scaling of RFC 1122's 500 ms cap (same reasoning as the RTO floors above); values are
+  // clamped to the RFC's hard 500 ms cap.
+  bool delayed_acks = true;
+  DurationNs delayed_ack_timeout = 500 * kMicrosecond;
+  uint32_t ack_every_segments = 2;
+
+  // Coalesce queued sub-MSS buffer views into full-MSS wire segments (zero-copy gather; each
+  // segment carries multiple Buffer slices). Off = one segment per Push (the pre-batching
+  // behavior, kept for ablation).
+  bool coalesce_segments = true;
 
   // RFC 7323 timestamps: negotiated on SYN; provides retransmission-safe RTT samples (RTTM)
   // and PAWS sequence protection. tsval granularity is 1 µs here (µs-scale RTTs would round

@@ -16,6 +16,7 @@
 #ifndef SRC_RUNTIME_SCHEDULER_H_
 #define SRC_RUNTIME_SCHEDULER_H_
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
@@ -79,13 +80,25 @@ class Scheduler {
 
   // Convenience: polls until `pred()` is true or `timeout` elapses (0 = no timeout).
   // Returns true if the predicate was met.
+  //
+  // On a manual clock (VirtualClock) an idle poll round — zero resumptions, empty run queue —
+  // can never make progress by itself: nothing advances virtual time, so pending timers never
+  // fire. In that situation the clock is stepped to the next timer deadline; with no timers
+  // pending the loop returns false instead of spinning forever.
   template <typename Pred>
   bool PollUntil(Pred&& pred, DurationNs timeout = 0) {
     const TimeNs deadline = timeout == 0 ? 0 : clock_.Now() + timeout;
     while (!pred()) {
-      Poll();
+      const size_t resumed = Poll();
       if (deadline != 0 && clock_.Now() >= deadline) {
         return pred();
+      }
+      if (resumed == 0 && NumRunnable() == 0 && clock_.IsManual()) {
+        const TimeNs next = NextTimerDeadline();
+        if (next == 0) {
+          return pred();  // live-locked: no runnable fibers, no timers, frozen clock
+        }
+        clock_.AdvanceTo(deadline != 0 ? std::min(next, deadline) : next);
       }
     }
     return true;

@@ -270,7 +270,7 @@ TEST(ParserFuzzTest, TimestampOptionRoundTrip) {
   h.flags.ack = true;
   h.timestamps_option = TcpHeader::Timestamps{0xDEADBEEF, 0xCAFEF00D};
   std::vector<uint8_t> wire(h.SerializedSize());
-  h.Serialize(wire.data(), src, dst, {});
+  h.Serialize(wire.data(), src, dst, std::span<const uint8_t>{});
   size_t hdr_len = 0;
   auto parsed = TcpHeader::Parse(wire, src, dst, &hdr_len);
   ASSERT_TRUE(parsed.has_value());
@@ -290,7 +290,7 @@ TEST(ParserFuzzTest, AllOptionsTogether) {
   h.timestamps_option = TcpHeader::Timestamps{1, 0};
   std::vector<uint8_t> wire(h.SerializedSize());
   ASSERT_LE(h.SerializedSize(), TcpHeader::kBaseSize + TcpHeader::kMaxOptionBytes);
-  h.Serialize(wire.data(), src, dst, {});
+  h.Serialize(wire.data(), src, dst, std::span<const uint8_t>{});
   size_t hdr_len = 0;
   auto parsed = TcpHeader::Parse(wire, src, dst, &hdr_len);
   ASSERT_TRUE(parsed.has_value());

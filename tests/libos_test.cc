@@ -199,6 +199,50 @@ TEST_F(CatnipPairTest, MemoryQueueRoundTrip) {
   EXPECT_EQ(SgaToString(server_, r->sga), "channel-msg");
 }
 
+// WaitAny must not starve later entries when earlier ones are continuously ready: the scan
+// start rotates across calls. Pre-fix, scanning from index 0 every call meant a hot queue at
+// position 0 monopolized a server loop and position 1 was never harvested.
+TEST_F(CatnipPairTest, WaitAnyRotatesAcrossHotQueues) {
+  auto q0 = server_.MemoryQueue();
+  auto q1 = server_.MemoryQueue();
+  ASSERT_TRUE(q0.ok());
+  ASSERT_TRUE(q1.ok());
+  // Preload both queues so a fresh pop on either completes immediately: both stay "hot".
+  for (int i = 0; i < 8; i++) {
+    for (QueueDesc qd : {*q0, *q1}) {
+      auto push = server_.Push(qd, MakeSga(server_, "hot"));
+      ASSERT_TRUE(push.ok());
+      (void)server_.Wait(*push, kSecond);
+    }
+  }
+  QToken qts[2];
+  auto p0 = server_.Pop(*q0);
+  auto p1 = server_.Pop(*q1);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  qts[0] = *p0;
+  qts[1] = *p1;
+  int harvested[2] = {0, 0};
+  for (int round = 0; round < 6; round++) {
+    // Both tokens must be complete before the call, so the scan order alone decides.
+    for (int i = 0; i < 1000 && !(server_.IsDone(qts[0]) && server_.IsDone(qts[1])); i++) {
+      server_.PollOnce();
+    }
+    ASSERT_TRUE(server_.IsDone(qts[0]) && server_.IsDone(qts[1]));
+    size_t idx = 99;
+    auto r = server_.WaitAny(qts, &idx, kSecond);
+    ASSERT_TRUE(r.ok());
+    ASSERT_LT(idx, 2u);
+    harvested[idx]++;
+    server_.FreeSga(r->sga);
+    auto next = server_.Pop(idx == 0 ? *q0 : *q1);
+    ASSERT_TRUE(next.ok());
+    qts[idx] = *next;
+  }
+  EXPECT_GT(harvested[0], 0);
+  EXPECT_GT(harvested[1], 0) << "queue at index 1 was starved by the scan order";
+}
+
 TEST_F(CatnipPairTest, WaitAnyHarvestDrainsBurst) {
   // The paper's wait_any returns an array of qevents; a burst of completions should harvest in
   // one call.

@@ -103,7 +103,7 @@ TEST(HeadersTest, TcpOptionsRoundTrip) {
   h.mss_option = 1460;
   h.window_scale_option = 7;
   std::vector<uint8_t> wire(h.SerializedSize());
-  h.Serialize(wire.data(), src, dst, {});
+  h.Serialize(wire.data(), src, dst, std::span<const uint8_t>{});
   size_t hdr_len = 0;
   auto parsed = TcpHeader::Parse(wire, src, dst, &hdr_len);
   ASSERT_TRUE(parsed.has_value());

@@ -83,6 +83,32 @@ TEST_F(SimNicTest, UnknownDestinationVanishes) {
   EXPECT_EQ(b_.RxBurst(rx), 0u);
 }
 
+// A burst-sized RxBurst must return only frames whose simulated delivery time has arrived:
+// batching the poll loop must not let later frames jump their propagation delay.
+TEST_F(SimNicTest, RxBurstHonorsPerFrameDeliveryTimes) {
+  // Three frames staggered 10 µs apart on a 1 µs-latency link.
+  bool first = true;
+  for (const char* text : {"f-one", "f-two", "f-three"}) {
+    if (!first) {
+      clock_.Advance(10 * kMicrosecond);
+    }
+    first = false;
+    WireFrame f = MakeFrame(text);
+    std::span<const uint8_t> seg = AsSpan(f);
+    ASSERT_EQ(a_.TxBurst(MacAddr{2}, {&seg, 1}), Status::kOk);
+  }
+  // Halfway into frame 3's propagation: frames 1 and 2 (sent at t=0 and t=10 µs) are due,
+  // frame 3 (sent at t=20 µs, due at ~21 µs) is still on the wire.
+  clock_.Advance(net_.link().latency / 2);
+  WireFrame rx[32];
+  EXPECT_EQ(b_.RxBurst(rx), 2u) << "burst returned a frame ahead of its delivery time";
+  EXPECT_EQ(std::memcmp(rx[0].data(), "f-one", 5), 0);
+  EXPECT_EQ(std::memcmp(rx[1].data(), "f-two", 5), 0);
+  clock_.Advance(net_.link().latency);
+  ASSERT_EQ(b_.RxBurst(rx), 1u);
+  EXPECT_EQ(std::memcmp(rx[0].data(), "f-three", 7), 0);
+}
+
 TEST_F(SimNicTest, FramesStayInOrderOnCleanLink) {
   for (int i = 0; i < 50; i++) {
     WireFrame f{static_cast<uint8_t>(i)};

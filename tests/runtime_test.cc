@@ -149,6 +149,50 @@ TEST(SchedulerTest, SleepBlocksUntilDeadline) {
   EXPECT_TRUE(done);
 }
 
+// PollUntil on a VirtualClock must step virtual time to the next timer deadline when only
+// timers remain — otherwise a sleeping fiber live-locks the loop (nothing runnable, nothing
+// advancing the clock). Pre-fix this test spun until the step budget with `done` never set.
+TEST(SchedulerTest, PollUntilStepsVirtualClockToTimers) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  bool done = false;
+  sched.Spawn([](Scheduler* s, bool* flag) -> Task<void> {
+    co_await s->Sleep(5 * kMillisecond);
+    *flag = true;
+    co_return;
+  }(&sched, &done));
+  EXPECT_TRUE(sched.PollUntil([&] { return done; }));
+  EXPECT_GE(clock.Now(), 5 * kMillisecond);
+}
+
+// With no runnable fibers and no pending timers, PollUntil(pred) must return false rather
+// than spin forever on the frozen clock.
+TEST(SchedulerTest, PollUntilReturnsFalseWhenNothingCanProgress) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  Event never;
+  sched.Spawn([](Event* e) -> Task<void> {
+    co_await e->Wait();
+    co_return;
+  }(&never));
+  EXPECT_FALSE(sched.PollUntil([] { return false; }));
+}
+
+// The timer step never overshoots an explicit PollUntil timeout: a distant timer must not
+// drag the clock past the caller's deadline.
+TEST(SchedulerTest, PollUntilClampsClockStepAtTimeout) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  bool done = false;
+  sched.Spawn([](Scheduler* s, bool* flag) -> Task<void> {
+    co_await s->Sleep(kSecond);
+    *flag = true;
+    co_return;
+  }(&sched, &done));
+  EXPECT_FALSE(sched.PollUntil([&] { return done; }, 10 * kMillisecond));
+  EXPECT_LT(clock.Now(), 20 * kMillisecond);
+}
+
 TEST(SchedulerTest, WaitWithTimeoutFiresOnTimer) {
   VirtualClock clock;
   Scheduler sched(clock);
