@@ -25,8 +25,8 @@ void BM_YieldContextSwitch(benchmark::State& state) {
   VirtualClock clock;
   Scheduler sched(clock);
   bool stop = false;
-  sched.Spawn([](bool* stop) -> Task<void> {
-    while (!*stop) {
+  sched.Spawn([](bool* halt) -> Task<void> {
+    while (!*halt) {
       co_await Scheduler::Yield{};
     }
   }(&stop));
@@ -44,8 +44,8 @@ void BM_TwoFiberPingPong(benchmark::State& state) {
   Scheduler sched(clock);
   bool stop = false;
   for (int i = 0; i < 2; i++) {
-    sched.Spawn([](bool* stop) -> Task<void> {
-      while (!*stop) {
+    sched.Spawn([](bool* halt) -> Task<void> {
+      while (!*halt) {
         co_await Scheduler::Yield{};
       }
     }(&stop));
@@ -74,8 +74,8 @@ void BM_PollWithBlockedFibers(benchmark::State& state) {
     }(events.back().get()));
   }
   sched.Poll();  // everyone blocks
-  sched.Spawn([](bool* stop) -> Task<void> {
-    while (!*stop) {
+  sched.Spawn([](bool* halt) -> Task<void> {
+    while (!*halt) {
       co_await Scheduler::Yield{};
     }
   }(&stop));
@@ -96,8 +96,8 @@ void BM_PollWithRunnableFibers(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   bool stop = false;
   for (int i = 0; i < n; i++) {
-    sched.Spawn([](bool* stop) -> Task<void> {
-      while (!*stop) {
+    sched.Spawn([](bool* halt) -> Task<void> {
+      while (!*halt) {
         co_await Scheduler::Yield{};
       }
     }(&stop));
@@ -118,10 +118,10 @@ void BM_EventWakeToRun(benchmark::State& state) {
   Event event;
   uint64_t counter = 0;
   bool stop = false;
-  sched.Spawn([](Event* e, uint64_t* counter, bool* stop) -> Task<void> {
-    while (!*stop) {
+  sched.Spawn([](Event* e, uint64_t* count_out, bool* halt) -> Task<void> {
+    while (!*halt) {
       co_await e->Wait();
-      (*counter)++;
+      (*count_out)++;
     }
   }(&event, &counter, &stop));
   sched.Poll();
@@ -153,8 +153,8 @@ void BM_TimerFire(benchmark::State& state) {
   Scheduler sched(clock);
   Event dummy;
   bool stop = false;
-  sched.Spawn([](Scheduler* s, bool* stop) -> Task<void> {
-    while (!*stop) {
+  sched.Spawn([](Scheduler* s, bool* halt) -> Task<void> {
+    while (!*halt) {
       co_await s->Sleep(10);
     }
   }(&sched, &stop));

@@ -117,7 +117,7 @@ void BM_TcpInOrderSegmentRound(benchmark::State& state) {
   TcpFixture fx;
   for (auto _ : state) {
     void* p = fx.a_alloc.Alloc(64);
-    fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 64));
+    (void)fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 64));  // lossless sim link; benches measure the success path
     fx.a_alloc.Free(p);
     while (!fx.server->HasReadyData()) {
       fx.Step();
@@ -139,7 +139,7 @@ void BM_TcpReceiveFastPath(benchmark::State& state) {
   {
     // Discover rcv_nxt by sending one real segment.
     void* p = fx.a_alloc.Alloc(64);
-    fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 64));
+    (void)fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 64));  // lossless sim link; benches measure the success path
     fx.a_alloc.Free(p);
     while (!fx.server->HasReadyData()) {
       fx.Step();
@@ -151,7 +151,7 @@ void BM_TcpReceiveFastPath(benchmark::State& state) {
     // the wire, and time ONLY the receiver's processing of it.
     state.PauseTiming();
     void* p = fx.a_alloc.Alloc(64);
-    fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 64));
+    (void)fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 64));  // lossless sim link; benches measure the success path
     fx.a_alloc.Free(p);
     WireFrame frames[4];
     size_t n = 0;
@@ -187,7 +187,7 @@ void BM_TcpInlinePush(benchmark::State& state) {
   for (auto _ : state) {
     const uint64_t target = fx.server->conn_stats().bytes_received + 1400;
     void* p = fx.a_alloc.Alloc(1400);
-    fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 1400));
+    (void)fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 1400));  // lossless sim link; benches measure the success path
     fx.a_alloc.Free(p);
     state.PauseTiming();
     while (fx.server->conn_stats().bytes_received < target) {
@@ -232,7 +232,7 @@ void BM_TcpSmallMsgBurst(benchmark::State& state) {
     const uint64_t target = fx.server->conn_stats().bytes_received + kMsgs * kMsgBytes;
     for (size_t i = 0; i < kMsgs; i++) {
       void* p = fx.a_alloc.Alloc(kMsgBytes);
-      fx.client->Push(Buffer::FromApp(fx.a_alloc, p, kMsgBytes));
+      (void)fx.client->Push(Buffer::FromApp(fx.a_alloc, p, kMsgBytes));  // lossless sim link; benches measure the success path
       fx.a_alloc.Free(p);
     }
     while (fx.server->conn_stats().bytes_received < target) {
@@ -269,7 +269,7 @@ int RunQuickPerfSmoke() {
   TcpFixture fx;
   auto round = [&fx] {
     void* p = fx.a_alloc.Alloc(64);
-    fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 64));
+    (void)fx.client->Push(Buffer::FromApp(fx.a_alloc, p, 64));  // lossless sim link; benches measure the success path
     fx.a_alloc.Free(p);
     while (!fx.server->HasReadyData()) {
       fx.Step();

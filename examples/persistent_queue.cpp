@@ -46,7 +46,7 @@ int main() {
     }
 
     // Seek back to the head and replay the first record.
-    os.Seek(*reader, 0);
+    (void)os.Seek(*reader, 0);  // the head has not moved, so offset 0 is in range
     auto pop = os.Pop(*reader);
     auto r = os.Wait(*pop);
     if (r.ok() && r->status == Status::kOk) {
@@ -59,7 +59,10 @@ int main() {
   // "Crash": the first libOS instance is gone; a new one recovers the log from the media.
   {
     Cattree os(disk, clock);
-    os.storage().log().Recover();
+    if (os.storage().log().Recover() != Status::kOk) {
+      std::printf("recovery failed\n");
+      return 1;
+    }
     std::printf("\nafter recovery: log holds bytes [%llu, %llu)\n",
                 static_cast<unsigned long long>(os.storage().log().head()),
                 static_cast<unsigned long long>(os.storage().log().tail()));

@@ -69,6 +69,6 @@ int main() {
 
   std::printf("10000 echos over Catnip TCP: mean %.2f us, p50 %.2f us, p99 %.2f us\n",
               rtt.Mean() / 1e3, rtt.P50() / 1e3, rtt.P99() / 1e3);
-  client.Close(*sock);
+  (void)client.Close(*sock);  // process exit tears the queue down either way
   return 0;
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The full CI gate, in the order a reviewer wants failures surfaced:
+#
+#   1. configure + build with -Werror (DEMI_WERROR=ON) — warnings fail first, fast;
+#   2. the unit/integration test suite;
+#   3. the lint label (demilint over the tree, its fixture selftest, check_docs);
+#   4. clang-tidy, when installed (skips gracefully otherwise);
+#   5. the sanitizer sweep (ASan, UBSan, targeted TSan).
+#
+# Usage: scripts/ci.sh [repo_root]
+# Set DEMI_CI_SKIP_SANITIZERS=1 to stop after the lint stage (useful while iterating).
+
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+BDIR="$ROOT/build-ci"
+
+echo "=== [1/5] configure + build (DEMI_WERROR=ON) ==="
+cmake -B "$BDIR" -S "$ROOT" -DDEMI_WERROR=ON
+cmake --build "$BDIR" -j "$JOBS"
+
+echo "=== [2/5] test suite ==="
+(cd "$BDIR" && ctest -LE lint --output-on-failure -j "$JOBS")
+
+echo "=== [3/5] lint (demilint + fixtures + check_docs) ==="
+(cd "$BDIR" && ctest -L lint --output-on-failure)
+
+echo "=== [4/5] clang-tidy ==="
+"$ROOT/scripts/run_clang_tidy.sh" "$ROOT" "$BDIR"
+
+if [ "${DEMI_CI_SKIP_SANITIZERS:-0}" = "1" ]; then
+  echo "=== [5/5] sanitizers: skipped (DEMI_CI_SKIP_SANITIZERS=1) ==="
+else
+  echo "=== [5/5] sanitizers ==="
+  "$ROOT/scripts/run_sanitizers.sh" "$ROOT"
+fi
+
+echo "ci.sh: all stages passed."

@@ -5,8 +5,9 @@
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/) configured with
 # -DDEMI_SANITIZE=<name>; the chaos soak is shortened via DEMI_CHAOS_SEEDS so a full
-# sanitized sweep stays CI-friendly. ThreadSanitizer is available via DEMI_SANITIZE=thread
-# but is not part of the default sweep: the simulation is single-threaded by design.
+# sanitized sweep stays CI-friendly. The simulation itself is single-threaded by design, so
+# ThreadSanitizer runs a targeted job (build-tsan/) over just the tests that actually spawn
+# threads — the apps_test client/server echo pairs — instead of the whole suite.
 
 set -euo pipefail
 
@@ -24,5 +25,11 @@ for san in address undefined; do
   cmake --build "$bdir" -j "$JOBS" > /dev/null
   (cd "$bdir" && ctest --output-on-failure -j "$JOBS")
 done
+
+echo "=== DEMI_SANITIZE=thread (targeted: threaded apps_test echo pairs) ==="
+bdir="$ROOT/build-tsan"
+cmake -B "$bdir" -S "$ROOT" -DDEMI_SANITIZE=thread > /dev/null
+cmake --build "$bdir" -j "$JOBS" --target apps_test > /dev/null
+"$bdir/tests/apps_test" --gtest_filter='*Threaded*'
 
 echo "All sanitizer sweeps passed."

@@ -49,7 +49,8 @@ size_t MiniRpcServer::PollOnce() {
     resp_hdr.payload_len = static_cast<uint32_t>(resp_len);
     std::memcpy(resp_buf, &resp_hdr, sizeof(resp_hdr));
     std::span<const uint8_t> seg(resp_buf, sizeof(RpcHeader) + resp_len);
-    nic_.TxBurst(MacAddr{hdr.src_mac}, {&seg, 1});
+    // A dropped response looks like a lost request: the client's RTO resends it.
+    (void)nic_.TxBurst(MacAddr{hdr.src_mac}, {&seg, 1});
     served++;
     requests_served_++;
   }
@@ -88,7 +89,7 @@ std::vector<uint8_t> MiniRpcClient::Call(std::span<const uint8_t> request, Durat
       pump_();
     }
     if (clock_.Now() >= next_retransmit) {
-      nic_.TxBurst(server_, {&seg, 1});
+      (void)nic_.TxBurst(server_, {&seg, 1});  // best-effort; this loop IS the retry path
       next_retransmit = clock_.Now() + rto;
     }
     const size_t n = nic_.RxBurst(frames);
@@ -132,7 +133,7 @@ uint64_t MiniRpcClient::RunClosedLoopWindow(size_t request_size, size_t depth,
       std::memcpy(tx_buf, &hdr, sizeof(hdr));
       std::memcpy(tx_buf + sizeof(hdr), payload.data(), request_size);
       std::span<const uint8_t> seg(tx_buf, sizeof(hdr) + request_size);
-      nic_.TxBurst(server_, {&seg, 1});
+      (void)nic_.TxBurst(server_, {&seg, 1});  // a lost request is resent by the RTO check above
       inflight[req_id] = clock_.Now();
     }
     if (pump_) {

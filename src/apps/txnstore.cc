@@ -333,7 +333,7 @@ struct RawRdmaKvReplicaApp::Impl {
     recv_bufs.assign(kRawKvRecvDepth, std::vector<uint8_t>(kRawKvBufSize));
     for (size_t i = 0; i < recv_bufs.size(); i++) {
       device.RegisterMemory(recv_bufs[i].data(), recv_bufs[i].size());
-      device.PostRecv(kRawKvQp, recv_bufs[i].data(), kRawKvBufSize, i);
+      DEMI_CHECK(device.PostRecv(kRawKvQp, recv_bufs[i].data(), kRawKvBufSize, i) == Status::kOk);
     }
     tx_buf.resize(kRawKvBufSize);
     device.RegisterMemory(tx_buf.data(), tx_buf.size());
@@ -384,8 +384,11 @@ size_t RawRdmaKvReplicaApp::PollOnce() {
     std::memcpy(im.tx_buf.data(), &resp_hdr, sizeof(resp_hdr));
     std::memcpy(im.tx_buf.data() + sizeof(resp_hdr), resp + 4, resp_len - 4);
     std::span<const uint8_t> seg(im.tx_buf.data(), sizeof(resp_hdr) + resp_len - 4);
-    im.device.PostSend(kRawKvQp, MacAddr{hdr.client_mac}, kRawKvQp, {&seg, 1}, 0);
-    im.device.PostRecv(kRawKvQp, rbuf.data(), kRawKvBufSize, comps[i].wr_id);
+    // A dropped response looks like a lost request: the client's timeout resends it. The recv
+    // repost must succeed or the ring leaks a slot.
+    (void)im.device.PostSend(kRawKvQp, MacAddr{hdr.client_mac}, kRawKvQp, {&seg, 1}, 0);
+    DEMI_CHECK(im.device.PostRecv(kRawKvQp, rbuf.data(), kRawKvBufSize, comps[i].wr_id) ==
+               Status::kOk);
     served++;
   }
   return served;
@@ -410,7 +413,7 @@ YcsbResult RunRawRdmaYcsbFClient(SimNetwork& network, MacAddr mac, Clock& clock,
                                               std::vector<uint8_t>(kRawKvBufSize));
   for (size_t i = 0; i < recv_bufs.size(); i++) {
     device.RegisterMemory(recv_bufs[i].data(), recv_bufs[i].size());
-    device.PostRecv(kRawKvQp, recv_bufs[i].data(), kRawKvBufSize, i);
+    DEMI_CHECK(device.PostRecv(kRawKvQp, recv_bufs[i].data(), kRawKvBufSize, i) == Status::kOk);
   }
   std::vector<uint8_t> tx_buf(kRawKvBufSize);
   device.RegisterMemory(tx_buf.data(), tx_buf.size());
@@ -424,7 +427,7 @@ YcsbResult RunRawRdmaYcsbFClient(SimNetwork& network, MacAddr mac, Clock& clock,
     std::memcpy(tx_buf.data(), &hdr, sizeof(hdr));
     std::memcpy(tx_buf.data() + sizeof(hdr), frame + 4, frame_total - 4);  // copy-in
     std::span<const uint8_t> seg(tx_buf.data(), sizeof(hdr) + frame_total - 4);
-    device.PostSend(kRawKvQp, replica, kRawKvQp, {&seg, 1}, 0);
+    (void)device.PostSend(kRawKvQp, replica, kRawKvQp, {&seg, 1}, 0);  // deadline below retries
     const TimeNs deadline = clock.Now() + 5 * kSecond;
     while (clock.Now() < deadline) {
       if (pump) {
@@ -437,8 +440,8 @@ YcsbResult RunRawRdmaYcsbFClient(SimNetwork& network, MacAddr mac, Clock& clock,
         }
         RawKvHeader rh;
         std::memcpy(&rh, recv_bufs[comps[i].wr_id].data(), sizeof(rh));
-        device.PostRecv(kRawKvQp, recv_bufs[comps[i].wr_id].data(), kRawKvBufSize,
-                        comps[i].wr_id);
+        DEMI_CHECK(device.PostRecv(kRawKvQp, recv_bufs[comps[i].wr_id].data(), kRawKvBufSize,
+                                   comps[i].wr_id) == Status::kOk);
         if (rh.req_id == hdr.req_id) {
           return true;
         }

@@ -46,4 +46,15 @@ void SetLogLevel(LogLevel level);
     }                                                                                   \
   } while (0)
 
+// Debug-only invariant check: compiled out (condition not evaluated) in NDEBUG builds. This is
+// the only check form demilint permits inside `// demilint: fastpath` regions — release
+// datapaths must be abort-free (docs/STATIC_ANALYSIS.md).
+#ifndef NDEBUG
+#define DEMI_DCHECK(cond) DEMI_CHECK(cond)
+#else
+#define DEMI_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
 #endif  // SRC_COMMON_LOGGING_H_

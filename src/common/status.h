@@ -116,7 +116,7 @@ class [[nodiscard]] Result {
 
   bool ok() const { return ok_; }
   explicit operator bool() const { return ok_; }
-  Status error() const { return ok_ ? Status::kOk : error_; }
+  [[nodiscard]] Status error() const { return ok_ ? Status::kOk : error_; }
 
   T& value() {
     assert(ok_);

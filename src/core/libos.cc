@@ -67,6 +67,7 @@ void LibOS::InitObservability() {
 }
 
 Result<QResult> LibOS::Wait(QToken qt, DurationNs timeout) {
+  // demilint: fastpath
   if (!tokens_.IsValid(qt)) {
     return Status::kBadQToken;
   }
@@ -89,10 +90,12 @@ Result<QResult> LibOS::Wait(QToken qt, DurationNs timeout) {
       return Status::kTimedOut;
     }
   }
+  // demilint: end-fastpath
 }
 
 Result<QResult> LibOS::WaitAny(std::span<const QToken> qts, size_t* index_out,
                                DurationNs timeout) {
+  // demilint: fastpath
   for (QToken qt : qts) {
     if (!tokens_.IsValid(qt)) {
       return Status::kBadQToken;
@@ -135,10 +138,12 @@ Result<QResult> LibOS::WaitAny(std::span<const QToken> qts, size_t* index_out,
       return Status::kTimedOut;
     }
   }
+  // demilint: end-fastpath
 }
 
 size_t LibOS::WaitAnyHarvest(std::span<const QToken> qts, std::vector<QResult>* events,
                              std::vector<size_t>* indices, DurationNs timeout) {
+  // demilint: fastpath
   wait_calls_->Inc();
   const TimeNs start = clock_.Now();
   const TimeNs deadline = timeout == 0 ? 0 : start + timeout;
@@ -154,9 +159,11 @@ size_t LibOS::WaitAnyHarvest(std::span<const QToken> qts, std::vector<QResult>* 
         if (r.ok()) {
           tracer_.Record(TraceEventType::kQTokenRedeemed, static_cast<uint32_t>(r->qd), qts[i]);
           if (events != nullptr) {
+            // demilint: allow(fastpath-alloc) caller-owned vector, bounded by qts.size()
             events->push_back(*r);
           }
           if (indices != nullptr) {
+            // demilint: allow(fastpath-alloc) caller-owned vector, bounded by qts.size()
             indices->push_back(i);
           }
           harvested++;
@@ -174,6 +181,7 @@ size_t LibOS::WaitAnyHarvest(std::span<const QToken> qts, std::vector<QResult>* 
       return 0;
     }
   }
+  // demilint: end-fastpath
 }
 
 Status LibOS::WaitAll(std::span<const QToken> qts, std::vector<QResult>* out,

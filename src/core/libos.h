@@ -35,16 +35,16 @@ class LibOS {
 
   // --- Queue creation and management (PDPIX libcalls, Figure 2) ---
   virtual Result<QueueDesc> Socket(SocketType type) = 0;
-  virtual Status Bind(QueueDesc qd, SocketAddress local) = 0;
-  virtual Status Listen(QueueDesc qd, int backlog) = 0;
+  [[nodiscard]] virtual Status Bind(QueueDesc qd, SocketAddress local) = 0;
+  [[nodiscard]] virtual Status Listen(QueueDesc qd, int backlog) = 0;
   virtual Result<QToken> Accept(QueueDesc qd) = 0;
   virtual Result<QToken> Connect(QueueDesc qd, SocketAddress remote) = 0;
-  virtual Status Close(QueueDesc qd) = 0;
+  [[nodiscard]] virtual Status Close(QueueDesc qd) = 0;
 
   // Storage queues (libOSes without a storage engine return kNotSupported).
   virtual Result<QueueDesc> Open(std::string_view path) { return Status::kNotSupported; }
-  virtual Status Seek(QueueDesc qd, uint64_t offset) { return Status::kNotSupported; }
-  virtual Status Truncate(QueueDesc qd, uint64_t offset) { return Status::kNotSupported; }
+  [[nodiscard]] virtual Status Seek(QueueDesc qd, uint64_t offset) { return Status::kNotSupported; }
+  [[nodiscard]] virtual Status Truncate(QueueDesc qd, uint64_t offset) { return Status::kNotSupported; }
 
   // Lightweight in-memory queue (PDPIX queue(), Go-channel-like).
   virtual Result<QueueDesc> MemoryQueue() { return Status::kNotSupported; }
@@ -68,7 +68,7 @@ class LibOS {
   Result<QResult> WaitAny(std::span<const QToken> qts, size_t* index_out,
                           DurationNs timeout = 0);
   // Waits for all tokens; results appended to `out` in token order.
-  Status WaitAll(std::span<const QToken> qts, std::vector<QResult>* out,
+  [[nodiscard]] Status WaitAll(std::span<const QToken> qts, std::vector<QResult>* out,
                  DurationNs timeout = 0);
 
   // The paper's full wait_any shape (Figure 2): blocks until at least one token completes,

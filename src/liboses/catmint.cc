@@ -93,7 +93,12 @@ void Catmint::PostRecvBuffers() {
   while (!free_slots_.empty()) {
     const size_t i = free_slots_.front();
     free_slots_.pop_front();
-    device_.PostRecv(kWellKnownQp, recv_slots_[i].buf, static_cast<uint32_t>(slot_size), i);
+    if (device_.PostRecv(kWellKnownQp, recv_slots_[i].buf, static_cast<uint32_t>(slot_size), i) !=
+        Status::kOk) {
+      free_slots_.push_front(i);  // keep the slot; retry on the next poll round
+      stats_.post_failures++;
+      break;
+    }
     posted_recvs_++;
   }
 }
@@ -117,7 +122,9 @@ void Catmint::SendControl(uint8_t type, MacAddr dst, uint32_t src_conn, uint32_t
     hdr.ctr_rkey = alloc_.GetRkey(conn->consumed_by_peer);
   }
   std::span<const uint8_t> seg(reinterpret_cast<const uint8_t*>(&hdr), sizeof(hdr));
-  device_.PostSend(kWellKnownQp, dst, kWellKnownQp, {&seg, 1}, /*wr_id=*/0);
+  if (device_.PostSend(kWellKnownQp, dst, kWellKnownQp, {&seg, 1}, /*wr_id=*/0) != Status::kOk) {
+    stats_.post_failures++;  // control message lost; the initiator's retry resends it
+  }
 }
 
 Status Catmint::SendData(Connection& conn, const Buffer& data) {
@@ -156,9 +163,13 @@ void Catmint::PublishConsumed(Connection& conn) {
     return;
   }
   const uint64_t value = conn.local_consumed;
-  device_.PostWrite(kWellKnownQp, conn.peer_mac, kWellKnownQp, conn.peer_ctr_rkey,
-                    conn.peer_ctr_addr,
-                    {reinterpret_cast<const uint8_t*>(&value), sizeof(value)}, 0);
+  if (device_.PostWrite(kWellKnownQp, conn.peer_mac, kWellKnownQp, conn.peer_ctr_rkey,
+                        conn.peer_ctr_addr,
+                        {reinterpret_cast<const uint8_t*>(&value), sizeof(value)}, 0) !=
+      Status::kOk) {
+    stats_.post_failures++;
+    return;  // last_reported_consumed unchanged: the next consume retries the credit update
+  }
   conn.last_reported_consumed = value;
   stats_.credit_updates_sent++;
 }

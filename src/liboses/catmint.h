@@ -42,14 +42,14 @@ class Catmint final : public LibOS {
   void AddPeer(Ipv4Addr ip, MacAddr mac) { directory_[ip.value] = mac; }
 
   Result<QueueDesc> Socket(SocketType type) override;
-  Status Bind(QueueDesc qd, SocketAddress local) override;
-  Status Listen(QueueDesc qd, int backlog) override;
+  [[nodiscard]] Status Bind(QueueDesc qd, SocketAddress local) override;
+  [[nodiscard]] Status Listen(QueueDesc qd, int backlog) override;
   Result<QToken> Accept(QueueDesc qd) override;
   Result<QToken> Connect(QueueDesc qd, SocketAddress remote) override;
-  Status Close(QueueDesc qd) override;
+  [[nodiscard]] Status Close(QueueDesc qd) override;
   Result<QueueDesc> Open(std::string_view path) override;
-  Status Seek(QueueDesc qd, uint64_t offset) override;
-  Status Truncate(QueueDesc qd, uint64_t offset) override;
+  [[nodiscard]] Status Seek(QueueDesc qd, uint64_t offset) override;
+  [[nodiscard]] Status Truncate(QueueDesc qd, uint64_t offset) override;
   Result<QToken> Push(QueueDesc qd, const Sgarray& sga) override;
   Result<QToken> Pop(QueueDesc qd) override;
 
@@ -63,6 +63,7 @@ class Catmint final : public LibOS {
     uint64_t credit_updates_sent = 0;
     uint64_t sends_blocked_on_credits = 0;
     uint64_t connects_rejected = 0;
+    uint64_t post_failures = 0;  // RDMA verb posts that failed and were absorbed (retried later)
   };
   const Stats& stats() const { return stats_; }
 
@@ -126,7 +127,7 @@ class Catmint final : public LibOS {
   std::shared_ptr<Connection> NewConnection(MacAddr peer_mac);
   void SendControl(uint8_t type, MacAddr dst, uint32_t src_conn, uint32_t dst_conn,
                    uint16_t port, const Connection* conn);
-  Status SendData(Connection& conn, const Buffer& data);
+  [[nodiscard]] Status SendData(Connection& conn, const Buffer& data);
   void TrySendBlocked(Connection& conn);
   void PublishConsumed(Connection& conn);
   void HandleMessage(const RdmaCompletion& comp);

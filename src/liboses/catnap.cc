@@ -34,7 +34,7 @@ SocketAddress FromSockaddr(const sockaddr_in& sa) {
   return SocketAddress{Ipv4Addr{ntohl(sa.sin_addr.s_addr)}, ntohs(sa.sin_port)};
 }
 
-Status ErrnoToStatus(int err) {
+[[nodiscard]] Status ErrnoToStatus(int err) {
   switch (err) {
     case ECONNREFUSED: return Status::kConnectionRefused;
     case ECONNRESET: return Status::kConnectionReset;

@@ -246,7 +246,9 @@ Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
     case QKind::kTcpConn: {
       // Inline, run-to-completion: the stack segments and transmits as far as windows allow
       // from within this call; the qtoken completes immediately since the stack now owns
-      // (references) the buffers.
+      // (references) the buffers. The qtoken is allocated before pinning so DemiSan can name
+      // it as each buffer's owner.
+      const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
       Status status = Status::kOk;
       for (uint32_t i = 0; i < sga.num_segs && status == Status::kOk; i++) {
         Buffer buf = Buffer::TryFromApp(alloc_, sga.segs[i].buf, sga.segs[i].len);
@@ -254,9 +256,9 @@ Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
           status = Status::kNoMemory;  // heap exhausted: surface ENOMEM through the qtoken
           break;
         }
+        buf.NoteOwner(qd, qt);
         status = q->conn->Push(std::move(buf));
       }
-      const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
       QResult r;
       r.status = status;
       CompleteToken(qt, r);
@@ -286,6 +288,7 @@ Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
         CompleteToken(qt, r);
         return qt;
       }
+      buf.NoteOwner(qd, qt);
       size_t off = 0;
       for (uint32_t i = 0; i < sga.num_segs; i++) {
         std::memcpy(buf.mutable_data() + off, sga.segs[i].buf, sga.segs[i].len);
@@ -310,6 +313,7 @@ Result<QToken> Catnip::PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to
   if (q->kind != QKind::kUdp) {
     return Status::kNotSupported;
   }
+  const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
   Status status;
   if (sga.num_segs == 1) {
     // Zero-copy single segment.
@@ -317,6 +321,7 @@ Result<QToken> Catnip::PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to
     if (!buf.valid()) {
       status = Status::kNoMemory;
     } else {
+      buf.NoteOwner(qd, qt);
       if (buf.size() >= PoolAllocator::kZeroCopyThreshold) {
         buf.Rkey();
       }
@@ -327,6 +332,7 @@ Result<QToken> Catnip::PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to
     if (!buf.valid()) {
       status = Status::kNoMemory;
     } else {
+      buf.NoteOwner(qd, qt);
       size_t off = 0;
       for (uint32_t i = 0; i < sga.num_segs; i++) {
         std::memcpy(buf.mutable_data() + off, sga.segs[i].buf, sga.segs[i].len);
@@ -338,7 +344,6 @@ Result<QToken> Catnip::PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to
       status = udp_.SendTo(*q->udp, to, buf);
     }
   }
-  const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
   QResult r;
   r.status = status;
   CompleteToken(qt, r);
@@ -530,7 +535,9 @@ Status Catnip::Close(QueueDesc qd) {
   q->closing = true;
   switch (q->kind) {
     case QKind::kTcpConn:
-      q->conn->Close();
+      // Like POSIX close(): teardown proceeds whatever the connection's fate, so a close on an
+      // already-reset connection (which reports the stored error) is not surfaced to the app.
+      (void)q->conn->Close();
       q->conn->readable().Notify();
       break;
     case QKind::kTcpListener:

@@ -48,14 +48,14 @@ class Catnip final : public LibOS {
 
   // --- PDPIX ---
   Result<QueueDesc> Socket(SocketType type) override;
-  Status Bind(QueueDesc qd, SocketAddress local) override;
-  Status Listen(QueueDesc qd, int backlog) override;
+  [[nodiscard]] Status Bind(QueueDesc qd, SocketAddress local) override;
+  [[nodiscard]] Status Listen(QueueDesc qd, int backlog) override;
   Result<QToken> Accept(QueueDesc qd) override;
   Result<QToken> Connect(QueueDesc qd, SocketAddress remote) override;
-  Status Close(QueueDesc qd) override;
+  [[nodiscard]] Status Close(QueueDesc qd) override;
   Result<QueueDesc> Open(std::string_view path) override;
-  Status Seek(QueueDesc qd, uint64_t offset) override;
-  Status Truncate(QueueDesc qd, uint64_t offset) override;
+  [[nodiscard]] Status Seek(QueueDesc qd, uint64_t offset) override;
+  [[nodiscard]] Status Truncate(QueueDesc qd, uint64_t offset) override;
   Result<QueueDesc> MemoryQueue() override;
   Result<QToken> Push(QueueDesc qd, const Sgarray& sga) override;
   Result<QToken> PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to) override;

@@ -19,15 +19,15 @@ class Cattree final : public LibOS {
   ~Cattree() override;
 
   Result<QueueDesc> Socket(SocketType type) override { return Status::kNotSupported; }
-  Status Bind(QueueDesc, SocketAddress) override { return Status::kNotSupported; }
-  Status Listen(QueueDesc, int) override { return Status::kNotSupported; }
+  [[nodiscard]] Status Bind(QueueDesc, SocketAddress) override { return Status::kNotSupported; }
+  [[nodiscard]] Status Listen(QueueDesc, int) override { return Status::kNotSupported; }
   Result<QToken> Accept(QueueDesc) override { return Status::kNotSupported; }
   Result<QToken> Connect(QueueDesc, SocketAddress) override { return Status::kNotSupported; }
 
   Result<QueueDesc> Open(std::string_view path) override;
-  Status Seek(QueueDesc qd, uint64_t offset) override;
-  Status Truncate(QueueDesc qd, uint64_t offset) override;
-  Status Close(QueueDesc qd) override;
+  [[nodiscard]] Status Seek(QueueDesc qd, uint64_t offset) override;
+  [[nodiscard]] Status Truncate(QueueDesc qd, uint64_t offset) override;
+  [[nodiscard]] Status Close(QueueDesc qd) override;
   Result<QToken> Push(QueueDesc qd, const Sgarray& sga) override;
   Result<QToken> Pop(QueueDesc qd) override;
 

@@ -39,6 +39,7 @@ class StorageQueueEngine {
       if (!buf.valid()) {
         return FailOp(qt, Status::kNoMemory);  // heap exhausted: ENOMEM via the qtoken
       }
+      buf.NoteOwner(/*qd=*/-1, qt);  // DemiSan: the engine does not know the qd, the qt suffices
       pinned.push_back(std::move(buf));
     }
     return PushOpPinned(qt, std::move(pinned));  // parameters move into the frame immediately
@@ -68,7 +69,7 @@ class StorageQueueEngine {
     tokens_.Complete(qt, qr);
   }
 
-  Status Seek(uint64_t* cursor, uint64_t offset) {
+  [[nodiscard]] Status Seek(uint64_t* cursor, uint64_t offset) {
     if (offset < log_.head() || offset > log_.tail()) {
       return Status::kInvalidArgument;
     }
@@ -76,7 +77,7 @@ class StorageQueueEngine {
     return Status::kOk;
   }
 
-  Status Truncate(uint64_t offset) { return log_.Truncate(offset); }
+  [[nodiscard]] Status Truncate(uint64_t offset) { return log_.Truncate(offset); }
 
  private:
   // Completes `qt` with a failure status on the next scheduler round (ops are spawned, so the

@@ -91,8 +91,14 @@ class Buffer {
 
   bool empty() const { return len_ == 0; }
   size_t size() const { return len_; }
-  const uint8_t* data() const { return static_cast<const uint8_t*>(base_) + offset_; }
-  uint8_t* mutable_data() { return static_cast<uint8_t*>(base_) + offset_; }
+  const uint8_t* data() const {
+    ValidateAccess();
+    return static_cast<const uint8_t*>(base_) + offset_;
+  }
+  uint8_t* mutable_data() {
+    ValidateAccess();
+    return static_cast<uint8_t*>(base_) + offset_;
+  }
   bool valid() const { return base_ != nullptr; }
 
   // A sub-view sharing the same underlying object (takes another reference).
@@ -131,11 +137,37 @@ class Buffer {
 
   PoolAllocator* allocator() const { return alloc_; }
   // Device key of the underlying superblock (registers lazily). Zero-copy devices use this.
-  uint64_t Rkey() const { return alloc_->GetRkey(base_); }
+  uint64_t Rkey() const {
+    ValidateAccess();
+    return alloc_->GetRkey(base_);
+  }
+
+  // DemiSan: records the queue/qtoken that pinned this buffer, so ownership-violation reports
+  // can name the owner. No-op unless built with DEMI_OWNERSHIP_CHECKS.
+  void NoteOwner(int32_t qd, uint64_t qt) const {
+    if (alloc_ != nullptr && base_ != nullptr) {
+      alloc_->NoteOwner(base_, qd, qt);
+    }
+  }
 
  private:
   Buffer(PoolAllocator* alloc, void* base, size_t offset, size_t len, bool owned)
-      : alloc_(alloc), base_(base), offset_(offset), len_(len), owned_(owned) {}
+      : alloc_(alloc), base_(base), offset_(offset), len_(len), owned_(owned) {
+    // Fresh acquisition: snapshot the object's generation. Copies/moves inherit the snapshot
+    // instead of re-reading it, so a view created from a stale view cannot launder staleness.
+    gen_ = alloc_->Generation(base_);
+  }
+
+  // DemiSan: every data access revalidates that the underlying object has not been recycled
+  // since this view legitimately acquired it (use-after-pop / double-release detection).
+  // Compiles to nothing unless built with DEMI_OWNERSHIP_CHECKS.
+  void ValidateAccess() const {
+#if defined(DEMI_OWNERSHIP_CHECKS)
+    if (base_ != nullptr && alloc_->Generation(base_) != gen_) {
+      alloc_->OwnershipViolation(base_, gen_, "Buffer access after underlying object recycled");
+    }
+#endif
+  }
 
   void Release() {
     if (base_ != nullptr) {
@@ -151,10 +183,12 @@ class Buffer {
   }
 
   void CopyFrom(const Buffer& other) {
+    other.ValidateAccess();  // refuse to clone a stale view
     alloc_ = other.alloc_;
     base_ = other.base_;
     offset_ = other.offset_;
     len_ = other.len_;
+    gen_ = other.gen_;
     owned_ = false;  // only one Buffer may carry the app-side identity of an owned object
     if (base_ != nullptr) {
       alloc_->IncRef(base_);
@@ -170,6 +204,7 @@ class Buffer {
     base_ = other.base_;
     offset_ = other.offset_;
     len_ = other.len_;
+    gen_ = other.gen_;
     owned_ = other.owned_;
     other.base_ = nullptr;
     other.alloc_ = nullptr;
@@ -181,6 +216,7 @@ class Buffer {
   void* base_ = nullptr;
   size_t offset_ = 0;
   size_t len_ = 0;
+  uint32_t gen_ = 0;  // DemiSan generation snapshot; fits in padding, 0 in unchecked builds
   bool owned_ = false;
 };
 

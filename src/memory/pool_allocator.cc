@@ -13,6 +13,11 @@ namespace demi {
 namespace {
 constexpr uint32_t kSuperblockMagic = 0xDEA11'0C8 & 0xFFFFFFFF;
 constexpr uint32_t kFreeListEnd = UINT32_MAX;
+#if defined(DEMI_OWNERSHIP_CHECKS)
+// Poison verification at Alloc is capped so handing out huge objects stays cheap; 512 bytes is
+// plenty to catch stray writes through stale Buffer views.
+constexpr size_t kPoisonCheckBytes = 512;
+#endif
 }  // namespace
 
 // Superblock layout: [Superblock header | app_owned bitmap | os_ref bitmap | objects...].
@@ -33,6 +38,9 @@ struct PoolAllocator::Superblock {
   size_t block_size;
   uint64_t* app_owned;  // 1 bit per object: application owns it
   uint64_t* os_ref;     // 1 bit per object: libOS holds >=1 reference
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  uint32_t* generations;  // DemiSan: per-object recycle counter, starts at 1
+#endif
   unsigned char* objects;
 
   uint32_t IndexOf(const void* ptr) const {
@@ -124,15 +132,18 @@ PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size
   sb->block_size = block_size;
   sb->live = 0;
 
-  // Carve the remainder: bitmaps then the object area.
+  // Carve the remainder: bitmaps (plus DemiSan generations) then the object area.
   unsigned char* cursor = static_cast<unsigned char*>(mem) + sizeof(Superblock);
   const size_t space = block_size - sizeof(Superblock);
-  // Solve for num_objects: 2 bitmaps of ceil(n/64) words + n*object_size <= space - padding.
+  // Solve for num_objects: per-object metadata + n*object_size <= space - padding.
   size_t n = space / object_size;
   while (n > 0) {
-    const size_t bitmap_bytes = 2 * ((n + 63) / 64) * sizeof(uint64_t);
+    size_t meta_bytes = 2 * ((n + 63) / 64) * sizeof(uint64_t);
+#if defined(DEMI_OWNERSHIP_CHECKS)
+    meta_bytes += n * sizeof(uint32_t);
+#endif
     const size_t align_pad = 64;  // generous padding for object-area alignment
-    if (bitmap_bytes + n * object_size + align_pad <= space) {
+    if (meta_bytes + n * object_size + align_pad <= space) {
       break;
     }
     n--;
@@ -147,11 +158,23 @@ PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size
   cursor += words * sizeof(uint64_t);
   std::memset(sb->app_owned, 0, words * sizeof(uint64_t));
   std::memset(sb->os_ref, 0, words * sizeof(uint64_t));
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  sb->generations = reinterpret_cast<uint32_t*>(cursor);
+  cursor += n * sizeof(uint32_t);
+  for (size_t i = 0; i < n; i++) {
+    sb->generations[i] = 1;  // 0 is reserved for "not a live heap object"
+  }
+#endif
   // Align the object area to 64 bytes so objects are cacheline-friendly.
   auto addr = reinterpret_cast<uintptr_t>(cursor);
   addr = (addr + 63) & ~uintptr_t{63};
   sb->objects = reinterpret_cast<unsigned char*>(addr);
 
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  // Poison before the free-list build below overwrites each object's first word, so fresh
+  // objects satisfy the same poison-integrity invariant as recycled ones.
+  std::memset(sb->objects, kPoisonByte, static_cast<size_t>(n) * object_size);
+#endif
   // Build the LIFO free list, lowest index on top.
   sb->free_head = kFreeListEnd;
   for (uint32_t i = sb->num_objects; i-- > 0;) {
@@ -174,7 +197,10 @@ void* PoolAllocator::Alloc(size_t size) {
   }
   if (size > kMaxPooledObject) {
     // Huge path: dedicated superblock holding exactly one object.
-    const size_t need = sizeof(Superblock) + 2 * sizeof(uint64_t) + 64 + size;
+    size_t need = sizeof(Superblock) + 2 * sizeof(uint64_t) + 64 + size;
+#if defined(DEMI_OWNERSHIP_CHECKS)
+    need += sizeof(uint32_t);  // the single object's generation counter
+#endif
     const size_t block_size = ((need + kSuperblockSize - 1) / kSuperblockSize) * kSuperblockSize;
     Superblock* sb = NewSuperblock(UINT32_MAX, size, block_size);
     if (sb == nullptr) {
@@ -206,6 +232,21 @@ void* PoolAllocator::Alloc(size_t size) {
 
   const uint32_t index = sb->free_head;
   DEMI_CHECK(index != kFreeListEnd);
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  // Write-after-free detection: a free object must still be wall-to-wall poison apart from the
+  // intrusive free-list word. Damaged poison means something wrote through a stale pointer
+  // after the object was recycled.
+  {
+    const auto* obj = static_cast<const unsigned char*>(sb->ObjectAt(index));
+    const size_t check = sb->object_size < kPoisonCheckBytes ? sb->object_size : kPoisonCheckBytes;
+    for (size_t i = sizeof(uint32_t); i < check; i++) {
+      if (obj[i] != kPoisonByte) {
+        OwnershipViolation(obj, sb->generations[index],
+                           "write to freed object (poison damaged)");
+      }
+    }
+  }
+#endif
   sb->free_head = sb->NextOf(index);
   sb->live++;
   sb->SetBit(sb->app_owned, index);
@@ -227,6 +268,15 @@ void PoolAllocator::RecycleObject(Superblock* sb, uint32_t index) {
     FreeHugeBlock(sb);
     return;
   }
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  // A recycled slot is a new identity: bump the generation so stale Buffers detect the reuse,
+  // and poison the bytes so writes through stale pointers are caught at the next Alloc.
+  sb->generations[index]++;
+  std::memset(sb->ObjectAt(index), kPoisonByte, sb->object_size);
+  // The owner note deliberately survives recycling: a stale Buffer trips its generation
+  // check *after* this point, and the report should still name who last pinned the object.
+  // The next NoteOwner for this slot overwrites it.
+#endif
   sb->NextOf(index) = sb->free_head;
   const bool was_full = (sb->free_head == kFreeListEnd);
   sb->free_head = index;
@@ -244,6 +294,9 @@ void PoolAllocator::RecycleObject(Superblock* sb, uint32_t index) {
 }
 
 void PoolAllocator::FreeHugeBlock(Superblock* sb) {
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  owner_notes_.erase(sb->ObjectAt(0));
+#endif
   if (sb->dma_registered) {
     registrar_->UnregisterRegion(sb);
     stats_.registered_blocks--;
@@ -278,6 +331,13 @@ void PoolAllocator::IncRef(void* ptr) {
   Superblock* sb = HeaderOf(ptr);
   DEMI_CHECK(sb->magic == kSuperblockMagic && sb->owner == this);
   const uint32_t index = sb->IndexOf(ptr);
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  // Both identity bits clear means the object sits on the free list: the caller is pinning a
+  // pointer the application already freed (push-after-free).
+  if (!sb->TestBit(sb->app_owned, index) && !sb->TestBit(sb->os_ref, index)) {
+    OwnershipViolation(ptr, sb->generations[index], "IncRef of a freed object (push after free)");
+  }
+#endif
   if (!sb->TestBit(sb->os_ref, index)) {
     sb->SetBit(sb->os_ref, index);
     return;
@@ -363,6 +423,48 @@ void PoolAllocator::SetRegistrar(DmaRegistrar& registrar) {
 }
 
 PoolAllocator::Stats PoolAllocator::GetStats() const { return stats_; }
+
+#if defined(DEMI_OWNERSHIP_CHECKS)
+uint32_t PoolAllocator::Generation(const void* ptr) const {
+  if (!Owns(ptr)) {
+    return 0;  // foreign pointer, or the dedicated huge superblock is already gone
+  }
+  const Superblock* sb = HeaderOf(ptr);
+  return sb->generations[sb->IndexOf(ptr)];
+}
+
+void PoolAllocator::NoteOwner(const void* ptr, int32_t qd, uint64_t qt) {
+  if (!Owns(ptr)) {
+    return;
+  }
+  const Superblock* sb = HeaderOf(ptr);
+  owner_notes_[sb->ObjectAt(sb->IndexOf(ptr))] = OwnerNote{qd, qt};
+}
+
+void PoolAllocator::OwnershipViolation(const void* ptr, uint32_t expected_gen,
+                                       const char* what) const {
+  uint32_t current_gen = 0;
+  int32_t qd = -1;
+  uint64_t qt = 0;
+  bool have_owner = false;
+  if (Owns(ptr)) {
+    const Superblock* sb = HeaderOf(ptr);
+    const uint32_t index = sb->IndexOf(ptr);
+    current_gen = sb->generations[index];
+    const auto it = owner_notes_.find(sb->ObjectAt(index));
+    if (it != owner_notes_.end()) {
+      qd = it->second.qd;
+      qt = it->second.qt;
+      have_owner = true;
+    }
+  }
+  std::fprintf(stderr,
+               "[demi] DemiSan: %s: ptr=%p generation=%u expected=%u last owner: qd=%d qt=%llu%s\n",
+               what, ptr, current_gen, expected_gen, qd, static_cast<unsigned long long>(qt),
+               have_owner ? "" : " (none recorded)");
+  std::abort();
+}
+#endif  // DEMI_OWNERSHIP_CHECKS
 
 void PoolAllocator::ReleaseEmptySuperblocks() {
   for (SizeClass& sc : classes_) {

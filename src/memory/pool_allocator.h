@@ -92,6 +92,29 @@ class PoolAllocator {
   // surface as nullptr exactly like real heap exhaustion. See src/faults/fault_injector.h.
   void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
 
+  // --- DemiSan (docs/STATIC_ANALYSIS.md) ---
+  // Deterministic ownership sanitizer, compiled in by the DEMI_OWNERSHIP_CHECKS CMake option.
+  // Every object carries a generation counter bumped each time it is recycled, and recycled
+  // objects are filled with 0xDD poison. Buffer snapshots the generation at acquisition and
+  // revalidates it on every data access, so use-after-pop, double-release, and
+  // app-writes-after-push abort with a diagnostic naming the owning queue/qtoken instead of
+  // corrupting memory silently. When the option is off every hook below compiles to nothing.
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  static constexpr unsigned char kPoisonByte = 0xDD;
+  // Generation of the object holding `ptr`; 0 if `ptr` is not owned by this allocator (which
+  // includes objects whose dedicated huge superblock has been returned to the system).
+  uint32_t Generation(const void* ptr) const;
+  // Records which queue/qtoken pinned `ptr`, so violation reports can name the owner.
+  void NoteOwner(const void* ptr, int32_t qd, uint64_t qt);
+  // Prints a DemiSan diagnostic (generations, last known owner) and aborts. `expected_gen` is
+  // the generation the accessor captured when it legitimately held the object.
+  [[noreturn]] void OwnershipViolation(const void* ptr, uint32_t expected_gen,
+                                       const char* what) const;
+#else
+  uint32_t Generation(const void* /*ptr*/) const { return 0; }
+  void NoteOwner(const void* /*ptr*/, int32_t /*qd*/, uint64_t /*qt*/) {}
+#endif
+
  private:
   struct Superblock;
   struct SizeClass;
@@ -114,6 +137,14 @@ class PoolAllocator {
   std::unordered_map<const void*, uint32_t> overflow_refs_;
   Stats stats_;
   FaultInjector* faults_ = nullptr;
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  struct OwnerNote {
+    int32_t qd;
+    uint64_t qt;
+  };
+  // Last queue/qtoken that pinned each object (keyed by object base), for violation reports.
+  std::unordered_map<const void*, OwnerNote> owner_notes_;
+#endif
 };
 
 }  // namespace demi

@@ -36,6 +36,9 @@ void EthernetLayer::RegisterMetrics(MetricsRegistry& registry) {
   registry.RegisterCallback("eth.rx_burst_frames", "eth", "frames",
                             "Frames delivered through RX bursts",
                             [this] { return stats_.rx_burst_frames; });
+  registry.RegisterCallback("eth.tx_errors", "eth", "frames",
+                            "Frame transmit failures absorbed (upper layers recover)",
+                            [this] { return stats_.tx_errors; });
 }
 
 void EthernetLayer::RegisterReceiver(IpProto proto, Ipv4Receiver* receiver) {
@@ -110,7 +113,9 @@ void EthernetLayer::SendArp(ArpPacket::Op op, MacAddr dst_mac, MacAddr target_ma
   arp.target_ip = target_ip;
   arp.Serialize(frame + EthernetHeader::kSize);
   std::span<const uint8_t> seg(frame, sizeof(frame));
-  nic_.TxBurst(dst_mac, {&seg, 1});
+  if (nic_.TxBurst(dst_mac, {&seg, 1}) != Status::kOk) {
+    stats_.tx_errors++;  // ARP is best-effort; the requester retries on timeout
+  }
 }
 
 void EthernetLayer::HandleArp(std::span<const uint8_t> payload) {
@@ -132,13 +137,16 @@ void EthernetLayer::HandleArp(std::span<const uint8_t> payload) {
   if (it != pending_.end()) {
     for (PendingPacket& p : it->second) {
       std::span<const uint8_t> seg(p.l4_bytes);
-      TransmitIpv4(arp->sender_mac, arp->sender_ip, p.proto, {&seg, 1});
+      if (TransmitIpv4(arp->sender_mac, arp->sender_ip, p.proto, {&seg, 1}) != Status::kOk) {
+        stats_.tx_errors++;  // queued packet lost on TX failure; L4 retransmission recovers
+      }
     }
     pending_.erase(it);
   }
 }
 
 size_t EthernetLayer::PollOnce() {
+  // demilint: fastpath
   const size_t n = nic_.RxBurst(rx_frames_);
   if (n > 0) {
     stats_.rx_bursts++;
@@ -181,6 +189,7 @@ size_t EthernetLayer::PollOnce() {
                                                        ip->total_length - Ipv4Header::kSize));
   }
   return n;
+  // demilint: end-fastpath
 }
 
 }  // namespace demi

@@ -70,7 +70,7 @@ class EthernetLayer {
   // Sends one IPv4 packet whose L4 bytes are the concatenation of `l4_segments` (e.g., TCP
   // header + zero-copy payload). On ARP miss the frame is queued and an ARP request goes out;
   // queued frames flush when the reply arrives.
-  Status SendIpv4(Ipv4Addr dst, IpProto proto,
+  [[nodiscard]] Status SendIpv4(Ipv4Addr dst, IpProto proto,
                   std::span<const std::span<const uint8_t>> l4_segments);
 
   // Polls the NIC once (one burst) and dispatches; returns frames processed.
@@ -88,6 +88,7 @@ class EthernetLayer {
     uint64_t no_receiver = 0;
     uint64_t rx_bursts = 0;        // PollOnce calls that returned at least one frame
     uint64_t rx_burst_frames = 0;  // frames delivered through those bursts
+    uint64_t tx_errors = 0;        // frame transmit failures absorbed (L4 recovers or retries)
   };
   const Stats& stats() const { return stats_; }
 
@@ -102,7 +103,7 @@ class EthernetLayer {
 
   void SendArp(ArpPacket::Op op, MacAddr dst_mac, MacAddr target_mac, Ipv4Addr target_ip);
   void HandleArp(std::span<const uint8_t> payload);
-  Status TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto proto,
+  [[nodiscard]] Status TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto proto,
                       std::span<const std::span<const uint8_t>> l4_segments);
 
   SimNic& nic_;

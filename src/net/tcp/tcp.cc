@@ -151,7 +151,9 @@ void TcpConnection::Abort() {
     rst.flags.rst = true;
     rst.flags.ack = true;
     rst.ack = rcv_nxt_.v;
-    stack_.SendSegment(rst, remote_.ip, {});
+    if (stack_.SendSegment(rst, remote_.ip, {}) != Status::kOk) {
+      stack_.CountTxError();  // peer will see the abort via RTO instead
+    }
     EnterClosed(Status::kConnectionAborted);
   }
 }
@@ -250,7 +252,9 @@ void TcpConnection::SendDataSegment(InflightSegment& seg, TimeNs now) {
   StampTimestamps(&hdr);
   std::span<const uint8_t> slices[SegmentPayload::kMaxSlices];
   const size_t nslices = seg.data.Gather(slices);
-  stack_.SendSegment(hdr, remote_.ip, {slices, nslices});
+  if (stack_.SendSegment(hdr, remote_.ip, {slices, nslices}) != Status::kOk) {
+    stack_.CountTxError();  // segment stays inflight; the RTO path retransmits it
+  }
   seg.sent_at = now;
   seg.rto_deadline = now + rtt_.rto();
   stats_.segments_sent++;
@@ -392,7 +396,10 @@ void TcpConnection::OnSegment(const TcpHeader& hdr, std::span<const uint8_t> pay
       }
       snd_wnd_ = hdr.window;  // unscaled on SYN
       state_ = TcpState::kEstablished;
-      SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false);
+      if (SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false) !=
+          Status::kOk) {
+        stack_.CountTxError();  // peer's SYN-ACK retransmit re-triggers this ack
+      }
       established_.Notify();
       window_event_.Notify();
       return;
@@ -454,6 +461,7 @@ void TcpConnection::OnSegment(const TcpHeader& hdr, std::span<const uint8_t> pay
 }
 
 void TcpConnection::ProcessAck(const TcpHeader& hdr, TimeNs now) {
+  // demilint: fastpath
   const SeqNum ack{hdr.ack};
   const size_t new_wnd = static_cast<size_t>(hdr.window) << snd_wscale_;
   const bool window_grew = new_wnd > snd_wnd_;
@@ -538,6 +546,7 @@ void TcpConnection::ProcessAck(const TcpHeader& hdr, TimeNs now) {
   if (window_grew) {
     window_event_.Notify();
   }
+  // demilint: end-fastpath
 }
 
 void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> payload,
@@ -735,7 +744,9 @@ Task<void> TcpConnection::ConnectFiber() {
   Scheduler& sched = stack_.scheduler();
   DurationNs timeout = rtt_.rto();
   int attempts = 0;
-  SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true);
+  if (SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true) != Status::kOk) {
+    stack_.CountTxError();  // the timeout below retries the SYN
+  }
   while (state_ == TcpState::kSynSent) {
     co_await established_.WaitWithTimeout(sched, stack_.clock().Now() + timeout);
     if (state_ != TcpState::kSynSent) {
@@ -746,7 +757,9 @@ Task<void> TcpConnection::ConnectFiber() {
       break;
     }
     timeout *= 2;
-    SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true);
+    if (SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true) != Status::kOk) {
+      stack_.CountTxError();
+    }
     stats_.retransmits++;
     stack_.TraceRetransmit(local_.port, iss_);
   }
@@ -757,7 +770,9 @@ Task<void> TcpConnection::SynAckFiber() {
   DurationNs timeout = rtt_.rto();
   int attempts = 0;
   const bool offer_options = true;
-  SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options);
+  if (SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options) != Status::kOk) {
+    stack_.CountTxError();  // the timeout below retries the SYN-ACK
+  }
   while (state_ == TcpState::kSynReceived) {
     co_await established_.WaitWithTimeout(sched, stack_.clock().Now() + timeout);
     if (state_ != TcpState::kSynReceived) {
@@ -768,7 +783,9 @@ Task<void> TcpConnection::SynAckFiber() {
       break;
     }
     timeout *= 2;
-    SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options);
+    if (SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options) != Status::kOk) {
+      stack_.CountTxError();
+    }
     stats_.retransmits++;
     stack_.TraceRetransmit(local_.port, iss_);
   }
@@ -836,7 +853,9 @@ Task<void> TcpConnection::AckerFiber() {
       ack_needed_ = false;
       ack_immediate_ = false;
       full_segs_since_ack_ = 0;
-      SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false);
+      if (SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false) != Status::kOk) {
+        stack_.CountTxError();  // a lost pure ack is recovered by the peer's retransmit
+      }
     }
   }
 }
@@ -987,10 +1006,13 @@ void TcpStack::SendRst(const TcpHeader& in, Ipv4Addr dst) {
   rst.seq = in.ack;
   rst.ack = in.seq + 1;
   stats_.rst_sent++;
-  SendSegment(rst, dst, {});
+  if (SendSegment(rst, dst, {}) != Status::kOk) {
+    stats_.tx_errors++;  // best-effort by design; an unanswered peer retries and re-triggers it
+  }
 }
 
 void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
+  // demilint: fastpath
   size_t hdr_len = 0;
   bool checksum_failed = false;
   const auto hdr = TcpHeader::Parse(l4, ip.src, ip.dst, &hdr_len,
@@ -1012,6 +1034,7 @@ void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
     it->second->OnSegment(*hdr, payload, clock_.Now());
     return;
   }
+  // demilint: end-fastpath
 
   // No connection: a SYN may match a listener.
   if (hdr->flags.syn && !hdr->flags.ack) {
@@ -1097,6 +1120,9 @@ void TcpStack::SetObservability(MetricsRegistry* registry, Tracer* tracer) {
   reg.RegisterCallback("tcp.rx_alloc_drops", "tcp", "segments",
                        "Segment payloads dropped on heap exhaustion (recovered by retransmit)",
                        [this] { return stats_.rx_alloc_drops; });
+  reg.RegisterCallback("tcp.tx_errors", "tcp", "segments",
+                       "Segment transmit failures absorbed (recovered by retransmit)",
+                       [this] { return stats_.tx_errors; });
   reg.RegisterCallback("tcp.conns_opened", "tcp", "conns", "Connections opened",
                        [this] { return stats_.conns_opened; });
   reg.RegisterCallback("tcp.conns_reaped", "tcp", "conns", "Closed connections reaped",

@@ -119,7 +119,7 @@ class TcpConnection {
   // Queues `data` for transmission and transmits inline as far as the windows allow
   // (run-to-completion push, §5.2). The connection holds references to the underlying object
   // until the receiver acknowledges it.
-  Status Push(Buffer data);
+  [[nodiscard]] Status Push(Buffer data);
 
   // Returns the next chunk of in-order received data, or nullopt if none is ready.
   std::optional<Buffer> PopData();
@@ -128,12 +128,12 @@ class TcpConnection {
   bool EndOfStream() const { return remote_fin_received_ && ready_.empty(); }
 
   // Half-closes the local side; queued data (then FIN) still drains.
-  Status Close();
+  [[nodiscard]] Status Close();
   // Hard reset.
   void Abort();
 
   TcpState state() const { return state_; }
-  Status error() const { return error_; }
+  [[nodiscard]] Status error() const { return error_; }
   SocketAddress local() const { return local_; }
   SocketAddress remote() const { return remote_; }
 
@@ -192,7 +192,7 @@ class TcpConnection {
   void OnOurFinAcked(TimeNs now);
   void TrySend(TimeNs now);
   void SendDataSegment(InflightSegment& seg, TimeNs now);
-  Status SendControl(TcpFlags flags, SeqNum seq, bool with_options);
+  [[nodiscard]] Status SendControl(TcpFlags flags, SeqNum seq, bool with_options);
   void ScheduleAck();                   // immediate: the acker sends on its next run
   void ScheduleDelayedAck(TimeNs now);  // coalescing: arm (or keep) the delayed-ack deadline
   DurationNs DelayedAckTimeout() const;
@@ -331,6 +331,7 @@ class TcpStack final : public Ipv4Receiver {
     uint64_t parse_errors = 0;
     uint64_t rx_checksum_drops = 0;  // software-verified checksum mismatch (corruption caught)
     uint64_t rx_alloc_drops = 0;     // segment payload dropped: heap exhausted (sender retransmits)
+    uint64_t tx_errors = 0;          // segment transmit failures absorbed (retransmission recovers)
     uint64_t conns_opened = 0;
     uint64_t conns_reaped = 0;
   };
@@ -338,6 +339,10 @@ class TcpStack final : public Ipv4Receiver {
   size_t NumConnections() const { return conns_.size(); }
   // Called by connections when an RX payload is dropped on heap exhaustion.
   void CountRxAllocDrop() { stats_.rx_alloc_drops++; }
+  // Called where a segment transmit failure is deliberately absorbed: the segment stays
+  // inflight/unsent and the retransmission machinery recovers, but the failure is counted
+  // (tcp.tx_errors) rather than silently discarded.
+  void CountTxError() { stats_.tx_errors++; }
 
   // Stack-wide per-connection totals: live connections summed with everything already reaped,
   // so counters never go backwards when closed state is garbage-collected.
@@ -365,7 +370,7 @@ class TcpStack final : public Ipv4Receiver {
 
   // Sends one segment whose payload is the concatenation of `payload_slices` (zero-copy
   // gather: header + slices go to the NIC as one TX burst). Empty for control segments.
-  Status SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
+  [[nodiscard]] Status SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
                      std::span<const std::span<const uint8_t>> payload_slices);
   void SendRst(const TcpHeader& in, Ipv4Addr dst);
   void TraceRetransmit(uint16_t local_port, SeqNum seq) {

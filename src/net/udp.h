@@ -54,7 +54,7 @@ class UdpStack final : public Ipv4Receiver {
   // Sends one datagram. The payload buffer stays referenced until the frame hits the wire
   // (synchronous in the simulated NIC). Fails with kMessageTooLong beyond one MTU: like the
   // paper's stack, we do not implement IP fragmentation.
-  Status SendTo(Socket& socket, SocketAddress dst, const Buffer& payload);
+  [[nodiscard]] Status SendTo(Socket& socket, SocketAddress dst, const Buffer& payload);
 
   void OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) override;
 

@@ -153,7 +153,7 @@ class SimNic {
   // DPDK rte_tx_burst analogue with gather: concatenates `segments` into one wire frame.
   // Zero-copy-sized segments must lie in DMA-registered memory (checked), mirroring the mempool
   // requirement; returns kMessageTooLong if the frame exceeds the MTU.
-  Status TxBurst(MacAddr dst, std::span<const std::span<const uint8_t>> segments);
+  [[nodiscard]] Status TxBurst(MacAddr dst, std::span<const std::span<const uint8_t>> segments);
 
   MacAddr mac() const { return mac_; }
   size_t mtu() const { return network_.link().mtu; }

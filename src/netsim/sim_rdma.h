@@ -59,16 +59,16 @@ class SimRdmaDevice {
   // --- Work requests ---
   // Posts a receive buffer; incoming messages consume buffers FIFO. The buffer must be
   // registered memory.
-  Status PostRecv(uint32_t qp, void* buf, uint32_t len, uint64_t wr_id);
+  [[nodiscard]] Status PostRecv(uint32_t qp, void* buf, uint32_t len, uint64_t wr_id);
 
   // Two-sided send: gathers `segments` into one message to (dst_mac, dst_qp). Generates a
   // kSend completion. Zero-copy-sized segments must be registered.
-  Status PostSend(uint32_t qp, MacAddr dst_mac, uint32_t dst_qp,
+  [[nodiscard]] Status PostSend(uint32_t qp, MacAddr dst_mac, uint32_t dst_qp,
                   std::span<const std::span<const uint8_t>> segments, uint64_t wr_id);
 
   // One-sided RDMA write into remote registered memory; consumes no remote receive buffer and
   // raises no remote completion (used by Catmint's flow-control window updates, §6.2).
-  Status PostWrite(uint32_t qp, MacAddr dst_mac, uint32_t dst_qp, uint64_t remote_rkey,
+  [[nodiscard]] Status PostWrite(uint32_t qp, MacAddr dst_mac, uint32_t dst_qp, uint64_t remote_rkey,
                    uint64_t remote_addr, std::span<const uint8_t> data, uint64_t wr_id);
 
   // --- Completion queue (ibv_poll_cq analogue) ---

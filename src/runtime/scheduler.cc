@@ -69,6 +69,7 @@ Scheduler::FiberId Scheduler::Spawn(Task<void> task) {
 }
 
 size_t Scheduler::Poll() {
+  // demilint: fastpath
   FireDueTimers();
   stats_.polls++;
   size_t resumed = 0;
@@ -107,6 +108,7 @@ size_t Scheduler::Poll() {
   }
   stats_.resumptions += resumed;
   return resumed;
+  // demilint: end-fastpath
 }
 
 size_t Scheduler::NumRunnable() const {

@@ -45,7 +45,7 @@ class LogDevice {
   Task<Result<ReadResult>> Read(uint64_t cursor);
 
   // Logical garbage collection: records below `offset` become unreadable.
-  Status Truncate(uint64_t offset);
+  [[nodiscard]] Status Truncate(uint64_t offset);
 
   // Drains device completions and wakes blocked appenders/readers. Called from the owning
   // libOS's fast-path coroutine.
@@ -59,7 +59,7 @@ class LogDevice {
   uint64_t tail() const { return tail_; }
 
   // Rebuilds head_/tail_ by scanning the device (crash-recovery path, synchronous).
-  Status Recover();
+  [[nodiscard]] Status Recover();
 
   // Bounded exponential backoff applied to transient device I/O errors (injected faults, flaky
   // media). After 1 + max_retries failed attempts the last error becomes terminal and

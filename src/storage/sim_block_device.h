@@ -42,11 +42,11 @@ class SimBlockDevice {
 
   // Submits an asynchronous write of `data` (must be a whole number of blocks) at `lba`.
   // The data is captured at submit time (models DMA from the submission ring).
-  Status SubmitWrite(uint64_t lba, std::span<const uint8_t> data, uint64_t cookie);
+  [[nodiscard]] Status SubmitWrite(uint64_t lba, std::span<const uint8_t> data, uint64_t cookie);
 
   // Submits an asynchronous read of `out.size()` bytes (whole blocks) at `lba`; `out` must stay
   // valid until the completion is polled. Data lands in `out` when the completion is delivered.
-  Status SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t cookie);
+  [[nodiscard]] Status SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t cookie);
 
   // Polls for finished operations; returns the number written to `out`.
   size_t PollCompletions(std::span<Completion> out);

@@ -147,8 +147,8 @@ TEST_F(CatnipPairTest, UdpPushToAndPop) {
 
 TEST_F(CatnipPairTest, PopCompletesWithEofOnPeerClose) {
   auto sqd = server_.Socket(SocketType::kStream);
-  server_.Bind(*sqd, {server_.local_ip(), 7001});
-  server_.Listen(*sqd, 4);
+  ASSERT_EQ(server_.Bind(*sqd, {server_.local_ip(), 7001}), Status::kOk);
+  ASSERT_EQ(server_.Listen(*sqd, 4), Status::kOk);
   auto acc = server_.Accept(*sqd);
   auto cqd = client_.Socket(SocketType::kStream);
   auto conn = client_.Connect(*cqd, {server_.local_ip(), 7001});
@@ -164,9 +164,9 @@ TEST_F(CatnipPairTest, PopCompletesWithEofOnPeerClose) {
 
 TEST_F(CatnipPairTest, WaitAnyWakesOnReadyToken) {
   auto sqd = server_.Socket(SocketType::kDatagram);
-  server_.Bind(*sqd, {server_.local_ip(), 6000});
+  ASSERT_EQ(server_.Bind(*sqd, {server_.local_ip(), 6000}), Status::kOk);
   auto sqd2 = server_.Socket(SocketType::kDatagram);
-  server_.Bind(*sqd2, {server_.local_ip(), 6001});
+  ASSERT_EQ(server_.Bind(*sqd2, {server_.local_ip(), 6001}), Status::kOk);
   auto pop1 = server_.Pop(*sqd);
   auto pop2 = server_.Pop(*sqd2);
 
@@ -286,7 +286,7 @@ TEST_F(CatnipPairTest, BadDescriptorsAndTokensRejected) {
 
 TEST_F(CatnipPairTest, WaitTimesOut) {
   auto sqd = server_.Socket(SocketType::kDatagram);
-  server_.Bind(*sqd, {server_.local_ip(), 6100});
+  ASSERT_EQ(server_.Bind(*sqd, {server_.local_ip(), 6100}), Status::kOk);
   auto pop = server_.Pop(*sqd);
   auto r = server_.Wait(*pop, 5 * kMillisecond);
   EXPECT_EQ(r.error(), Status::kTimedOut);
@@ -357,8 +357,8 @@ TEST(CatnipCattreeTest, NetworkToDiskRunToCompletion) {
   std::vector<LibOS*> world{&server, &client};
 
   auto sqd = server.Socket(SocketType::kStream);
-  server.Bind(*sqd, {server.local_ip(), 7100});
-  server.Listen(*sqd, 4);
+  ASSERT_EQ(server.Bind(*sqd, {server.local_ip(), 7100}), Status::kOk);
+  ASSERT_EQ(server.Listen(*sqd, 4), Status::kOk);
   auto acc = server.Accept(*sqd);
   auto cqd = client.Socket(SocketType::kStream);
   auto conn = client.Connect(*cqd, {server.local_ip(), 7100});
@@ -448,8 +448,8 @@ TEST_F(CatmintPairTest, MessageEchoThroughPdpix) {
 TEST_F(CatmintPairTest, MessageBoundariesPreserved) {
   // RDMA messaging is message-oriented, unlike TCP's byte stream: three pushes = three pops.
   auto sqd = server_.Socket(SocketType::kStream);
-  server_.Bind(*sqd, {server_.local_ip(), 801});
-  server_.Listen(*sqd, 8);
+  ASSERT_EQ(server_.Bind(*sqd, {server_.local_ip(), 801}), Status::kOk);
+  ASSERT_EQ(server_.Listen(*sqd, 8), Status::kOk);
   auto acc = server_.Accept(*sqd);
   auto cqd = client_.Socket(SocketType::kStream);
   auto conn = client_.Connect(*cqd, {server_.local_ip(), 801});
@@ -480,8 +480,8 @@ TEST_F(CatmintPairTest, ConnectionRefusedWithoutListener) {
 
 TEST_F(CatmintPairTest, OversizeMessageRejected) {
   auto sqd = server_.Socket(SocketType::kStream);
-  server_.Bind(*sqd, {server_.local_ip(), 802});
-  server_.Listen(*sqd, 8);
+  ASSERT_EQ(server_.Bind(*sqd, {server_.local_ip(), 802}), Status::kOk);
+  ASSERT_EQ(server_.Listen(*sqd, 8), Status::kOk);
   auto acc = server_.Accept(*sqd);
   auto cqd = client_.Socket(SocketType::kStream);
   auto conn = client_.Connect(*cqd, {server_.local_ip(), 802});
@@ -498,8 +498,8 @@ TEST_F(CatmintPairTest, CreditFlowControlBlocksAndRecovers) {
   // Push far more messages than the credit window without popping; the extras must block,
   // then drain as the receiver pops (credits returned via one-sided writes).
   auto sqd = server_.Socket(SocketType::kStream);
-  server_.Bind(*sqd, {server_.local_ip(), 803});
-  server_.Listen(*sqd, 8);
+  ASSERT_EQ(server_.Bind(*sqd, {server_.local_ip(), 803}), Status::kOk);
+  ASSERT_EQ(server_.Listen(*sqd, 8), Status::kOk);
   auto acc = server_.Accept(*sqd);
   auto cqd = client_.Socket(SocketType::kStream);
   auto conn = client_.Connect(*cqd, {server_.local_ip(), 803});
@@ -535,8 +535,8 @@ TEST_F(CatmintPairTest, CreditFlowControlBlocksAndRecovers) {
 
 TEST_F(CatmintPairTest, PopSeesEofAfterPeerClose) {
   auto sqd = server_.Socket(SocketType::kStream);
-  server_.Bind(*sqd, {server_.local_ip(), 804});
-  server_.Listen(*sqd, 8);
+  ASSERT_EQ(server_.Bind(*sqd, {server_.local_ip(), 804}), Status::kOk);
+  ASSERT_EQ(server_.Listen(*sqd, 8), Status::kOk);
   auto acc = server_.Accept(*sqd);
   auto cqd = client_.Socket(SocketType::kStream);
   auto conn = client_.Connect(*cqd, {server_.local_ip(), 804});
@@ -544,7 +544,7 @@ TEST_F(CatmintPairTest, PopSeesEofAfterPeerClose) {
   QResult acc_r = WaitStepped(server_, *acc, World());
 
   auto pop = server_.Pop(acc_r.new_qd);
-  client_.Close(*cqd);
+  ASSERT_EQ(client_.Close(*cqd), Status::kOk);
   QResult r = WaitStepped(server_, *pop, World());
   EXPECT_EQ(r.status, Status::kEndOfFile);
 }

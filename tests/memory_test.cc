@@ -382,5 +382,93 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BufferSizeSweep,
                          ::testing::Values(1, 16, 100, 512, 1023, 1024, 1025, 4096, 65536,
                                            1 << 20));
 
+// --- Ownership-violation death tests ---
+//
+// The first three require a DemiSan build (cmake -DDEMI_OWNERSHIP_CHECKS=ON): generation
+// counters and poison bytes exist only there, so plain builds skip them. The last two are
+// refcount-discipline aborts that the allocator enforces in EVERY build.
+
+TEST(DemiSanDeathTest, WriteAfterFreeCaughtAtNextAlloc) {
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(256);
+  alloc.Free(p);
+  // The application keeps writing through its stale pointer (use-after-pop). The damage is
+  // detected when the LIFO free list hands the same slot out again.
+  static_cast<uint8_t*>(p)[16] = 0x42;
+  EXPECT_DEATH((void)alloc.Alloc(256), "DemiSan: write to freed object \\(poison damaged\\)");
+#else
+  GTEST_SKIP() << "requires -DDEMI_OWNERSHIP_CHECKS=ON";
+#endif
+}
+
+TEST(DemiSanDeathTest, BufferAccessAfterObjectRecycled) {
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  PoolAllocator alloc;
+  // Everything lives inside the death statement so the stale Buffer never destructs in the
+  // parent process (its Release would abort there too, which is the point of the check).
+  EXPECT_DEATH(
+      {
+        Buffer b = Buffer::TryAllocate(alloc, 128);
+        ASSERT_TRUE(b.valid());
+        void* base = b.mutable_data();
+        // A buggy component releases both identities behind the view's back; the slot
+        // recycles and its generation advances.
+        alloc.DecRef(base);
+        alloc.Free(base);
+        (void)b.data();
+      },
+      "DemiSan: Buffer access after underlying object recycled");
+#else
+  GTEST_SKIP() << "requires -DDEMI_OWNERSHIP_CHECKS=ON";
+#endif
+}
+
+TEST(DemiSanDeathTest, ViolationReportNamesLastOwner) {
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  PoolAllocator alloc;
+  EXPECT_DEATH(
+      {
+        Buffer b = Buffer::TryAllocate(alloc, 128);
+        ASSERT_TRUE(b.valid());
+        b.NoteOwner(/*qd=*/7, /*qt=*/99);  // what Push does when it pins app memory
+        void* base = b.mutable_data();
+        alloc.DecRef(base);
+        alloc.Free(base);
+        (void)b.data();
+      },
+      "last owner: qd=7 qt=99");
+#else
+  GTEST_SKIP() << "requires -DDEMI_OWNERSHIP_CHECKS=ON";
+#endif
+}
+
+TEST(DemiSanDeathTest, PushAfterFreeCaughtAtIncRef) {
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  PoolAllocator alloc;
+  // Zero-copy push of memory the app already freed: the pin (IncRef) must refuse it.
+  void* p = alloc.Alloc(2048);
+  alloc.Free(p);
+  EXPECT_DEATH((void)Buffer::TryFromApp(alloc, p, 2048),
+               "DemiSan: IncRef of a freed object \\(push after free\\)");
+#else
+  GTEST_SKIP() << "requires -DDEMI_OWNERSHIP_CHECKS=ON";
+#endif
+}
+
+TEST(DemiSanDeathTest, RefcountUnderflowAbortsInAnyBuild) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(64);
+  EXPECT_DEATH(alloc.DecRef(p), "DecRef without reference");
+  alloc.Free(p);
+}
+
+TEST(DemiSanDeathTest, DoubleFreeAbortsInAnyBuild) {
+  PoolAllocator alloc;
+  void* p = alloc.Alloc(64);
+  alloc.Free(p);
+  EXPECT_DEATH(alloc.Free(p), "double free or free of libOS-owned object");
+}
+
 }  // namespace
 }  // namespace demi

@@ -470,7 +470,7 @@ TEST_F(TcpCleanTest, DataBeforeFinIsDelivered) {
   std::memset(app, 'd', 2048);
   Buffer buf = Buffer::FromApp(a_.alloc, app, 2048);
   ASSERT_EQ(client->Push(std::move(buf)), Status::kOk);
-  client->Close();  // FIN queued right behind the data
+  ASSERT_EQ(client->Close(), Status::kOk);  // FIN queued right behind the data
   std::string received;
   ASSERT_TRUE(RunUntil([&] {
     while (auto chunk = server->PopData()) {
@@ -484,7 +484,7 @@ TEST_F(TcpCleanTest, DataBeforeFinIsDelivered) {
 
 TEST_F(TcpCleanTest, PushAfterCloseRejected) {
   auto [client, server] = EstablishPair();
-  client->Close();
+  ASSERT_EQ(client->Close(), Status::kOk);
   Buffer b = Buffer::Allocate(a_.alloc, 16);
   std::memset(b.mutable_data(), 0, 16);
   EXPECT_EQ(client->Push(std::move(b)), Status::kInvalidArgument);
@@ -543,8 +543,8 @@ TEST_F(TcpCleanTest, UafProtectionHoldsUnackedBuffers) {
 
 TEST_F(TcpCleanTest, ReapDestroysClosedReleasedConnections) {
   auto [client, server] = EstablishPair();
-  client->Close();
-  server->Close();
+  ASSERT_EQ(client->Close(), Status::kOk);
+  ASSERT_EQ(server->Close(), Status::kOk);
   ASSERT_TRUE(RunUntil([&] {
     return client->state() == TcpState::kClosed && server->state() == TcpState::kClosed;
   }));
@@ -706,7 +706,7 @@ TEST(TcpDeterminismTest, IdenticalRunsProduceIdenticalStats) {
     std::string data(120000, 'd');
     void* app = a.alloc.Alloc(data.size());
     std::memcpy(app, data.data(), data.size());
-    (*client)->Push(Buffer::FromApp(a.alloc, app, data.size()));
+    EXPECT_EQ((*client)->Push(Buffer::FromApp(a.alloc, app, data.size())), Status::kOk);
     size_t got = 0;
     for (int i = 0; i < 400000 && got < data.size(); i++) {
       step();

@@ -20,6 +20,12 @@
 // override stays safe if gtest ever allocates from another thread.
 static std::atomic<uint64_t> g_heap_allocs{0};
 
+// GCC's -Wmismatched-new-delete pairs the malloc inlined from this operator new with the free
+// in the matching operator delete and flags it; that pairing is exactly the contract of a
+// malloc-backed replacement allocator, so the warning is a false positive here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void* operator new(size_t size) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size == 0 ? 1 : size)) {
@@ -33,6 +39,8 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace demi {
 namespace {

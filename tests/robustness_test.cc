@@ -61,11 +61,11 @@ TEST(LogRecoveryTest, TornWriteStopsRecoveryAtCorruption) {
 
   auto append = [&](const std::string& payload) {
     bool done = false;
-    sched.Spawn([](LogDevice* log, std::string p, bool* done) -> Task<void> {
-      auto r = co_await log->Append(
+    sched.Spawn([](LogDevice* dst, std::string p, bool* done_out) -> Task<void> {
+      auto r = co_await dst->Append(
           {reinterpret_cast<const uint8_t*>(p.data()), p.size()});
       EXPECT_TRUE(r.ok());
-      *done = true;
+      *done_out = true;
     }(&log, payload, &done));
     while (!done) {
       log.PollDevice();
@@ -179,9 +179,9 @@ TEST(RuntimeEdgeTest, MoveOnlyTaskResultsPropagate) {
   VirtualClock clock;
   Scheduler sched(clock);
   std::unique_ptr<int> out;
-  sched.Spawn([](std::unique_ptr<int>* out) -> Task<void> {
+  sched.Spawn([](std::unique_ptr<int>* result_out) -> Task<void> {
     auto inner = []() -> Task<std::unique_ptr<int>> { co_return std::make_unique<int>(99); };
-    *out = co_await inner();
+    *result_out = co_await inner();
   }(&out));
   sched.PollUntil([&] { return sched.NumLiveFibers() == 0; });
   ASSERT_NE(out, nullptr);
@@ -214,9 +214,9 @@ TEST(RuntimeEdgeTest, TimersFireInDeadlineOrder) {
   Scheduler sched(clock);
   std::vector<int> order;
   for (int i : {5, 1, 3, 2, 4}) {
-    sched.Spawn([](Scheduler* s, std::vector<int>* order, int i) -> Task<void> {
-      co_await s->SleepUntil(static_cast<TimeNs>(i) * 100);
-      order->push_back(i);
+    sched.Spawn([](Scheduler* s, std::vector<int>* out, int id) -> Task<void> {
+      co_await s->SleepUntil(static_cast<TimeNs>(id) * 100);
+      out->push_back(id);
     }(&sched, &order, i));
   }
   sched.Poll();  // all block on timers
@@ -234,8 +234,8 @@ TEST(RuntimeEdgeTest, ShutdownReleasesBlockedFiberResources) {
   PoolAllocator alloc;
   auto sched = std::make_unique<Scheduler>(clock);
   Event never;
-  sched->Spawn([](PoolAllocator* alloc, Event* e) -> Task<void> {
-    Buffer held = Buffer::Allocate(*alloc, 2048);
+  sched->Spawn([](PoolAllocator* heap, Event* e) -> Task<void> {
+    Buffer held = Buffer::Allocate(*heap, 2048);
     co_await e->Wait();  // blocks forever holding the buffer
     (void)held;
   }(&alloc, &never));
@@ -257,11 +257,11 @@ TEST(RuntimeEdgeTest, EventNotifyBeforeWaitIsNotLost) {
   // Producer sets the flag and notifies immediately.
   flag = true;
   event.Notify();  // nobody waiting: no-op
-  sched.Spawn([](Event* e, bool* flag, bool* done) -> Task<void> {
-    while (!*flag) {
+  sched.Spawn([](Event* e, bool* flag_in, bool* done_out) -> Task<void> {
+    while (!*flag_in) {
       co_await e->Wait();
     }
-    *done = true;
+    *done_out = true;
   }(&event, &flag, &done));
   sched.Poll();
   EXPECT_TRUE(done);  // predicate observed without any further notify

@@ -49,10 +49,10 @@ TEST(SchedulerTest, YieldInterleavesFibers) {
   VirtualClock clock;
   Scheduler sched(clock);
   std::vector<int> order;
-  auto fiber = [](std::vector<int>* order, int id) -> Task<void> {
-    order->push_back(id);
+  auto fiber = [](std::vector<int>* out, int id) -> Task<void> {
+    out->push_back(id);
     co_await Scheduler::Yield{};
-    order->push_back(id + 10);
+    out->push_back(id + 10);
     co_return;
   };
   sched.Spawn(fiber(&order, 1));
@@ -70,15 +70,15 @@ TEST(SchedulerTest, YieldAfterSubtaskResumesInnermost) {
   VirtualClock clock;
   Scheduler sched(clock);
   std::vector<int> order;
-  auto inner = [](std::vector<int>* order) -> Task<int> {
-    order->push_back(1);
+  auto inner = [](std::vector<int>* out) -> Task<int> {
+    out->push_back(1);
     co_await Scheduler::Yield{};
-    order->push_back(2);
+    out->push_back(2);
     co_return 7;
   };
-  auto outer = [&inner](std::vector<int>* order) -> Task<void> {
-    int v = co_await inner(order);
-    order->push_back(v);
+  auto outer = [&inner](std::vector<int>* out) -> Task<void> {
+    int v = co_await inner(out);
+    out->push_back(v);
     co_return;
   };
   sched.Spawn(outer(&order));
@@ -198,9 +198,9 @@ TEST(SchedulerTest, WaitWithTimeoutFiresOnTimer) {
   Scheduler sched(clock);
   Event event;
   int wakes = 0;
-  sched.Spawn([](Scheduler* s, Event* e, int* wakes) -> Task<void> {
+  sched.Spawn([](Scheduler* s, Event* e, int* out) -> Task<void> {
     co_await e->WaitWithTimeout(*s, 500);
-    (*wakes)++;
+    (*out)++;
     co_return;
   }(&sched, &event, &wakes));
   sched.Poll();
@@ -274,12 +274,12 @@ TEST(SchedulerTest, FiberSpawnedDuringPollRunsNextPoll) {
   VirtualClock clock;
   Scheduler sched(clock);
   int stage = 0;
-  sched.Spawn([](Scheduler* s, int* stage) -> Task<void> {
-    *stage = 1;
-    s->Spawn([](int* stage) -> Task<void> {
-      *stage = 2;
+  sched.Spawn([](Scheduler* s, int* out) -> Task<void> {
+    *out = 1;
+    s->Spawn([](int* inner_out) -> Task<void> {
+      *inner_out = 2;
       co_return;
-    }(stage));
+    }(out));
     co_return;
   }(&sched, &stage));
   sched.Poll();
@@ -319,8 +319,8 @@ TEST(SchedulerTest, DestructionDestroysLiveFibers) {
 
 TEST(TaskTest, TaskIsLazy) {
   bool started = false;
-  auto t = [](bool* started) -> Task<void> {
-    *started = true;
+  auto t = [](bool* out) -> Task<void> {
+    *out = true;
     co_return;
   }(&started);
   EXPECT_FALSE(started);

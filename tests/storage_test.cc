@@ -114,16 +114,16 @@ class LogDeviceTest : public ::testing::Test {
   uint64_t AppendSync(const std::string& payload, Status* status_out = nullptr) {
     bool done = false;
     uint64_t offset = UINT64_MAX;
-    sched_.Spawn([](LogDevice* log, std::string payload, bool* done, uint64_t* offset,
+    sched_.Spawn([](LogDevice* log, std::string data, bool* done_out, uint64_t* offset_out,
                     Status* st) -> Task<void> {
-      auto r = co_await log->Append(Bytes(payload));
+      auto r = co_await log->Append(Bytes(data));
       if (st != nullptr) {
         *st = r.error();
       }
       if (r.ok()) {
-        *offset = *r;
+        *offset_out = *r;
       }
-      *done = true;
+      *done_out = true;
     }(&log_, payload, &done, &offset, status_out));
     RunUntil(done);
     return offset;
@@ -132,10 +132,10 @@ class LogDeviceTest : public ::testing::Test {
   Result<LogDevice::ReadResult> ReadSync(uint64_t cursor) {
     bool done = false;
     Result<LogDevice::ReadResult> result = Status::kInternal;
-    sched_.Spawn([](LogDevice* log, uint64_t cursor, bool* done,
+    sched_.Spawn([](LogDevice* log, uint64_t at, bool* done_out,
                     Result<LogDevice::ReadResult>* out) -> Task<void> {
-      *out = co_await log->Read(cursor);
-      *done = true;
+      *out = co_await log->Read(at);
+      *done_out = true;
     }(&log_, cursor, &done, &result));
     RunUntil(done);
     return result;
@@ -211,11 +211,11 @@ TEST_F(LogDeviceTest, RecoveryRebuildsTailFromMedia) {
   // The recovered log reads the same records.
   bool done = false;
   std::string first;
-  sched_.Spawn([](LogDevice* log, bool* done, std::string* out) -> Task<void> {
+  sched_.Spawn([](LogDevice* log, bool* done_out, std::string* out) -> Task<void> {
     auto r = co_await log->Read(0);
     EXPECT_TRUE(r.ok());
     out->assign(r->payload.begin(), r->payload.end());
-    *done = true;
+    *done_out = true;
   }(&recovered, &done, &first));
   for (int guard = 0; guard < 100000 && !done; guard++) {
     recovered.PollDevice();
@@ -237,10 +237,10 @@ TEST_F(LogDeviceTest, RecoveryAfterAppendContinuesLog) {
   ASSERT_EQ(recovered.Recover(), Status::kOk);
 
   bool done = false;
-  sched_.Spawn([](LogDevice* log, bool* done) -> Task<void> {
+  sched_.Spawn([](LogDevice* log, bool* done_out) -> Task<void> {
     auto r = co_await log->Append(Bytes("after-crash"));
     EXPECT_TRUE(r.ok());
-    *done = true;
+    *done_out = true;
   }(&recovered, &done));
   for (int guard = 0; guard < 100000 && !done; guard++) {
     recovered.PollDevice();
@@ -258,13 +258,13 @@ TEST_F(LogDeviceTest, RecoveryAfterAppendContinuesLog) {
   std::vector<std::string> seen;
   for (int i = 0; i < 2; i++) {
     bool rdone = false;
-    sched_.Spawn([](LogDevice* log, uint64_t cursor, bool* done,
-                    std::vector<std::string>* seen, uint64_t* next) -> Task<void> {
-      auto r = co_await log->Read(cursor);
+    sched_.Spawn([](LogDevice* log, uint64_t at, bool* done_out,
+                    std::vector<std::string>* seen_out, uint64_t* next) -> Task<void> {
+      auto r = co_await log->Read(at);
       EXPECT_TRUE(r.ok());
-      seen->emplace_back(r->payload.begin(), r->payload.end());
+      seen_out->emplace_back(r->payload.begin(), r->payload.end());
       *next = r->next_cursor;
-      *done = true;
+      *done_out = true;
     }(&recovered, cursor, &rdone, &seen, &cursor));
     for (int guard = 0; guard < 100000 && !rdone; guard++) {
       recovered.PollDevice();
@@ -286,13 +286,13 @@ TEST_F(LogDeviceTest, ConcurrentAppendsSerialize) {
   constexpr int kAppenders = 8;
   int finished = 0;
   for (int i = 0; i < kAppenders; i++) {
-    sched_.Spawn([](LogDevice* log, int i, int* finished) -> Task<void> {
-      std::string payload = "appender-" + std::to_string(i);
+    sched_.Spawn([](LogDevice* log, int id, int* finished_out) -> Task<void> {
+      std::string payload = "appender-" + std::to_string(id);
       auto r = co_await log->Append(
           std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(payload.data()),
                                    payload.size()));
       EXPECT_TRUE(r.ok());
-      (*finished)++;
+      (*finished_out)++;
     }(&log_, i, &finished));
   }
   for (int guard = 0; guard < 100000 && finished < kAppenders; guard++) {

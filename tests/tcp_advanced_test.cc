@@ -116,8 +116,8 @@ class TcpAdvancedTest : public ::testing::Test {
 TEST_F(TcpAdvancedTest, SimultaneousCloseReachesClosedOnBothSides) {
   auto [client, server] = EstablishPair();
   // Both FIN before either sees the other's: FIN_WAIT_1 -> CLOSING -> TIME_WAIT on both ends.
-  client->Close();
-  server->Close();
+  ASSERT_EQ(client->Close(), Status::kOk);
+  ASSERT_EQ(server->Close(), Status::kOk);
   ASSERT_TRUE(RunUntil([&] {
     return client->state() == TcpState::kClosed && server->state() == TcpState::kClosed;
   }));
@@ -127,21 +127,21 @@ TEST_F(TcpAdvancedTest, SimultaneousCloseReachesClosedOnBothSides) {
 
 TEST_F(TcpAdvancedTest, HalfCloseStillDeliversCounterDirection) {
   auto [client, server] = EstablishPair();
-  client->Close();  // client -> server direction done
+  ASSERT_EQ(client->Close(), Status::kOk);  // client -> server direction done
   ASSERT_TRUE(RunUntil([&] { return server->EndOfStream(); }));
   // Server can still send to the half-closed client (CLOSE_WAIT -> data flows).
   PushString(b_, server, "late data after your FIN");
   EXPECT_EQ(DrainString(client, 24), "late data after your FIN");
-  server->Close();
+  ASSERT_EQ(server->Close(), Status::kOk);
   ASSERT_TRUE(RunUntil([&] { return server->state() == TcpState::kClosed; }));
 }
 
 TEST_F(TcpAdvancedTest, FinWait2ThenTimeWaitExpires) {
   auto [client, server] = EstablishPair();
-  client->Close();
+  ASSERT_EQ(client->Close(), Status::kOk);
   // Server acks the FIN but doesn't close yet: client parks in FIN_WAIT_2.
   ASSERT_TRUE(RunUntil([&] { return client->state() == TcpState::kFinWait2; }));
-  server->Close();
+  ASSERT_EQ(server->Close(), Status::kOk);
   ASSERT_TRUE(RunUntil([&] { return client->state() == TcpState::kClosed; }, 400000));
   EXPECT_EQ(client->error(), Status::kOk);
 }
@@ -391,7 +391,7 @@ TEST(TcpDeadPeerTest, RetransmitLimitAbortsTheConnection) {
   // The peer "dies": stop pumping b entirely; a's data drains into the void.
   void* app = a.alloc.Alloc(2048);
   std::memset(app, 1, 2048);
-  (*client)->Push(Buffer::FromApp(a.alloc, app, 2048));
+  ASSERT_EQ((*client)->Push(Buffer::FromApp(a.alloc, app, 2048)), Status::kOk);
   a.alloc.Free(app);
   for (int i = 0; i < 400000 && (*client)->state() != TcpState::kClosed; i++) {
     step(false);
@@ -455,8 +455,8 @@ TEST_F(TcpAdvancedTest, ConnectionCountsAndReap) {
   auto [client, server] = EstablishPair(2600);
   EXPECT_EQ(a_.tcp.NumConnections(), 1u);
   EXPECT_EQ(b_.tcp.NumConnections(), 1u);
-  client->Close();
-  server->Close();
+  ASSERT_EQ(client->Close(), Status::kOk);
+  ASSERT_EQ(server->Close(), Status::kOk);
   ASSERT_TRUE(RunUntil([&] {
     return client->state() == TcpState::kClosed && server->state() == TcpState::kClosed;
   }));

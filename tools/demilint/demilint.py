@@ -1,0 +1,357 @@
+#!/usr/bin/env python3
+"""demilint: repo-specific datapath-invariant checks for the Demikernel reproduction.
+
+Runs as a CTest case (label `lint`). Pure stdlib — no clang, no pip. The rules encode
+invariants the compiler cannot see:
+
+  fastpath-abort     no aborting checks (DEMI_CHECK/assert/abort/throw) inside a region
+                     marked `// demilint: fastpath` — release datapaths must be abort-free.
+                     DEMI_DCHECK is permitted (compiled out under NDEBUG).
+  fastpath-alloc     no heap allocation or unbounded container growth inside fastpath
+                     regions — the datapath allocates only from the DMA pool it polls.
+  fastpath-syscall   no blocking syscalls or stdio inside fastpath regions — a poll loop
+                     that sleeps in the kernel has lost its microsecond budget (paper §3).
+  nodiscard-status   every Status-returning declaration in a src/ header carries
+                     [[nodiscard]]; Result<T> must be class-level [[nodiscard]].
+  metric-name-drift  the set of metric names registered in src/ equals the set documented
+                     in docs/OBSERVABILITY.md (both directions; subsumes check_docs.sh's
+                     docs->src direction).
+  trace-name-drift   trace event names in src/observability/trace.cc equal the documented
+                     tracer event schema.
+  header-guard       src/**/*.h guards follow SRC_PATH_TO_FILE_H_.
+  include-style      quoted includes are full repo paths ("src/...").
+
+Region and suppression directives (in source comments):
+
+  // demilint: fastpath          begin a fastpath region
+  // demilint: end-fastpath      end it
+  // demilint: allow(rule) why   suppress `rule` on this line or the next code line
+
+Usage:
+  demilint.py --root REPO_ROOT        lint the tree (exit 1 on violations)
+  demilint.py --selftest              run the rules over tools/demilint/fixtures and
+                                      verify every seeded violation is caught (exit 1
+                                      on a miss or an unexpected diagnostic)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Anchored to end-of-line so prose that merely *mentions* the directive doesn't open a region.
+FASTPATH_BEGIN = re.compile(r"//\s*demilint:\s*fastpath\s*$")
+FASTPATH_END = re.compile(r"//\s*demilint:\s*end-fastpath\s*$")
+ALLOW = re.compile(r"//\s*demilint:\s*allow\(([a-z-]+)\)")
+EXPECT = re.compile(r"//\s*demilint-expect:\s*([a-z-]+)")
+
+# fastpath-abort: aborting constructs. DEMI_DCHECK is fine (debug-only); the negative
+# lookbehind keeps DEMI_CHECK from matching inside it.
+RE_ABORT = re.compile(
+    r"(?<![A-Za-z0-9_])(?:DEMI_CHECK(?:_MSG)?|assert|abort|exit|_exit)\s*\(|(?<![A-Za-z0-9_])throw\s"
+)
+
+# fastpath-alloc: general-heap allocation and growable-container calls.
+RE_ALLOC = re.compile(
+    r"(?<![A-Za-z0-9_])new\s|"
+    r"(?<![A-Za-z0-9_.>])(?:malloc|calloc|realloc|strdup)\s*\(|"
+    r"\b(?:push_back|emplace_back|emplace|resize|reserve)\s*\(|"
+    r"\bmake_(?:unique|shared)\b|"
+    r"\.insert\s*\(|->insert\s*\("
+)
+
+# fastpath-syscall: blocking I/O and stdio. Only free-function spellings — `x.close()` or
+# `Foo::write()` are methods, not syscalls.
+RE_SYSCALL = re.compile(
+    r"(?<![A-Za-z0-9_.:>])"
+    r"(?:read|write|pread|pwrite|recv|recvfrom|recvmsg|send|sendto|sendmsg|accept|connect|"
+    r"poll|ppoll|select|epoll_wait|sleep|usleep|nanosleep|open|close|fsync|fdatasync|ioctl|"
+    r"printf|fprintf|puts|fputs|fflush|fwrite|fread)\s*\("
+)
+
+# nodiscard-status: a Status-returning declaration/definition line in a header.
+RE_STATUS_DECL = re.compile(r"^\s*(?:virtual\s+|static\s+|inline\s+|constexpr\s+)*Status\s+\w+\s*\(")
+
+RE_METRIC_REG = re.compile(
+    r"Register(?:Counter|Gauge|Histogram|Callback)\s*\(\s*\"([a-z0-9_.]+)\"", re.S
+)
+RE_TRACE_NAME = re.compile(r"return\s+\"([a-z0-9_]+)\"\s*;")
+RE_DOC_METRIC = re.compile(r"^\| `([a-z0-9_]+\.[a-z0-9_]+)`", re.M)
+RE_DOC_TRACE = re.compile(r"^\| `([a-z0-9_]+)` \|", re.M)
+RE_INCLUDE_Q = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class Diagnostic:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(lines):
+    """Per-line code text with comments and string/char literals blanked, so pattern rules
+    don't fire on prose or literals. Keeps line count identical."""
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                if raw.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            c = raw[i]
+            if raw.startswith("//", i):
+                break
+            if raw.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if c in ('"', "'"):
+                quote = c
+                buf.append(" ")
+                i += 1
+                while i < n and raw[i] != quote:
+                    i += 2 if raw[i] == "\\" else 1
+                i += 1
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def collect_allows(lines):
+    """Map line number (1-based) -> set of allowed rules. An allow on a comment-only line
+    also covers the next non-blank line."""
+    allows = {}
+    for idx, raw in enumerate(lines, start=1):
+        for m in ALLOW.finditer(raw):
+            allows.setdefault(idx, set()).add(m.group(1))
+            stripped = raw.strip()
+            if stripped.startswith("//"):  # standalone directive: cover the next code line
+                for j in range(idx + 1, len(lines) + 1):
+                    if lines[j - 1].strip():
+                        allows.setdefault(j, set()).add(m.group(1))
+                        break
+    return allows
+
+
+def lint_file(path, rel, text):
+    """All per-file rules. Returns a list of Diagnostic."""
+    diags = []
+    lines = text.splitlines()
+    code = strip_comments_and_strings(lines)
+    allows = collect_allows(lines)
+
+    def emit(lineno, rule, message):
+        if rule not in allows.get(lineno, ()):  # suppressed by demilint: allow(rule)
+            diags.append(Diagnostic(rel, lineno, rule, message))
+
+    # --- fastpath region rules ---
+    in_fast = False
+    fast_open_line = 0
+    for idx, raw in enumerate(lines, start=1):
+        if FASTPATH_BEGIN.search(raw):
+            if in_fast:
+                emit(idx, "fastpath-abort", "nested `demilint: fastpath` region")
+            in_fast = True
+            fast_open_line = idx
+            continue
+        if FASTPATH_END.search(raw):
+            if not in_fast:
+                emit(idx, "fastpath-abort", "`end-fastpath` without an open region")
+            in_fast = False
+            continue
+        if not in_fast:
+            continue
+        line = code[idx - 1]
+        if RE_ABORT.search(line):
+            emit(idx, "fastpath-abort",
+                 "aborting check on the fast path (use DEMI_DCHECK or an error return)")
+        if RE_ALLOC.search(line):
+            emit(idx, "fastpath-alloc",
+                 "heap allocation / container growth on the fast path")
+        if RE_SYSCALL.search(line):
+            emit(idx, "fastpath-syscall", "blocking syscall or stdio on the fast path")
+    if in_fast:
+        diags.append(Diagnostic(rel, fast_open_line, "fastpath-abort",
+                                "fastpath region never closed with `end-fastpath`"))
+
+    # --- header rules ---
+    if rel.endswith(".h"):
+        guard = rel.upper().replace("/", "_").replace(".", "_").replace("-", "_") + "_"
+        if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+            emit(1, "header-guard", f"expected include guard {guard}")
+        for idx, line in enumerate(code, start=1):
+            if RE_STATUS_DECL.match(line) and "[[nodiscard]]" not in lines[idx - 1]:
+                prev = lines[idx - 2].rstrip() if idx >= 2 else ""
+                if not prev.endswith("[[nodiscard]]"):
+                    emit(idx, "nodiscard-status",
+                         "Status-returning declaration without [[nodiscard]]")
+
+    # --- include style ---
+    for idx, raw in enumerate(lines, start=1):
+        m = RE_INCLUDE_Q.match(raw)
+        if m and not m.group(1).startswith("src/"):
+            emit(idx, "include-style",
+                 f'quoted include "{m.group(1)}" must be a full repo path ("src/...")')
+
+    return diags
+
+
+def lint_repo_consistency(root):
+    """Cross-file rules: metric and trace-event name drift between src/ and the docs."""
+    diags = []
+    doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    try:
+        with open(doc_path, encoding="utf-8") as f:
+            doc = f.read()
+    except OSError:
+        return [Diagnostic("docs/OBSERVABILITY.md", 1, "metric-name-drift",
+                           "docs/OBSERVABILITY.md is missing")]
+
+    doc_metrics = set(RE_DOC_METRIC.findall(doc))
+    # Trace names: first backticked cell of schema rows, dotless (metric rows all have dots).
+    doc_traces = {n for n in RE_DOC_TRACE.findall(doc) if "." not in n}
+
+    code_metrics = {}
+    for path, rel, text in iter_sources(root):
+        for m in RE_METRIC_REG.finditer(text):
+            code_metrics.setdefault(m.group(1), (rel, text[: m.start()].count("\n") + 1))
+
+    for name in sorted(set(code_metrics) - doc_metrics):
+        rel, line = code_metrics[name]
+        diags.append(Diagnostic(rel, line, "metric-name-drift",
+                                f"metric `{name}` registered but not documented in "
+                                "docs/OBSERVABILITY.md"))
+    for name in sorted(doc_metrics - set(code_metrics)):
+        diags.append(Diagnostic("docs/OBSERVABILITY.md", 1, "metric-name-drift",
+                                f"metric `{name}` documented but never registered in src/"))
+
+    trace_cc = os.path.join(root, "src", "observability", "trace.cc")
+    try:
+        with open(trace_cc, encoding="utf-8") as f:
+            trace_text = f.read()
+    except OSError:
+        trace_text = ""
+    code_traces = set(RE_TRACE_NAME.findall(trace_text)) - {"unknown"}
+    for name in sorted(code_traces - doc_traces):
+        diags.append(Diagnostic("src/observability/trace.cc", 1, "trace-name-drift",
+                                f"trace event `{name}` emitted but not documented"))
+    for name in sorted(doc_traces - code_traces):
+        diags.append(Diagnostic("docs/OBSERVABILITY.md", 1, "trace-name-drift",
+                                f"trace event `{name}` documented but unknown to trace.cc"))
+
+    # Result<T> must be class-level [[nodiscard]] so *its* discards are caught everywhere.
+    status_h = os.path.join(root, "src", "common", "status.h")
+    try:
+        with open(status_h, encoding="utf-8") as f:
+            status_text = f.read()
+    except OSError:
+        status_text = ""
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Result", status_text):
+        diags.append(Diagnostic("src/common/status.h", 1, "nodiscard-status",
+                                "Result<T> must be declared `class [[nodiscard]] Result`"))
+    return diags
+
+
+def iter_sources(root):
+    src = os.path.join(root, "src")
+    for dirpath, _, files in sorted(os.walk(src)):
+        for name in sorted(files):
+            if name.endswith((".h", ".cc")):
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8") as f:
+                    yield path, rel, f.read()
+
+
+def run_lint(root):
+    diags = []
+    for path, rel, text in iter_sources(root):
+        diags.extend(lint_file(path, rel, text))
+    diags.extend(lint_repo_consistency(root))
+    for d in diags:
+        print(d)
+    if diags:
+        print(f"demilint: FAILED ({len(diags)} violation(s))")
+        return 1
+    print("demilint: OK")
+    return 0
+
+
+def run_selftest():
+    """Each fixture seeds violations marked `// demilint-expect: rule`. The tool must flag
+    exactly those (file, line, rule) triples — a miss means a rule regressed, an extra
+    means a rule got trigger-happy."""
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+    failed = False
+    seen_any = False
+    for name in sorted(os.listdir(fixtures)):
+        if not name.endswith((".h", ".cc")):
+            continue
+        seen_any = True
+        path = os.path.join(fixtures, name)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        # Fixtures pose as files under src/ so header-guard expectations are stable.
+        rel = f"src/fixtures/{name}"
+        expected = set()
+        for idx, line in enumerate(text.splitlines(), start=1):
+            for m in EXPECT.finditer(line):
+                expected.add((idx, m.group(1)))
+        got = {(d.line, d.rule) for d in lint_file(path, rel, text)}
+        for miss in sorted(expected - got):
+            print(f"selftest MISS: {name}:{miss[0]} expected [{miss[1]}] not reported")
+            failed = True
+        for extra in sorted(got - expected):
+            print(f"selftest EXTRA: {name}:{extra[0]} unexpected [{extra[1]}]")
+            failed = True
+
+    # Drift rules, exercised against an embedded miniature repo state.
+    doc = "| `tcp.good` | counter |\n| `packet_tx` | a | b | c |\n"
+    code_names = set(RE_METRIC_REG.findall('RegisterCounter(\n    "tcp.good", x); '
+                                           'RegisterCallback("tcp.rogue", y)'))
+    if code_names != {"tcp.good", "tcp.rogue"}:
+        print("selftest MISS: metric regex must span newlines and find both names")
+        failed = True
+    if set(RE_DOC_METRIC.findall(doc)) != {"tcp.good"}:
+        print("selftest MISS: doc metric parsing")
+        failed = True
+    if {n for n in RE_DOC_TRACE.findall(doc) if "." not in n} != {"packet_tx"}:
+        print("selftest MISS: doc trace parsing")
+        failed = True
+    if not seen_any:
+        print("selftest: no fixtures found")
+        failed = True
+    if failed:
+        print("demilint --selftest: FAILED")
+        return 1
+    print("demilint --selftest: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=".", help="repository root to lint")
+    ap.add_argument("--selftest", action="store_true",
+                    help="verify the rules against the seeded fixtures")
+    args = ap.parse_args()
+    if args.selftest:
+        return run_selftest()
+    return run_lint(os.path.abspath(args.root))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+// demilint-expect: header-guard
+// The guard below doesn't match the file's repo path (expected SRC_FIXTURES_BAD_GUARD_H_),
+// and the quoted include isn't a full "src/..." path.
+
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+#include "ethernet.h"  // demilint-expect: include-style
+#include "src/net/ethernet.h"
+
+#endif  // WRONG_GUARD_H

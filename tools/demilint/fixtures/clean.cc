@@ -1,0 +1,22 @@
+// A violation-free fixture: the selftest fails if any rule fires here (false positive).
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+int CleanPoll(const int* ring, int n) {
+  int sum = 0;
+  // demilint: fastpath
+  for (int i = 0; i < n; i++) {
+    DEMI_DCHECK(ring[i] >= 0);
+    // Strings and comments must not trip the pattern rules: "abort(" and malloc( in prose.
+    const char* label = "new connection accepted";  // `new` inside a literal
+    sum += ring[i] + static_cast<int>(label[0]);
+    renew_timer(i);     // identifier containing a keyword, not an allocation
+    state.resume();     // method call, not a syscall
+  }
+  return sum;
+  // demilint: end-fastpath
+}
+
+}  // namespace demi

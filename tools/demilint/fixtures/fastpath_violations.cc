@@ -1,0 +1,32 @@
+// Seeded fastpath-rule violations for `demilint.py --selftest`. Each `demilint-expect`
+// comment marks a line the tool MUST flag; lines without one must stay silent.
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+int PollLoop(int* ring, int n) {
+  int drained = 0;
+  // demilint: fastpath
+  for (int i = 0; i < n; i++) {
+    DEMI_CHECK(ring[i] >= 0);                    // demilint-expect: fastpath-abort
+    DEMI_DCHECK(ring[i] >= 0);                   // debug-only check: permitted
+    int* copy = new int(ring[i]);                // demilint-expect: fastpath-alloc
+    usleep(10);                                  // demilint-expect: fastpath-syscall
+    drained += *copy;
+    // demilint: allow(fastpath-alloc) growth bounded by n, seeded suppression test
+    scratch_.push_back(drained);
+    scratch_.resize(64);                         // demilint-expect: fastpath-alloc
+  }
+  return drained;
+  // demilint: end-fastpath
+}
+
+int SlowPath() {
+  // Outside any region: the same constructs are fine here.
+  int* p = new int(7);
+  usleep(10);
+  return *p;
+}
+
+}  // namespace demi

@@ -1,0 +1,24 @@
+// Seeded nodiscard-status violations: a Status-returning declaration in a header must carry
+// [[nodiscard]] on the same line or the line above.
+
+#ifndef SRC_FIXTURES_MISSING_NODISCARD_H_
+#define SRC_FIXTURES_MISSING_NODISCARD_H_
+
+#include "src/common/status.h"
+
+namespace demi {
+
+class Widget {
+ public:
+  Status Open(int fd);                           // demilint-expect: nodiscard-status
+  virtual Status Close() = 0;                    // demilint-expect: nodiscard-status
+  [[nodiscard]] Status Flush();                  // annotated: fine
+  [[nodiscard]]
+  Status Sync();                                 // attribute on the previous line: fine
+  void Reset();                                  // not Status-returning: fine
+  static Status Probe(const char* path);         // demilint-expect: nodiscard-status
+};
+
+}  // namespace demi
+
+#endif  // SRC_FIXTURES_MISSING_NODISCARD_H_
