@@ -2,7 +2,8 @@
 # The full CI gate, in the order a reviewer wants failures surfaced:
 #
 #   1. configure + build with -Werror (DEMI_WERROR=ON) — warnings fail first, fast;
-#   2. the unit/integration test suite;
+#   2. the unit/integration test suite, including the perf smoke gates (perf_smoke_tcp and
+#      perf_smoke_multicore — the latter self-skips on hosts with < 4 hardware threads);
 #   3. the lint label (demilint over the tree, its fixture selftest, check_docs);
 #   4. clang-tidy, when installed (skips gracefully otherwise);
 #   5. the sanitizer sweep (ASan, UBSan, targeted TSan).

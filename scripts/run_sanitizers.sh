@@ -7,7 +7,8 @@
 # -DDEMI_SANITIZE=<name>; the chaos soak is shortened via DEMI_CHAOS_SEEDS so a full
 # sanitized sweep stays CI-friendly. The simulation itself is single-threaded by design, so
 # ThreadSanitizer runs a targeted job (build-tsan/) over just the tests that actually spawn
-# threads — the apps_test client/server echo pairs — instead of the whole suite.
+# threads — the apps_test client/server echo pairs and the multi-worker ShardGroup suite
+# (real shard threads busy-polling a shared multi-queue NIC) — instead of the whole suite.
 
 set -euo pipefail
 
@@ -26,10 +27,13 @@ for san in address undefined; do
   (cd "$bdir" && ctest --output-on-failure -j "$JOBS")
 done
 
-echo "=== DEMI_SANITIZE=thread (targeted: threaded apps_test echo pairs) ==="
+echo "=== DEMI_SANITIZE=thread (targeted: threaded apps_test echo pairs + ShardGroup) ==="
 bdir="$ROOT/build-tsan"
 cmake -B "$bdir" -S "$ROOT" -DDEMI_SANITIZE=thread > /dev/null
-cmake --build "$bdir" -j "$JOBS" --target apps_test > /dev/null
+cmake --build "$bdir" -j "$JOBS" --target apps_test shard_test > /dev/null
 "$bdir/tests/apps_test" --gtest_filter='*Threaded*'
+# The 2-worker shard runs: every cross-core seam (per-queue delivery locks, SPSC descriptor
+# rings, shared fabric stats) executes under TSan here.
+"$bdir/tests/shard_test" --gtest_filter='ShardGroup*'
 
 echo "All sanitizer sweeps passed."

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/core/shard_group.h"
 
 namespace demi {
 
@@ -134,6 +135,20 @@ void RunEchoServer(LibOS& os, const EchoServerOptions& options, std::atomic<bool
   if (stats != nullptr) {
     *stats = app.stats();
   }
+}
+
+void StartShardedEchoServer(ShardGroup& group, const EchoServerOptions& options,
+                            std::vector<EchoServerStats>* per_shard) {
+  if (per_shard != nullptr) {
+    per_shard->assign(group.num_workers(), EchoServerStats{});
+  }
+  group.Start([&group, options, per_shard](size_t shard_id, Catnip& os) {
+    EchoServerApp app(os, options);
+    group.ServeLoop(os, [&app] { app.Pump(); });
+    if (per_shard != nullptr) {
+      (*per_shard)[shard_id] = app.stats();  // distinct slot per worker; read after Join
+    }
+  });
 }
 
 EchoClientResult RunEchoClient(LibOS& os, const EchoClientOptions& options) {

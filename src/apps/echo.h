@@ -17,6 +17,8 @@
 
 namespace demi {
 
+class ShardGroup;
+
 struct EchoServerOptions {
   SocketAddress listen;
   SocketType type = SocketType::kStream;
@@ -59,6 +61,14 @@ class EchoServerApp {
 // Runs until `stop` becomes true. Serves any number of concurrent connections.
 void RunEchoServer(LibOS& os, const EchoServerOptions& options, std::atomic<bool>& stop,
                    EchoServerStats* stats = nullptr);
+
+// Multi-worker echo over a ShardGroup (paper §7 Fig. 9): every shard runs its own
+// EchoServerApp listening on the same port — RSS steers each connection to one shard, like
+// SO_REUSEPORT on kernel stacks. Starts the group's workers and returns; the caller later
+// calls group.RequestStop() + Join(), after which `per_shard` (if given) holds each shard's
+// stats.
+void StartShardedEchoServer(ShardGroup& group, const EchoServerOptions& options,
+                            std::vector<EchoServerStats>* per_shard = nullptr);
 
 struct EchoClientOptions {
   SocketAddress server;

@@ -14,6 +14,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/random.h"
+#include "src/core/shard_group.h"
 
 namespace demi {
 
@@ -367,6 +368,20 @@ void RunMiniKvServer(LibOS& os, const MiniKvOptions& options, std::atomic<bool>&
   if (stats != nullptr) {
     *stats = app.stats();
   }
+}
+
+void StartShardedMiniKvServer(ShardGroup& group, const MiniKvOptions& options,
+                              std::vector<MiniKvStats>* per_shard) {
+  if (per_shard != nullptr) {
+    per_shard->assign(group.num_workers(), MiniKvStats{});
+  }
+  group.Start([&group, options, per_shard](size_t shard_id, Catnip& os) {
+    MiniKvServerApp app(os, options);
+    group.ServeLoop(os, [&app] { app.Pump(); });
+    if (per_shard != nullptr) {
+      (*per_shard)[shard_id] = app.stats();  // distinct slot per worker; read after Join
+    }
+  });
 }
 
 KvBenchResult RunKvBenchClient(LibOS& os, const KvBenchOptions& options) {

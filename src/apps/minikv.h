@@ -24,6 +24,8 @@
 
 namespace demi {
 
+class ShardGroup;
+
 enum class KvOp : uint8_t { kGet = 1, kSet = 2, kDel = 3 };
 enum class KvStatus : uint8_t { kOk = 0, kNotFound = 1, kError = 2 };
 
@@ -80,6 +82,12 @@ class MiniKvServerApp {
 // PDPIX MiniKv server: runs over any Demikernel libOS until `stop`.
 void RunMiniKvServer(LibOS& os, const MiniKvOptions& options, std::atomic<bool>& stop,
                      MiniKvStats* stats = nullptr);
+
+// Multi-worker MiniKv over a ShardGroup: one independent store per shard, keys partitioned by
+// connection placement (RSS pins each client connection — and so its keyspace — to one shard,
+// the redis-cluster model). Same start/stop contract as StartShardedEchoServer.
+void StartShardedMiniKvServer(ShardGroup& group, const MiniKvOptions& options,
+                              std::vector<MiniKvStats>* per_shard = nullptr);
 
 // POSIX MiniKv server (select-based event loop): the "unmodified Redis on Linux" stand-in.
 void RunPosixMiniKvServer(const MiniKvOptions& options, std::atomic<bool>& stop,

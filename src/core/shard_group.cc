@@ -1,0 +1,154 @@
+#include "src/core/shard_group.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+ShardGroup::ShardGroup(SimNetwork& network, Clock& clock, const Options& options)
+    : network_(network),
+      clock_(clock),
+      options_(options),
+      nic_(network, options.base.mac, clock,
+           options.num_workers == 0 ? 1 : options.num_workers) {
+  if (options_.num_workers == 0) {
+    options_.num_workers = 1;
+  }
+  // The shared log device is single-consumer; partitioning it per shard is a ROADMAP item.
+  DEMI_CHECK_MSG(options_.base.disk == nullptr || options_.num_workers == 1,
+                 "ShardGroup: storage is only supported with num_workers=1");
+  shards_.resize(options_.num_workers);
+}
+
+ShardGroup::~ShardGroup() {
+  RequestStop();
+  Join();
+}
+
+void ShardGroup::Start(WorkerFn fn) {
+  DEMI_CHECK_MSG(threads_.empty(), "ShardGroup::Start called twice");
+  fn_ = std::move(fn);
+  threads_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; i++) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+  // Wait until every shard is constructed (sockets can be created, ARP is warm) so callers can
+  // start clients immediately; worker bodies also only run once all listeners can exist.
+  std::unique_lock<std::mutex> lock(init_mu_);
+  init_cv_.wait(lock, [this] { return ready_ == options_.num_workers; });
+}
+
+void ShardGroup::WorkerMain(size_t shard_id) {
+  Catnip::Config cfg = options_.base;
+  cfg.num_workers = options_.num_workers;
+  cfg.queue_id = shard_id;
+  cfg.shared_nic = &nic_;
+  auto os = std::make_unique<Catnip>(network_, cfg, clock_);
+  for (const auto& [ip, mac] : options_.static_arp) {
+    os->ethernet().arp().Insert(ip, mac);
+  }
+  os->metrics().RegisterGauge("shard.id", "shard", "index", "This worker's shard index")
+      .Set(static_cast<int64_t>(shard_id));
+  os->metrics()
+      .RegisterGauge("shard.workers", "shard", "count", "Workers in this shard group")
+      .Set(static_cast<int64_t>(options_.num_workers));
+  {
+    std::unique_lock<std::mutex> lock(init_mu_);
+    shards_[shard_id] = std::move(os);
+    ready_++;
+    init_cv_.notify_all();
+    // All-constructed barrier: no worker serves until every listener can be bound, so RSS
+    // never steers a SYN at a shard that does not exist yet.
+    init_cv_.wait(lock, [this] { return ready_ == options_.num_workers; });
+  }
+  fn_(shard_id, *shards_[shard_id]);
+}
+
+void ShardGroup::ServeLoop(Catnip& os, const std::function<void()>& pump) {
+  // demilint: fastpath
+  while (!stop_.load(std::memory_order_relaxed)) {
+    os.PollOnce();
+    pump();
+  }
+  // demilint: end-fastpath
+}
+
+void ShardGroup::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+std::string ShardGroup::ExportMetricsText() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < shards_.size(); i++) {
+    out << "# shard=" << i << "\n";
+    if (shards_[i] != nullptr) {
+      out << shards_[i]->metrics().ExportText();
+    }
+  }
+  out << "# shard=all (rollup)\n";
+  for (const auto& s : AggregateSnapshot()) {
+    out << s.name << " " << (s.type == MetricType::kHistogram
+                                 ? static_cast<int64_t>(s.count)
+                                 : s.value)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::vector<MetricsRegistry::Sample> ShardGroup::AggregateSnapshot() const {
+  std::vector<MetricsRegistry::Sample> rollup;
+  auto find = [&rollup](const std::string& name) -> MetricsRegistry::Sample* {
+    for (auto& s : rollup) {
+      if (s.name == name) {
+        return &s;
+      }
+    }
+    return nullptr;
+  };
+  for (size_t i = 0; i < shards_.size(); i++) {
+    if (shards_[i] == nullptr) {
+      continue;
+    }
+    for (const MetricsRegistry::Sample& s : shards_[i]->metrics().Snapshot()) {
+      if (s.name == "shard.id" || s.name == "nic.queue_id") {
+        continue;  // per-shard identity, meaningless summed
+      }
+      if (s.component == "net" && i != 0) {
+        continue;  // fabric-global counter, identical in every shard's view: count it once
+      }
+      MetricsRegistry::Sample* agg = find(s.name);
+      if (agg == nullptr) {
+        rollup.push_back(s);
+        continue;
+      }
+      if (s.type == MetricType::kHistogram) {
+        // Sum counts; keep the quantile fields of the shard that saw the most samples.
+        const uint64_t combined = agg->count + s.count;
+        if (s.count > agg->count) {
+          MetricsRegistry::Sample dens = s;
+          dens.count = combined;
+          *agg = dens;
+        } else {
+          agg->count = combined;
+        }
+      } else if (s.name == "shard.workers") {
+        agg->value = s.value;  // identical everywhere; summing would read as workers^2
+      } else {
+        agg->value += s.value;
+      }
+    }
+  }
+  std::sort(rollup.begin(), rollup.end(),
+            [](const MetricsRegistry::Sample& a, const MetricsRegistry::Sample& b) {
+              return a.component != b.component ? a.component < b.component : a.name < b.name;
+            });
+  return rollup;
+}
+
+}  // namespace demi

@@ -8,13 +8,39 @@ namespace demi {
 
 Catnip::Catnip(SimNetwork& network, const Config& config, Clock& clock)
     : LibOS("catnip", clock, NullDmaRegistrar::Global()),
-      nic_(network, config.mac, clock),
-      eth_(nic_, config.ip, config.checksum_offload, config.rx_burst_frames),
+      owned_nic_(config.shared_nic != nullptr
+                     ? nullptr
+                     : std::make_unique<SimNic>(network, config.mac, clock,
+                                                config.num_workers == 0 ? 1
+                                                                        : config.num_workers)),
+      nic_(config.shared_nic != nullptr ? *config.shared_nic : *owned_nic_),
+      eth_(nic_, config.ip, config.checksum_offload, config.rx_burst_frames, config.queue_id),
       udp_(eth_, alloc_),
       tcp_(eth_, sched_, alloc_, clock, config.tcp) {
   alloc_.SetRegistrar(nic_.registrar());
   reap_interval_ = config.reap_interval;
   eth_.RegisterMetrics(metrics_);
+  // Per-queue NIC view: each shard's registry reports only its own RSS queue pair, so an
+  // aggregated rollup (ShardGroup::AggregateSnapshot) sums to the whole NIC.
+  const size_t qid = config.queue_id;
+  metrics_.RegisterGauge("nic.queue_id", "nic", "index", "RSS queue pair this shard polls")
+      .Set(static_cast<int64_t>(qid));
+  metrics_.RegisterCallback("nic.queue_rx_frames", "nic", "frames",
+                            "Frames received on this shard's rx queue",
+                            [this, qid] { return nic_.queue_stats(qid).rx_frames; });
+  metrics_.RegisterCallback("nic.queue_rx_bytes", "nic", "bytes",
+                            "Bytes received on this shard's rx queue",
+                            [this, qid] { return nic_.queue_stats(qid).rx_bytes; });
+  metrics_.RegisterCallback("nic.queue_tx_frames", "nic", "frames",
+                            "Frames transmitted on this shard's tx queue",
+                            [this, qid] { return nic_.queue_stats(qid).tx_frames; });
+  metrics_.RegisterCallback("nic.queue_tx_bytes", "nic", "bytes",
+                            "Bytes transmitted on this shard's tx queue",
+                            [this, qid] { return nic_.queue_stats(qid).tx_bytes; });
+  metrics_.RegisterCallback(
+      "net.port_lock_contention", "net", "events",
+      "Fabric deliveries that found an rx-queue lock held by another core",
+      [this] { return nic_.network().GetStats().port_lock_contention; });
   eth_.SetTracer(&tracer_);
   udp_.RegisterMetrics(metrics_);
   tcp_.SetObservability(&metrics_, &tracer_);

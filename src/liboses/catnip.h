@@ -41,6 +41,15 @@ class Catnip final : public LibOS {
     size_t rx_burst_frames = EthernetLayer::kDefaultRxBurst;
     // Reap closed TCP state every N fast-path iterations.
     uint32_t reap_interval = 1024;
+    // --- Sharding (paper §7 multi-worker mode; see src/core/shard_group.h) ---
+    // Total shared-nothing workers the NIC splits flows across: the owned NIC is created with
+    // this many RSS queue pairs. 1 (the default) is the classic single-threaded libOS.
+    size_t num_workers = 1;
+    // The RSS queue pair this instance polls and transmits on; each worker owns exactly one.
+    size_t queue_id = 0;
+    // When set, this instance attaches to an existing multi-queue NIC instead of creating its
+    // own — how ShardGroup gives every worker the same port. The NIC must outlive the libOS.
+    SimNic* shared_nic = nullptr;
   };
 
   Catnip(SimNetwork& network, const Config& config, Clock& clock);
@@ -118,7 +127,8 @@ class Catnip final : public LibOS {
   // Completes a TCP pop from ready data (fast path and coroutine tail share this).
   void CompleteTcpPop(QToken qt, QueueDesc qd, TcpConnection& conn);
 
-  SimNic nic_;
+  std::unique_ptr<SimNic> owned_nic_;  // null when Config::shared_nic is used
+  SimNic& nic_;
   EthernetLayer eth_;
   UdpStack udp_;
   TcpStack tcp_;

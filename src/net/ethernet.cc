@@ -7,10 +7,11 @@
 namespace demi {
 
 EthernetLayer::EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload,
-                             size_t rx_burst_frames)
+                             size_t rx_burst_frames, size_t queue_id)
     : nic_(nic),
       local_ip_(local_ip),
       checksum_offload_(checksum_offload),
+      queue_id_(queue_id),
       rx_frames_(rx_burst_frames == 0 ? 1 : rx_burst_frames) {}
 
 void EthernetLayer::RegisterMetrics(MetricsRegistry& registry) {
@@ -72,8 +73,8 @@ Status EthernetLayer::TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto pro
   if (tracer_ != nullptr) {
     tracer_->Record(TraceEventType::kPacketTx, static_cast<uint32_t>(proto), l4_len);
   }
-  return nic_.TxBurst(dst_mac, std::span<const std::span<const uint8_t>>(segs,
-                                                                         l4_segments.size() + 1));
+  return nic_.TxBurst(queue_id_, dst_mac,
+                      std::span<const std::span<const uint8_t>>(segs, l4_segments.size() + 1));
 }
 
 Status EthernetLayer::SendIpv4(Ipv4Addr dst, IpProto proto,
@@ -113,7 +114,7 @@ void EthernetLayer::SendArp(ArpPacket::Op op, MacAddr dst_mac, MacAddr target_ma
   arp.target_ip = target_ip;
   arp.Serialize(frame + EthernetHeader::kSize);
   std::span<const uint8_t> seg(frame, sizeof(frame));
-  if (nic_.TxBurst(dst_mac, {&seg, 1}) != Status::kOk) {
+  if (nic_.TxBurst(queue_id_, dst_mac, {&seg, 1}) != Status::kOk) {
     stats_.tx_errors++;  // ARP is best-effort; the requester retries on timeout
   }
 }
@@ -147,7 +148,7 @@ void EthernetLayer::HandleArp(std::span<const uint8_t> payload) {
 
 size_t EthernetLayer::PollOnce() {
   // demilint: fastpath
-  const size_t n = nic_.RxBurst(rx_frames_);
+  const size_t n = nic_.RxBurst(queue_id_, rx_frames_);
   if (n > 0) {
     stats_.rx_bursts++;
     stats_.rx_burst_frames += n;

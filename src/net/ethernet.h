@@ -53,11 +53,14 @@ class EthernetLayer {
   // trust RX validation. Turn off for the software-checksum ablation.
   // `rx_burst_frames` is the RxBurst size PollOnce drains per call (DPDK's rx_burst nb_pkts);
   // 1 reproduces the pre-batching frame-per-poll datapath for ablation.
+  // `queue_id` selects which of the NIC's RSS queue pairs this layer polls and transmits on;
+  // a sharded stack instantiates one EthernetLayer per queue pair over a shared SimNic.
   EthernetLayer(SimNic& nic, Ipv4Addr local_ip, bool checksum_offload = true,
-                size_t rx_burst_frames = kDefaultRxBurst);
+                size_t rx_burst_frames = kDefaultRxBurst, size_t queue_id = 0);
 
   bool checksum_offload() const { return checksum_offload_; }
   size_t rx_burst_frames() const { return rx_frames_.size(); }
+  size_t queue_id() const { return queue_id_; }
 
   Ipv4Addr local_ip() const { return local_ip_; }
   MacAddr local_mac() const { return nic_.mac(); }
@@ -109,6 +112,7 @@ class EthernetLayer {
   SimNic& nic_;
   Ipv4Addr local_ip_;
   bool checksum_offload_;
+  size_t queue_id_;
   // Reused RX frame ring, sized to the configured burst: one RxBurst fill per PollOnce
   // without per-poll stack churn (frames keep their capacity across polls).
   std::vector<WireFrame> rx_frames_;

@@ -1,0 +1,90 @@
+#include "src/netsim/rss.h"
+
+namespace demi {
+namespace {
+
+// The canonical Microsoft RSS key (the one every NIC datasheet and DPDK ship as the default).
+constexpr uint8_t kRssKey[40] = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3,
+    0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3,
+    0x80, 0x30, 0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+
+constexpr size_t kEthHeaderSize = 14;
+constexpr size_t kIpv4MinHeaderSize = 20;
+constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr uint8_t kProtoTcp = 6;
+constexpr uint8_t kProtoUdp = 17;
+
+}  // namespace
+
+uint32_t ToeplitzHash(std::span<const uint8_t> input) {
+  uint32_t hash = 0;
+  // 32-bit window sliding over the key bit stream, refilled one bit per input bit.
+  uint32_t window = (uint32_t{kRssKey[0]} << 24) | (uint32_t{kRssKey[1]} << 16) |
+                    (uint32_t{kRssKey[2]} << 8) | kRssKey[3];
+  for (size_t i = 0; i < input.size() && i + 4 < sizeof(kRssKey); i++) {
+    for (int bit = 0; bit < 8; bit++) {
+      if ((input[i] & (0x80u >> bit)) != 0) {
+        hash ^= window;
+      }
+      window <<= 1;
+      if ((kRssKey[i + 4] & (0x80u >> bit)) != 0) {
+        window |= 1;
+      }
+    }
+  }
+  return hash;
+}
+
+uint32_t RssHash4Tuple(Ipv4Addr src_ip, Ipv4Addr dst_ip, uint16_t src_port, uint16_t dst_port) {
+  // Network byte order, per the RSS spec: src ip, dst ip, src port, dst port.
+  const uint8_t input[12] = {
+      static_cast<uint8_t>(src_ip.value >> 24), static_cast<uint8_t>(src_ip.value >> 16),
+      static_cast<uint8_t>(src_ip.value >> 8),  static_cast<uint8_t>(src_ip.value),
+      static_cast<uint8_t>(dst_ip.value >> 24), static_cast<uint8_t>(dst_ip.value >> 16),
+      static_cast<uint8_t>(dst_ip.value >> 8),  static_cast<uint8_t>(dst_ip.value),
+      static_cast<uint8_t>(src_port >> 8),      static_cast<uint8_t>(src_port),
+      static_cast<uint8_t>(dst_port >> 8),      static_cast<uint8_t>(dst_port)};
+  return ToeplitzHash(std::span<const uint8_t>(input, sizeof(input)));
+}
+
+size_t RssQueueForFrame(std::span<const uint8_t> frame, size_t num_queues) {
+  if (num_queues <= 1) {
+    return 0;
+  }
+  if (frame.size() < kEthHeaderSize + kIpv4MinHeaderSize) {
+    return 0;
+  }
+  const uint16_t ether_type =
+      static_cast<uint16_t>((uint16_t{frame[12]} << 8) | uint16_t{frame[13]});
+  if (ether_type != kEtherTypeIpv4) {
+    return 0;  // ARP and friends go to the default queue
+  }
+  const std::span<const uint8_t> ip = frame.subspan(kEthHeaderSize);
+  const size_t ihl = static_cast<size_t>(ip[0] & 0x0F) * 4;
+  if ((ip[0] >> 4) != 4 || ihl < kIpv4MinHeaderSize || ip.size() < ihl) {
+    return 0;
+  }
+  const uint8_t protocol = ip[9];
+  // Fragment with a nonzero offset (or more-fragments chains) carries no L4 header; RSS
+  // hardware falls back to the 2-tuple for those and for non-TCP/UDP protocols.
+  const bool fragmented = ((ip[6] & 0x3F) != 0) || ip[7] != 0;  // MF flag or nonzero offset
+  uint8_t input[12];
+  size_t input_len = 8;
+  for (size_t i = 0; i < 8; i++) {
+    input[i] = ip[12 + i];  // src ip, dst ip as they sit on the wire
+  }
+  if ((protocol == kProtoTcp || protocol == kProtoUdp) && !fragmented &&
+      ip.size() >= ihl + 4) {
+    for (size_t i = 0; i < 4; i++) {
+      input[8 + i] = ip[ihl + i];  // src port, dst port
+    }
+    input_len = 12;
+  }
+  const uint32_t hash = ToeplitzHash(std::span<const uint8_t>(input, input_len));
+  // Real hardware indexes a 128-entry indirection table with the low 7 bits; with the default
+  // round-robin table that reduces to a modulo, which we use directly.
+  return static_cast<size_t>(hash % num_queues);
+}
+
+}  // namespace demi

@@ -1,0 +1,38 @@
+// Receive Side Scaling: deterministic Toeplitz flow hashing for the multi-queue SimNic.
+//
+// Real NICs steer each inbound frame to one of N rx queues by hashing the packet's flow
+// identity — the Microsoft RSS specification's Toeplitz hash over the IPv4/port 4-tuple —
+// so that all packets of one flow land on one queue and therefore one core. The paper's
+// multi-worker evaluation (§7, Fig. 9) relies on exactly this: one single-threaded libOS per
+// core, flows pinned to workers by NIC RSS, no cross-core synchronization on the datapath.
+//
+// The hash here is the verbatim Toeplitz construction with the canonical Microsoft key, so
+// queue placement is deterministic across runs, platforms and queue counts — a requirement
+// for seeded simulation replay.
+
+#ifndef SRC_NETSIM_RSS_H_
+#define SRC_NETSIM_RSS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/net/address.h"
+
+namespace demi {
+
+// Toeplitz hash of `input` (at most 36 bytes — the largest standard RSS input) under the
+// canonical Microsoft 40-byte key.
+uint32_t ToeplitzHash(std::span<const uint8_t> input);
+
+// RSS hash of an IPv4 4-tuple, fields in host byte order (hashed in network order, per spec).
+uint32_t RssHash4Tuple(Ipv4Addr src_ip, Ipv4Addr dst_ip, uint16_t src_port, uint16_t dst_port);
+
+// Maps a raw Ethernet frame to an rx queue in [0, num_queues): TCP/UDP frames hash their
+// 4-tuple, other IPv4 frames hash the address 2-tuple, and non-IPv4 frames (ARP, runts)
+// land on queue 0 — the default-queue behaviour of real RSS hardware.
+size_t RssQueueForFrame(std::span<const uint8_t> frame, size_t num_queues);
+
+}  // namespace demi
+
+#endif  // SRC_NETSIM_RSS_H_

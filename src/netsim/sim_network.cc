@@ -5,66 +5,104 @@
 
 #include "src/common/logging.h"
 #include "src/faults/fault_injector.h"
+#include "src/netsim/rss.h"
 
 namespace demi {
+
+namespace {
+// Frames moved wire-heap -> descriptor ring (and ring -> caller) per burst; bounds the stack
+// scratch while keeping the amortized one-fence-per-burst property.
+constexpr size_t kFrameBurst = 32;
+}  // namespace
 
 SimNetwork::SimNetwork(const LinkConfig& link, uint64_t seed) : link_(link), rng_(seed) {}
 SimNetwork::~SimNetwork() = default;
 
-SimNetwork::Port* SimNetwork::CreatePort(MacAddr mac) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = ports_.try_emplace(mac.value, std::make_unique<Port>(mac));
+SimNetwork::Port::Port(MacAddr mac, size_t num_queues, size_t queue_capacity) : mac_(mac) {
+  queues_.reserve(num_queues);
+  for (size_t i = 0; i < num_queues; i++) {
+    queues_.push_back(std::make_unique<RxQueue>(queue_capacity));
+  }
+}
+
+SimNetwork::Port* SimNetwork::CreatePort(MacAddr mac, size_t num_queues) {
+  std::unique_lock<std::shared_mutex> lock(ports_mu_);
+  auto [it, inserted] = ports_.try_emplace(
+      mac.value,
+      std::make_unique<Port>(mac, num_queues == 0 ? 1 : num_queues, link_.rx_queue_frames));
   if (!inserted) {
     return nullptr;
   }
   return it->second.get();
 }
 
+SimNetwork::Port* SimNetwork::FindPort(MacAddr mac) const {
+  std::shared_lock<std::shared_mutex> lock(ports_mu_);
+  auto it = ports_.find(mac.value);
+  return it == ports_.end() ? nullptr : it->second.get();
+}
+
 void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.frames_sent++;
-  if (pcap_ != nullptr) {
-    pcap_->WriteFrame(frame, now);
+  stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  if (pcap_on_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(pcap_mu_);
+    if (pcap_ != nullptr) {
+      pcap_->WriteFrame(frame, now);
+    }
   }
 
   // Sender-side serialization delay: the frame occupies the source's line for bytes/line-rate.
+  // Tracked under the source port's own lock — senders on different ports don't serialize.
   TimeNs depart = now;
-  auto src_it = ports_.find(src.value);
-  if (src_it != ports_.end() && link_.bandwidth_bps != 0) {
+  Port* src_port = FindPort(src);
+  if (src_port != nullptr && link_.bandwidth_bps != 0) {
     const DurationNs serialize =
         static_cast<DurationNs>(frame.size()) * 8ULL * kSecond / link_.bandwidth_bps;
-    Port* sp = src_it->second.get();
-    sp->next_tx_free = std::max<TimeNs>(sp->next_tx_free, now) + serialize;
-    depart = sp->next_tx_free;
+    std::lock_guard<std::mutex> lock(src_port->tx_mu_);
+    src_port->next_tx_free_ = std::max<TimeNs>(src_port->next_tx_free_, now) + serialize;
+    depart = src_port->next_tx_free_;
   }
 
-  if (rng_.NextBool(link_.loss)) {
-    stats_.frames_dropped_loss++;
-    return;
+  // Stochastic link model. The global rng is only consulted when a stochastic knob is armed,
+  // so the common lossless multi-shard path takes no shared lock here; when armed, the draw
+  // order per frame (loss -> [faults] -> reorder -> duplicate) matches the single-queue
+  // implementation exactly, preserving seeded replays.
+  const bool stochastic = link_.loss > 0 || link_.reorder > 0 || link_.duplicate > 0;
+  if (stochastic) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    if (rng_.NextBool(link_.loss)) {
+      stats_.frames_dropped_loss.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
 
   // Injected faults, after the stochastic link model so existing seeds are undisturbed when no
   // injector is attached: flap/partition windows swallow the frame, corruption flips bits and
-  // delivers it anyway (the stacks' checksums must catch it).
-  if (faults_ != nullptr) {
-    if (faults_->NetShouldDrop(src, dst, now)) {
-      stats_.frames_dropped_fault++;
+  // delivers it anyway (the stacks' checksums must catch it). The injector locks itself.
+  FaultInjector* faults = faults_.load(std::memory_order_acquire);
+  if (faults != nullptr) {
+    if (faults->NetShouldDrop(src, dst, now)) {
+      stats_.frames_dropped_fault.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    if (faults_->NetMaybeCorrupt(frame)) {
-      stats_.frames_corrupted++;
+    if (faults->NetMaybeCorrupt(frame)) {
+      stats_.frames_corrupted.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   TimeNs deliver_at = depart + link_.latency + link_.per_frame_overhead;
-  if (link_.reorder > 0 && rng_.NextBool(link_.reorder)) {
-    deliver_at += link_.reorder_extra;
-    stats_.frames_reordered++;
+  bool duplicate = false;
+  if (stochastic) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    if (link_.reorder > 0 && rng_.NextBool(link_.reorder)) {
+      deliver_at += link_.reorder_extra;
+      stats_.frames_reordered.fetch_add(1, std::memory_order_relaxed);
+    }
+    duplicate = link_.duplicate > 0 && rng_.NextBool(link_.duplicate);
   }
 
-  const bool duplicate = link_.duplicate > 0 && rng_.NextBool(link_.duplicate);
-
   if (dst.IsBroadcast()) {
+    std::shared_lock<std::shared_mutex> lock(ports_mu_);
     for (auto& [mac_value, port] : ports_) {
       if (mac_value == src.value) {
         continue;
@@ -74,59 +112,86 @@ void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) 
     return;
   }
 
-  auto it = ports_.find(dst.value);
-  if (it == ports_.end()) {
+  Port* dst_port = FindPort(dst);
+  if (dst_port == nullptr) {
     return;  // no such host: frame vanishes, like a real switch with no matching port
   }
   if (duplicate) {
-    stats_.frames_duplicated++;
-    DeliverToPort(it->second.get(), frame, deliver_at + 1);
+    stats_.frames_duplicated.fetch_add(1, std::memory_order_relaxed);
+    DeliverToPort(dst_port, frame, deliver_at + 1);
   }
-  DeliverToPort(it->second.get(), std::move(frame), deliver_at);
+  DeliverToPort(dst_port, std::move(frame), deliver_at);
 }
 
 void SimNetwork::DeliverToPort(Port* port, WireFrame frame, TimeNs deliver_at) {
-  std::lock_guard<std::mutex> lock(port->mu_);
-  if (port->inbound_.size() >= link_.rx_queue_frames) {
-    stats_.frames_dropped_queue++;
+  // RSS steering: the destination queue is a pure function of the frame's flow 4-tuple, so a
+  // flow's packets always land on the same shard regardless of which core delivered them.
+  const size_t queue =
+      port->queues_.size() == 1 ? 0 : RssQueueForFrame(frame, port->queues_.size());
+  Port::RxQueue& q = *port->queues_[queue];
+  std::unique_lock<std::mutex> lock(q.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    stats_.port_lock_contention.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  if (q.inbound.size() + q.ring.SizeApprox() >= link_.rx_queue_frames) {
+    stats_.frames_dropped_queue.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  port->inbound_.push(PendingFrame{deliver_at, next_seq_++, std::move(frame)});
+  q.inbound.push(PendingFrame{deliver_at, next_seq_.fetch_add(1, std::memory_order_relaxed),
+                              std::move(frame)});
 }
 
 SimNetwork::Stats SimNetwork::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
+  s.frames_dropped_loss = stats_.frames_dropped_loss.load(std::memory_order_relaxed);
+  s.frames_dropped_queue = stats_.frames_dropped_queue.load(std::memory_order_relaxed);
+  s.frames_dropped_fault = stats_.frames_dropped_fault.load(std::memory_order_relaxed);
+  s.frames_duplicated = stats_.frames_duplicated.load(std::memory_order_relaxed);
+  s.frames_reordered = stats_.frames_reordered.load(std::memory_order_relaxed);
+  s.frames_corrupted = stats_.frames_corrupted.load(std::memory_order_relaxed);
+  s.port_lock_contention = stats_.port_lock_contention.load(std::memory_order_relaxed);
+  return s;
 }
 
 bool SimNetwork::EnablePcap(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(pcap_mu_);
   auto writer = std::make_unique<PcapWriter>(path);
   if (!writer->ok()) {
     return false;
   }
   pcap_ = std::move(writer);
+  pcap_on_.store(true, std::memory_order_release);
   return true;
 }
 
 void SimNetwork::DisablePcap() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(pcap_mu_);
+  pcap_on_.store(false, std::memory_order_release);
   pcap_.reset();
 }
 
 uint64_t SimNetwork::PcapFramesWritten() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(pcap_mu_);
   return pcap_ == nullptr ? 0 : pcap_->frames_written();
 }
 
 TimeNs SimNetwork::NextDeliveryTime() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> ports_lock(ports_mu_);
   TimeNs earliest = 0;
   for (const auto& [mac, port] : ports_) {
-    std::lock_guard<std::mutex> port_lock(port->mu_);
-    if (!port->inbound_.empty()) {
-      const TimeNs t = port->inbound_.top().deliver_at;
-      if (earliest == 0 || t < earliest) {
+    for (const auto& q : port->queues_) {
+      TimeNs t = 0;
+      // Matured-but-unpolled frames keep their original timestamps in the descriptor ring.
+      if (const PendingFrame* front = q->ring.Front(); front != nullptr) {
+        t = front->deliver_at;
+      }
+      std::lock_guard<std::mutex> lock(q->mu);
+      if (!q->inbound.empty() && (t == 0 || q->inbound.top().deliver_at < t)) {
+        t = q->inbound.top().deliver_at;
+      }
+      if (t != 0 && (earliest == 0 || t < earliest)) {
         earliest = t;
       }
     }
@@ -134,43 +199,101 @@ TimeNs SimNetwork::NextDeliveryTime() const {
   return earliest;
 }
 
-size_t SimNetwork::Port::Poll(std::span<WireFrame> out, TimeNs now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t n = 0;
-  while (n < out.size() && !inbound_.empty() && inbound_.top().deliver_at <= now) {
-    out[n++] = std::move(const_cast<PendingFrame&>(inbound_.top()).data);
-    inbound_.pop();
+void SimNetwork::Port::MatureLocked(RxQueue& q, TimeNs now) {
+  PendingFrame batch[kFrameBurst];
+  while (!q.inbound.empty() && q.inbound.top().deliver_at <= now) {
+    size_t n = 0;
+    while (n < kFrameBurst && !q.inbound.empty() && q.inbound.top().deliver_at <= now) {
+      batch[n++] = std::move(const_cast<PendingFrame&>(q.inbound.top()));
+      q.inbound.pop();
+    }
+    const size_t pushed = q.ring.PushBurst(std::span<PendingFrame>(batch, n));
+    if (pushed < n) {
+      // Ring full (can't normally happen: ring capacity >= the taildrop bound). Put the
+      // remainder back rather than dropping frames that already survived the link model.
+      for (size_t i = pushed; i < n; i++) {
+        q.inbound.push(std::move(batch[i]));
+      }
+      return;
+    }
   }
+}
+
+size_t SimNetwork::Port::DrainRing(RxQueue& q, std::span<WireFrame> out) {
+  PendingFrame batch[kFrameBurst];
+  size_t total = 0;
+  while (total < out.size()) {
+    const size_t want = std::min(out.size() - total, kFrameBurst);
+    const size_t got = q.ring.PopBurst(std::span<PendingFrame>(batch, want));
+    if (got == 0) {
+      break;
+    }
+    for (size_t i = 0; i < got; i++) {
+      out[total + i] = std::move(batch[i].data);
+    }
+    total += got;
+  }
+  return total;
+}
+
+size_t SimNetwork::Port::PollQueue(size_t queue, std::span<WireFrame> out, TimeNs now) {
+  DEMI_DCHECK(queue < queues_.size());
+  RxQueue& q = *queues_[queue];
+  // Fast path: matured descriptors already on the ring satisfy the whole burst without the
+  // timing-stage lock.
+  size_t n = DrainRing(q, out);
+  if (n == out.size()) {
+    return n;
+  }
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    MatureLocked(q, now);
+  }
+  n += DrainRing(q, out.subspan(n));
   return n;
 }
 
 bool SimNetwork::Port::HasDeliverable(TimeNs now) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return !inbound_.empty() && inbound_.top().deliver_at <= now;
+  for (const auto& q : queues_) {
+    if (!q->ring.EmptyApprox()) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(q->mu);
+    if (!q->inbound.empty() && q->inbound.top().deliver_at <= now) {
+      return true;
+    }
+  }
+  return false;
 }
 
-SimNic::SimNic(SimNetwork& network, MacAddr mac, Clock& clock)
-    : network_(network), mac_(mac), clock_(clock) {
-  port_ = network.CreatePort(mac);
+SimNic::SimNic(SimNetwork& network, MacAddr mac, Clock& clock, size_t num_queues)
+    : network_(network), mac_(mac), clock_(clock),
+      queue_stats_(num_queues == 0 ? 1 : num_queues) {
+  port_ = network.CreatePort(mac, queue_stats_.size());
   DEMI_CHECK_MSG(port_ != nullptr, "MAC %s already attached", mac.ToString().c_str());
 }
 
-size_t SimNic::RxBurst(std::span<WireFrame> out) {
-  const size_t n = port_->Poll(out, clock_.Now());
-  stats_.rx_frames += n;
+size_t SimNic::RxBurst(size_t queue, std::span<WireFrame> out) {
+  DEMI_DCHECK(queue < queue_stats_.size());
+  const size_t n = port_->PollQueue(queue, out, clock_.Now());
+  PaddedStats& qs = queue_stats_[queue];
+  qs.rx_frames += n;
   for (size_t i = 0; i < n; i++) {
-    stats_.rx_bytes += out[i].size();
+    qs.rx_bytes += out[i].size();
   }
   return n;
 }
 
-Status SimNic::TxBurst(MacAddr dst, std::span<const std::span<const uint8_t>> segments) {
+Status SimNic::TxBurst(size_t queue, MacAddr dst,
+                       std::span<const std::span<const uint8_t>> segments) {
+  DEMI_DCHECK(queue < queue_stats_.size());
+  PaddedStats& qs = queue_stats_[queue];
   size_t total = 0;
   for (const auto& seg : segments) {
     total += seg.size();
   }
   if (total > mtu()) {
-    stats_.tx_oversize++;
+    qs.tx_oversize++;
     return Status::kMessageTooLong;
   }
   WireFrame frame;
@@ -184,10 +307,27 @@ Status SimNic::TxBurst(MacAddr dst, std::span<const std::span<const uint8_t>> se
     }
     frame.insert(frame.end(), seg.begin(), seg.end());
   }
-  stats_.tx_frames++;
-  stats_.tx_bytes += frame.size();
+  qs.tx_frames++;
+  qs.tx_bytes += frame.size();
   network_.Deliver(mac_, dst, std::move(frame), clock_.Now());
   return Status::kOk;
+}
+
+SimNic::Stats SimNic::stats() const {
+  Stats total;
+  for (const PaddedStats& qs : queue_stats_) {
+    total.tx_frames += qs.tx_frames;
+    total.tx_bytes += qs.tx_bytes;
+    total.rx_frames += qs.rx_frames;
+    total.rx_bytes += qs.rx_bytes;
+    total.tx_oversize += qs.tx_oversize;
+  }
+  return total;
+}
+
+SimNic::Stats SimNic::queue_stats(size_t queue) const {
+  DEMI_DCHECK(queue < queue_stats_.size());
+  return queue_stats_[queue];
 }
 
 }  // namespace demi

@@ -6,25 +6,36 @@
 // discipline: zero-copy payload segments must come from memory registered with the device
 // (DPDK's mempool requirement), which the PoolAllocator satisfies via its DmaRegistrar hook.
 //
+// Ports carry N rx/tx queue pairs (like a multi-queue PMD): at frame-delivery time the fabric
+// computes the Toeplitz RSS hash of the IPv4/port 4-tuple (src/netsim/rss.h) and enqueues the
+// frame on the matching rx queue, so every flow is pinned to one queue and one polling shard.
+// Each rx queue is two-staged: a timing heap ordered by simulated delivery time (the "wire"),
+// drained in bursts into an SPSC descriptor ring (the "device") that the owning shard pops
+// lock-free. N=1 preserves the single-queue behaviour byte for byte.
+//
 // The fabric connects ports by MAC address and models per-link one-way latency, serialization
-// delay (line rate), loss, reordering and duplication. Ports are thread-safe so a client and a
-// server stack can run on different threads, like two hosts on a switch; deterministic tests
-// drive everything single-threaded off a VirtualClock.
+// delay (line rate), loss, reordering and duplication. Frame delivery takes only per-port and
+// per-queue locks — shards on different cores do not serialize on a fabric-global mutex — and
+// a `port_lock_contention` counter measures cross-core collisions on one queue's lock.
+// Deterministic tests drive everything single-threaded off a VirtualClock.
 
 #ifndef SRC_NETSIM_SIM_NETWORK_H_
 #define SRC_NETSIM_SIM_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/common/spsc_ring.h"
 #include "src/common/status.h"
 #include "src/memory/dma.h"
 #include "src/net/address.h"
@@ -42,7 +53,7 @@ struct LinkConfig {
   DurationNs reorder_extra = 20 * kMicrosecond;
   double duplicate = 0.0;                 // probability a frame is delivered twice
   size_t mtu = 1500;                      // max frame size the port accepts
-  size_t rx_queue_frames = 4096;          // frames queued at the receiver before taildrop
+  size_t rx_queue_frames = 4096;          // frames queued per rx queue before taildrop
   DurationNs per_frame_overhead = 0;      // extra per-frame cost (models virtualization layers)
 };
 
@@ -59,21 +70,22 @@ class SimNetwork {
 
   class Port;
 
-  // Attaches a new port with the given MAC. The returned Port stays valid for the network's
-  // lifetime. Fails (returns nullptr) if the MAC is taken.
-  Port* CreatePort(MacAddr mac);
+  // Attaches a new port with the given MAC and `num_queues` RSS rx queues. The returned Port
+  // stays valid for the network's lifetime. Fails (returns nullptr) if the MAC is taken.
+  Port* CreatePort(MacAddr mac, size_t num_queues = 1);
 
-  // Injects a frame from `src` toward `dst` (broadcast supported). Called by devices.
+  // Injects a frame from `src` toward `dst` (broadcast supported). Called by devices; safe to
+  // call concurrently from multiple shard threads.
   void Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now);
 
   const LinkConfig& link() const { return link_; }
+  // Setup-time only: not safe to change while shard threads are delivering frames.
   void set_link(const LinkConfig& link) { link_ = link; }
 
   // Optional chaos hook (null by default): consulted per frame for injected corruption, link
   // flaps and pairwise partitions. See src/faults/fault_injector.h.
   void SetFaultInjector(FaultInjector* faults) {
-    std::lock_guard<std::mutex> lock(mu_);
-    faults_ = faults;
+    faults_.store(faults, std::memory_order_release);
   }
 
   struct Stats {
@@ -84,11 +96,15 @@ class SimNetwork {
     uint64_t frames_duplicated = 0;
     uint64_t frames_reordered = 0;
     uint64_t frames_corrupted = 0;      // delivered with injected bit flips
+    // Times a delivering sender found a destination rx-queue lock held by another core and
+    // had to wait. Stays 0 single-threaded; under multi-shard load it measures how often RSS
+    // fan-in actually collides now that there is no fabric-global mutex to serialize on.
+    uint64_t port_lock_contention = 0;
   };
   Stats GetStats() const;
 
   // Earliest pending delivery time across all ports (0 if idle); lets stepped tests advance a
-  // VirtualClock to exactly the next network event.
+  // VirtualClock to exactly the next network event. Single-threaded use only.
   TimeNs NextDeliveryTime() const;
 
   // Starts capturing every transmitted frame (pre-loss, like a switch SPAN port) to a pcap file
@@ -99,65 +115,112 @@ class SimNetwork {
 
  private:
   struct PendingFrame {
-    TimeNs deliver_at;
-    uint64_t seq;  // FIFO tie-break for equal timestamps
+    TimeNs deliver_at = 0;
+    uint64_t seq = 0;  // FIFO tie-break for equal timestamps
     WireFrame data;
     bool operator>(const PendingFrame& o) const {
       return deliver_at != o.deliver_at ? deliver_at > o.deliver_at : seq > o.seq;
     }
   };
 
+  // Internal counters are relaxed atomics so concurrent senders never share a stats lock.
+  struct AtomicStats {
+    std::atomic<uint64_t> frames_sent{0};
+    std::atomic<uint64_t> frames_dropped_loss{0};
+    std::atomic<uint64_t> frames_dropped_queue{0};
+    std::atomic<uint64_t> frames_dropped_fault{0};
+    std::atomic<uint64_t> frames_duplicated{0};
+    std::atomic<uint64_t> frames_reordered{0};
+    std::atomic<uint64_t> frames_corrupted{0};
+    std::atomic<uint64_t> port_lock_contention{0};
+  };
+
+  Port* FindPort(MacAddr mac) const;
   void DeliverToPort(Port* port, WireFrame frame, TimeNs deliver_at);
 
-  mutable std::mutex mu_;
   LinkConfig link_;
-  Rng rng_;
-  uint64_t next_seq_ = 0;
+  Rng rng_;                        // stochastic link model; guarded by rng_mu_
+  mutable std::mutex rng_mu_;
+  std::atomic<uint64_t> next_seq_{0};
+  mutable std::shared_mutex ports_mu_;  // registration (exclusive) vs delivery lookup (shared)
   std::map<uint64_t, std::unique_ptr<Port>> ports_;  // keyed by MAC value
+  std::atomic<bool> pcap_on_{false};
+  mutable std::mutex pcap_mu_;
   std::unique_ptr<PcapWriter> pcap_;
-  Stats stats_;
-  FaultInjector* faults_ = nullptr;
+  mutable AtomicStats stats_;
+  std::atomic<FaultInjector*> faults_{nullptr};
 
  public:
-  // A receive endpoint. Devices poll it for deliverable frames.
+  // A receive endpoint with one or more RSS rx queues. Devices poll it for deliverable frames;
+  // each queue must be polled by at most one thread (its shard), like a real descriptor ring.
   class Port {
    public:
-    explicit Port(MacAddr mac) : mac_(mac) {}
+    Port(MacAddr mac, size_t num_queues, size_t queue_capacity);
 
-    // Pops up to `out.size()` frames whose delivery time has arrived. Returns count.
-    size_t Poll(std::span<WireFrame> out, TimeNs now);
+    // Pops up to `out.size()` frames from queue 0 (single-queue compatibility form).
+    size_t Poll(std::span<WireFrame> out, TimeNs now) { return PollQueue(0, out, now); }
 
-    // True if a frame could be delivered at `now` (cheap peek).
+    // Pops up to `out.size()` frames whose delivery time has arrived from one rx queue.
+    // Matured frames move wire-heap -> descriptor ring in bursts (one fence per burst) and
+    // repeat polls drain the ring without touching the timing lock at all.
+    size_t PollQueue(size_t queue, std::span<WireFrame> out, TimeNs now);
+
+    // True if any queue could deliver a frame at `now` (cheap peek).
     bool HasDeliverable(TimeNs now) const;
 
     MacAddr mac() const { return mac_; }
-    TimeNs next_tx_free = 0;  // sender-side line-rate tracking, guarded by network mu_
+    size_t num_queues() const { return queues_.size(); }
 
    private:
     friend class SimNetwork;
-    mutable std::mutex mu_;
-    std::priority_queue<PendingFrame, std::vector<PendingFrame>, std::greater<PendingFrame>>
-        inbound_;
+
+    struct RxQueue {
+      explicit RxQueue(size_t capacity) : ring(capacity) {}
+      mutable std::mutex mu;  // guards `inbound` (the in-flight timing stage)
+      std::priority_queue<PendingFrame, std::vector<PendingFrame>, std::greater<PendingFrame>>
+          inbound;
+      SpscRing<PendingFrame> ring;  // matured frames; consumer = the owning shard, lock-free
+    };
+
+    // Moves every frame whose deliver_at has passed from `q.inbound` into the ring in bursts.
+    // Caller holds q.mu.
+    static void MatureLocked(RxQueue& q, TimeNs now);
+    // Pops up to out.size() matured frames off the descriptor ring (no lock).
+    static size_t DrainRing(RxQueue& q, std::span<WireFrame> out);
+
     MacAddr mac_;
+    std::vector<std::unique_ptr<RxQueue>> queues_;
+    std::mutex tx_mu_;          // sender-side line-rate tracking
+    TimeNs next_tx_free_ = 0;   // guarded by tx_mu_
   };
 };
 
-// Poll-mode NIC bound to one fabric port; the "device" a Catnip instance drives.
+// Poll-mode NIC bound to one fabric port; the "device" a Catnip instance drives. With
+// `num_queues` > 1 this is a multi-queue PMD: RSS pins each flow to a queue pair, and every
+// queue pair is owned (polled / transmitted on) by exactly one shard thread.
 class SimNic {
  public:
-  SimNic(SimNetwork& network, MacAddr mac, Clock& clock);
+  SimNic(SimNetwork& network, MacAddr mac, Clock& clock, size_t num_queues = 1);
 
-  // DPDK rte_rx_burst analogue: fills `out` with up to out.size() frames; returns count.
-  size_t RxBurst(std::span<WireFrame> out);
+  // DPDK rte_rx_burst analogue: fills `out` with up to out.size() frames from one rx queue;
+  // returns count. Each queue must be polled by a single thread.
+  size_t RxBurst(size_t queue, std::span<WireFrame> out);
+  size_t RxBurst(std::span<WireFrame> out) { return RxBurst(0, out); }
 
   // DPDK rte_tx_burst analogue with gather: concatenates `segments` into one wire frame.
   // Zero-copy-sized segments must lie in DMA-registered memory (checked), mirroring the mempool
   // requirement; returns kMessageTooLong if the frame exceeds the MTU.
-  [[nodiscard]] Status TxBurst(MacAddr dst, std::span<const std::span<const uint8_t>> segments);
+  [[nodiscard]] Status TxBurst(size_t queue, MacAddr dst,
+                               std::span<const std::span<const uint8_t>> segments);
+  [[nodiscard]] Status TxBurst(MacAddr dst, std::span<const std::span<const uint8_t>> segments) {
+    return TxBurst(0, dst, segments);
+  }
 
   MacAddr mac() const { return mac_; }
   size_t mtu() const { return network_.link().mtu; }
+  size_t num_queues() const { return queue_stats_.size(); }
   Clock& clock() { return clock_; }
+  SimNetwork& network() { return network_; }
 
   // The registrar applications' allocators must be wired to for zero-copy TX.
   DmaRegistrar& registrar() { return registrar_; }
@@ -170,7 +233,11 @@ class SimNic {
     uint64_t rx_bytes = 0;
     uint64_t tx_oversize = 0;
   };
-  const Stats& stats() const { return stats_; }
+  // Aggregate over all queues. Exact single-threaded or after shards quiesce; approximate while
+  // other shards are actively polling (per-queue counters are owned by their shard's thread).
+  Stats stats() const;
+  // One queue pair's counters (same visibility caveat as stats()).
+  Stats queue_stats(size_t queue) const;
 
  private:
   // Records registered regions so the device can verify DMA-capability of TX segments.
@@ -202,12 +269,15 @@ class SimNic {
     uint64_t next_key_ = 1;
   };
 
+  // Cache-line padded so two shards bumping adjacent queues' counters don't false-share.
+  struct alignas(64) PaddedStats : Stats {};
+
   SimNetwork& network_;
   SimNetwork::Port* port_;
   MacAddr mac_;
   Clock& clock_;
   RangeRegistrar registrar_;
-  Stats stats_;
+  std::vector<PaddedStats> queue_stats_;
 };
 
 }  // namespace demi
