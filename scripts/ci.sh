@@ -2,8 +2,10 @@
 # The full CI gate, in the order a reviewer wants failures surfaced:
 #
 #   1. configure + build with -Werror (DEMI_WERROR=ON) — warnings fail first, fast;
-#   2. the unit/integration test suite, including the perf smoke gates (perf_smoke_tcp and
-#      perf_smoke_multicore — the latter self-skips on hosts with < 4 hardware threads);
+#   2. the unit/integration test suite, including the perf smoke gates (perf_smoke_tcp,
+#      perf_smoke_multicore — self-skips on hosts with < 4 hardware threads — and
+#      perf_smoke_c1m, the 100k-flow scaling gate from docs/SCALING.md, which self-skips
+#      on memory-starved hosts);
 #   3. the lint label (demilint over the tree, its fixture selftest, check_docs);
 #   4. clang-tidy, when installed (skips gracefully otherwise);
 #   5. the sanitizer sweep (ASan, UBSan, targeted TSan).

@@ -30,10 +30,14 @@ done
 echo "=== DEMI_SANITIZE=thread (targeted: threaded apps_test echo pairs + ShardGroup) ==="
 bdir="$ROOT/build-tsan"
 cmake -B "$bdir" -S "$ROOT" -DDEMI_SANITIZE=thread > /dev/null
-cmake --build "$bdir" -j "$JOBS" --target apps_test shard_test > /dev/null
+cmake --build "$bdir" -j "$JOBS" --target apps_test shard_test timer_wheel_test > /dev/null
 "$bdir/tests/apps_test" --gtest_filter='*Threaded*'
 # The 2-worker shard runs: every cross-core seam (per-queue delivery locks, SPSC descriptor
 # rings, shared fabric stats) executes under TSan here.
 "$bdir/tests/shard_test" --gtest_filter='ShardGroup*'
+# The timer wheel is shard-local by design (one wheel per scheduler, no locks). Running its
+# suite under TSan documents and enforces that contract: any future cross-thread sharing of
+# a wheel must surface here, not as corruption in a shard soak.
+"$bdir/tests/timer_wheel_test"
 
 echo "All sanitizer sweeps passed."

@@ -37,6 +37,20 @@ void LibOS::InitObservability() {
                             "Run-queue depth (fibers with their ready bit set)",
                             [this] { return sched_.NumRunnable(); });
 
+  const TimerWheel& wheel = sched_.timer_wheel();
+  metrics_.RegisterCallback("timerwheel.armed", "timerwheel", "timers",
+                            "Timers currently armed", [&wheel] { return wheel.armed(); });
+  metrics_.RegisterCallback("timerwheel.arms", "timerwheel", "timers",
+                            "Successful Arm() calls", [&wheel] { return wheel.stats().arms; });
+  metrics_.RegisterCallback("timerwheel.fires", "timerwheel", "timers",
+                            "Timer callbacks invoked", [&wheel] { return wheel.stats().fires; });
+  metrics_.RegisterCallback("timerwheel.cancels", "timerwheel", "timers",
+                            "Cancels that removed a pending timer",
+                            [&wheel] { return wheel.stats().cancels; });
+  metrics_.RegisterCallback("timerwheel.cascades", "timerwheel", "timers",
+                            "Entries re-filed from a higher wheel level toward level 0",
+                            [&wheel] { return wheel.stats().cascades; });
+
   metrics_.RegisterCallback("heap.superblocks", "heap", "blocks", "Live superblocks",
                             [this] { return alloc_.GetStats().superblocks; });
   metrics_.RegisterCallback("heap.live_objects", "heap", "objects",

@@ -16,9 +16,11 @@ ShardGroup::ShardGroup(SimNetwork& network, Clock& clock, const Options& options
   if (options_.num_workers == 0) {
     options_.num_workers = 1;
   }
-  // The shared log device is single-consumer; partitioning it per shard is a ROADMAP item.
+  // The shared log device is single-consumer; the "per-shard Cattree partitions" ROADMAP item
+  // lifts this by giving each shard its own log partition.
   DEMI_CHECK_MSG(options_.base.disk == nullptr || options_.num_workers == 1,
-                 "ShardGroup: storage is only supported with num_workers=1");
+                 "ShardGroup: storage requires num_workers=1 until per-shard Cattree "
+                 "partitions land (see ROADMAP.md)");
   shards_.resize(options_.num_workers);
 }
 

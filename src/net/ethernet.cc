@@ -152,6 +152,10 @@ size_t EthernetLayer::PollOnce() {
   if (n > 0) {
     stats_.rx_bursts++;
     stats_.rx_burst_frames += n;
+    for (auto& [proto, receiver] : receivers_) {
+      (void)proto;
+      receiver->OnRxBurstBegin();
+    }
   }
   for (size_t i = 0; i < n; i++) {
     std::span<const uint8_t> frame(rx_frames_[i]);
@@ -188,6 +192,12 @@ size_t EthernetLayer::PollOnce() {
     }
     recv_it->second->OnIpv4Packet(*ip, payload.subspan(Ipv4Header::kSize,
                                                        ip->total_length - Ipv4Header::kSize));
+  }
+  if (n > 0) {
+    for (auto& [proto, receiver] : receivers_) {
+      (void)proto;
+      receiver->OnRxBurstEnd();
+    }
   }
   return n;
   // demilint: end-fastpath

@@ -26,6 +26,11 @@ class Ipv4Receiver {
  public:
   virtual ~Ipv4Receiver() = default;
   virtual void OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4_payload) = 0;
+  // Burst brackets: PollOnce() calls OnRxBurstBegin() before dispatching a non-empty RX burst
+  // and OnRxBurstEnd() after the last frame. Stacks use them to coalesce per-burst work (e.g.
+  // one pure ACK per connection per burst instead of one per segment). Default: no-ops.
+  virtual void OnRxBurstBegin() {}
+  virtual void OnRxBurstEnd() {}
 };
 
 class ArpCache {

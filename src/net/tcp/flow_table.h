@@ -1,0 +1,246 @@
+// Open-addressed TCP flow table (docs/SCALING.md §4).
+//
+// Maps a packed 4-tuple key -> shared_ptr<TcpConnection> for the per-shard demultiplex on the
+// RX fast path. Linear probing over three parallel preallocated arrays (control bytes, keys,
+// values): a miss touches only the 1-byte control array until a candidate key matches, so the
+// common lookup is one cache line of control bytes plus one key compare. Capacity is a power of
+// two; the table grows (rehash, dropping tombstones) when live + tombstone slots exceed half of
+// capacity, keeping expected probe lengths O(1) out to millions of flows.
+//
+// The local IP is implicit (one stack = one local IP), so the key packs the remaining tuple:
+//   key = remote_ip << 32 | remote_port << 16 | local_port.
+
+#ifndef SRC_NET_TCP_FLOW_TABLE_H_
+#define SRC_NET_TCP_FLOW_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+class TcpConnection;
+
+class FlowTable {
+ public:
+  using Value = std::shared_ptr<TcpConnection>;
+
+  static constexpr uint64_t MakeKey(uint32_t remote_ip, uint16_t remote_port,
+                                    uint16_t local_port) {
+    return (static_cast<uint64_t>(remote_ip) << 32) |
+           (static_cast<uint64_t>(remote_port) << 16) | local_port;
+  }
+
+  explicit FlowTable(size_t capacity_hint = 1024) { Rehash(NormalizeCapacity(capacity_hint)); }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ctrl_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  // Returns the connection for `key`, or nullptr. The hot-path lookup: no allocation, no
+  // shared_ptr copy.
+  TcpConnection* Find(uint64_t key) const {
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = Hash(key) & mask;
+    size_t probes = 1;
+    while (true) {
+      if (ctrl_[i] == kEmpty) {
+        RecordProbe(probes);
+        return nullptr;
+      }
+      if (ctrl_[i] == kFull && keys_[i] == key) {
+        RecordProbe(probes);
+        return vals_[i].get();
+      }
+      i = (i + 1) & mask;
+      probes++;
+    }
+  }
+
+  // Shared-ptr variant for callers that need ownership (accept delivery, erase-and-keep).
+  Value FindShared(uint64_t key) const {
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = Hash(key) & mask;
+    while (true) {
+      if (ctrl_[i] == kEmpty) {
+        return nullptr;
+      }
+      if (ctrl_[i] == kFull && keys_[i] == key) {
+        return vals_[i];
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Inserts; returns false (and leaves the table unchanged) if the key is already present.
+  bool Insert(uint64_t key, Value v) {
+    MaybeGrow();
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = Hash(key) & mask;
+    size_t first_tomb = SIZE_MAX;
+    while (true) {
+      if (ctrl_[i] == kEmpty) {
+        if (first_tomb != SIZE_MAX) {
+          i = first_tomb;
+          tombstones_--;
+        }
+        ctrl_[i] = kFull;
+        keys_[i] = key;
+        vals_[i] = std::move(v);
+        size_++;
+        return true;
+      }
+      if (ctrl_[i] == kTombstone) {
+        if (first_tomb == SIZE_MAX) {
+          first_tomb = i;
+        }
+      } else if (keys_[i] == key) {
+        return false;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool Erase(uint64_t key) {
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = Hash(key) & mask;
+    while (true) {
+      if (ctrl_[i] == kEmpty) {
+        return false;
+      }
+      if (ctrl_[i] == kFull && keys_[i] == key) {
+        ctrl_[i] = kTombstone;
+        vals_[i].reset();
+        size_--;
+        tombstones_++;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Visits every live flow: fn(key, const Value&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < ctrl_.size(); i++) {
+      if (ctrl_[i] == kFull) {
+        fn(keys_[i], vals_[i]);
+      }
+    }
+  }
+
+  // Erases every flow for which fn(key, value) returns true; returns the number erased.
+  template <typename Fn>
+  size_t EraseIf(Fn&& fn) {
+    size_t erased = 0;
+    for (size_t i = 0; i < ctrl_.size(); i++) {
+      if (ctrl_[i] == kFull && fn(keys_[i], vals_[i])) {
+        ctrl_[i] = kTombstone;
+        vals_[i].reset();
+        size_--;
+        tombstones_++;
+        erased++;
+      }
+    }
+    return erased;
+  }
+
+  void Clear() {
+    for (size_t i = 0; i < ctrl_.size(); i++) {
+      ctrl_[i] = kEmpty;
+      vals_[i].reset();
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  // Bytes reserved by the three slot arrays (the flow table's share of the per-connection
+  // budget in docs/SCALING.md).
+  size_t ReservedBytes() const {
+    return ctrl_.size() * (sizeof(uint8_t) + sizeof(uint64_t) + sizeof(Value));
+  }
+
+  struct Stats {
+    uint64_t finds = 0;        // Find() calls
+    uint64_t find_probes = 0;  // slots touched across all finds
+    uint64_t max_probe = 0;    // worst single-lookup probe length observed
+    uint64_t grows = 0;        // rehashes
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kFull = 1;
+  static constexpr uint8_t kTombstone = 2;
+  static constexpr size_t kMinCapacity = 64;
+
+  static size_t NormalizeCapacity(size_t hint) {
+    size_t cap = kMinCapacity;
+    while (cap < hint) {
+      cap <<= 1;
+    }
+    return cap;
+  }
+
+  // splitmix64 finalizer: full-avalanche over the packed tuple so linear probing sees a
+  // uniform distribution even though real tuples differ only in a few low bits.
+  static uint64_t Hash(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  void RecordProbe(size_t probes) const {
+    stats_.finds++;
+    stats_.find_probes += probes;
+    if (probes > stats_.max_probe) {
+      stats_.max_probe = probes;
+    }
+  }
+
+  void MaybeGrow() {
+    if ((size_ + tombstones_ + 1) * 2 <= ctrl_.size()) {
+      return;
+    }
+    // Grow unless the pressure is mostly tombstones, in which case rehash in place.
+    Rehash(size_ * 4 > ctrl_.size() ? ctrl_.size() * 2 : ctrl_.size());
+    stats_.grows++;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint8_t> old_ctrl = std::move(ctrl_);
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<Value> old_vals = std::move(vals_);
+    ctrl_.assign(new_cap, kEmpty);
+    keys_.assign(new_cap, 0);
+    vals_.assign(new_cap, nullptr);
+    tombstones_ = 0;
+    const size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_ctrl.size(); i++) {
+      if (old_ctrl[i] != kFull) {
+        continue;
+      }
+      size_t j = Hash(old_keys[i]) & mask;
+      while (ctrl_[j] != kEmpty) {
+        j = (j + 1) & mask;
+      }
+      ctrl_[j] = kFull;
+      keys_[j] = old_keys[i];
+      vals_[j] = std::move(old_vals[i]);
+    }
+  }
+
+  std::vector<uint8_t> ctrl_;
+  std::vector<uint64_t> keys_;
+  std::vector<Value> vals_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NET_TCP_FLOW_TABLE_H_

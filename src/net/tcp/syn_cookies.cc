@@ -1,0 +1,75 @@
+#include "src/net/tcp/syn_cookies.h"
+
+namespace demi {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint32_t SynCookies::RoundMss(uint32_t mss) {
+  uint32_t best = kMssTable[0];
+  for (const uint32_t entry : kMssTable) {
+    if (entry <= mss) {
+      best = entry;
+    }
+  }
+  return best;
+}
+
+uint32_t SynCookies::Hash22(uint64_t key, uint32_t client_iss, uint64_t bucket,
+                            uint8_t opts_byte) const {
+  uint64_t h = Mix64(key ^ secret_);
+  h = Mix64(h ^ (static_cast<uint64_t>(client_iss) << 32) ^ bucket);
+  h = Mix64(h ^ opts_byte);
+  return static_cast<uint32_t>(h & 0x3FFFFF);
+}
+
+uint32_t SynCookies::Encode(uint64_t key, uint32_t client_iss, const SynOptions& opts,
+                            TimeNs now) const {
+  uint8_t mss_idx = 0;
+  for (uint8_t i = 0; i < 8; i++) {
+    if (kMssTable[i] <= opts.mss) {
+      mss_idx = i;
+    }
+  }
+  const uint8_t opts_byte = static_cast<uint8_t>(
+      (mss_idx & 0x7) | ((opts.peer_wscale & 0xF) << 3) | (opts.timestamps ? 0x80 : 0));
+  const uint64_t bucket = now >> kBucketShift;
+  return (Hash22(key, client_iss, bucket, opts_byte) << 10) |
+         (static_cast<uint32_t>(bucket & 0x3) << 8) | opts_byte;
+}
+
+std::optional<SynCookies::SynOptions> SynCookies::Decode(uint64_t key, uint32_t client_iss,
+                                                         uint32_t cookie, TimeNs now) const {
+  const auto opts_byte = static_cast<uint8_t>(cookie & 0xFF);
+  const uint32_t bucket_bits = (cookie >> 8) & 0x3;
+  const uint32_t hash = cookie >> 10;
+  const uint64_t cur_bucket = now >> kBucketShift;
+  for (uint64_t age = 0; age < 2; age++) {
+    if (cur_bucket < age) {
+      break;
+    }
+    const uint64_t bucket = cur_bucket - age;
+    if (static_cast<uint32_t>(bucket & 0x3) != bucket_bits) {
+      continue;
+    }
+    if (Hash22(key, client_iss, bucket, opts_byte) != hash) {
+      continue;
+    }
+    SynOptions opts;
+    opts.mss = kMssTable[opts_byte & 0x7];
+    opts.peer_wscale = (opts_byte >> 3) & 0xF;
+    opts.timestamps = (opts_byte & 0x80) != 0;
+    return opts;
+  }
+  return std::nullopt;
+}
+
+}  // namespace demi

@@ -1,0 +1,61 @@
+// SYN-cookie encoding for stateless handshakes (docs/SCALING.md §2).
+//
+// With `TcpConfig::syn_cookies` on, a listener answers SYNs with a SYN-ACK whose initial
+// sequence number *is* the cookie — no TCB, no backlog slot, nothing allocated until the
+// third-ACK returns the cookie and proves the peer completed the handshake. The 32-bit ISS
+// packs:
+//
+//   bits 31..10   22-bit keyed hash over (4-tuple, client ISS, time bucket, secret)
+//   bits  9..8    time-bucket low bits (~8.6 s per bucket; current and previous accepted)
+//   bits  7..0    compressed SYN options: mss table index (3) | peer wscale (4) | ts flag (1)
+//
+// Options that don't survive the round trip (exact peer MSS, SACK) degrade gracefully: MSS is
+// rounded down to a table entry, wscale 15 encodes "peer offered none". Validation is pure
+// arithmetic — a flood of half-open connections costs zero bytes of connection state.
+
+#ifndef SRC_NET_TCP_SYN_COOKIES_H_
+#define SRC_NET_TCP_SYN_COOKIES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/clock.h"
+
+namespace demi {
+
+class SynCookies {
+ public:
+  static constexpr uint32_t kMssTable[8] = {536, 1160, 1400, 1440, 1460, 2960, 4380, 8940};
+  static constexpr uint8_t kNoWscale = 15;
+
+  explicit SynCookies(uint64_t secret) : secret_(secret) {}
+
+  struct SynOptions {
+    uint32_t mss = 536;           // rounded to the table entry actually encoded
+    uint8_t peer_wscale = kNoWscale;  // peer's advertised shift, kNoWscale if absent
+    bool timestamps = false;
+  };
+
+  // Builds the cookie ISS for a SYN. `mss` is the already-clamped effective MSS (it gets
+  // rounded *down* to the nearest table entry); `key` is FlowTable::MakeKey of the 4-tuple.
+  uint32_t Encode(uint64_t key, uint32_t client_iss, const SynOptions& opts, TimeNs now) const;
+
+  // Validates `cookie` (the peer's ack - 1) against the 4-tuple and client ISS (seq - 1).
+  // Accepts the current and previous time bucket; returns the decoded options on success.
+  std::optional<SynOptions> Decode(uint64_t key, uint32_t client_iss, uint32_t cookie,
+                                   TimeNs now) const;
+
+  // Largest table MSS <= mss (clamps below the table floor to entry 0).
+  static uint32_t RoundMss(uint32_t mss);
+
+ private:
+  static constexpr uint64_t kBucketShift = 33;  // 2^33 ns ~= 8.6 s per bucket
+
+  uint32_t Hash22(uint64_t key, uint32_t client_iss, uint64_t bucket, uint8_t opts_byte) const;
+
+  uint64_t secret_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NET_TCP_SYN_COOKIES_H_

@@ -8,12 +8,11 @@
 
 namespace demi {
 
-namespace {
-// Wrapper coroutines that pin the connection alive for a background fiber's lifetime.
-Task<void> RunFiber(std::shared_ptr<TcpConnection> conn, Task<void> body) {
-  co_await std::move(body);
-}
-}  // namespace
+// A connection object plus its shared_ptr control block must fit one slab slot; the hot line
+// is the first 64 bytes, and the remaining members stay small because everything bulky lives
+// behind cold_ (docs/SCALING.md §3).
+static_assert(sizeof(TcpConnection) <= TcbSlab::kSlotBytes - 64,
+              "TcpConnection outgrew its slab slot budget");
 
 // ============================== SegmentPayload ====================================
 
@@ -42,44 +41,281 @@ void SegmentPayload::TrimFront(size_t n) {
 
 TcpConnection::TcpConnection(TcpStack& stack, SocketAddress local, SocketAddress remote,
                              SeqNum iss)
-    : stack_(stack),
-      local_(local),
-      remote_(remote),
-      snd_una_(iss),
-      snd_nxt_(iss),
-      iss_(iss),
-      mss_(stack.DefaultMss()),
-      rtt_(stack.config()) {
-  cc_ = CongestionControl::Create(stack.config().congestion, mss_,
-                                  stack.config().fixed_window_bytes);
+    : stack_(stack), local_(local), remote_(remote), iss_(iss), rtt_(stack.config()) {
+  hot_.snd_una = iss;
+  hot_.snd_nxt = iss;
+  hot_.mss = static_cast<uint16_t>(stack.DefaultMss());
 }
 
-TcpConnection::~TcpConnection() = default;
+TcpConnection::~TcpConnection() {
+  // An application-held connection can outlive the stack; EnterClosed already cancelled every
+  // timer then, so only touch the scheduler if something is still armed.
+  if (hot_.retx_timer != kInvalidTimerId || hot_.ack_timer != kInvalidTimerId ||
+      hot_.state_timer != kInvalidTimerId) {
+    CancelAllTimers();
+  }
+}
+
+TcpConnection::ColdState& TcpConnection::EnsureCold() {
+  if (cold_ == nullptr) {
+    cold_ = std::make_unique<ColdState>();
+    cold_->cc = CongestionControl::Create(stack_.config().congestion, hot_.mss,
+                                          stack_.config().fixed_window_bytes);
+  }
+  return *cold_;
+}
+
+const TcpConnection::ConnStats& TcpConnection::conn_stats() const {
+  static const ConnStats kZero{};
+  return cold_ == nullptr ? kZero : cold_->stats;
+}
+
+uint64_t TcpConnection::FlowKey() const {
+  return FlowTable::MakeKey(remote_.ip.value, remote_.port, local_.port);
+}
 
 size_t TcpConnection::EffectiveSendWindow() const {
-  const size_t wnd = std::min(cc_->cwnd(), snd_wnd_);
-  return wnd > bytes_inflight_ ? wnd - bytes_inflight_ : 0;
+  if (cold_ == nullptr) {
+    return 0;
+  }
+  const size_t wnd = std::min<size_t>(cold_->cc->cwnd(), hot_.snd_wnd);
+  return wnd > cold_->bytes_inflight ? wnd - cold_->bytes_inflight : 0;
 }
 
 size_t TcpConnection::ReceiveCapacityLeft() const {
-  const size_t used = ready_bytes_ + reassembly_bytes_;
+  const size_t used = cold_ == nullptr ? 0 : cold_->ready_bytes + cold_->reassembly_bytes;
   const size_t cap = stack_.config().recv_buffer_bytes;
   return used >= cap ? 0 : cap - used;
 }
 
 uint16_t TcpConnection::AdvertisedWindow() const {
-  const size_t wnd = ReceiveCapacityLeft() >> rcv_wscale_;
+  const size_t wnd = ReceiveCapacityLeft() >> hot_.rcv_wscale;
   return static_cast<uint16_t>(std::min<size_t>(wnd, 0xFFFF));
 }
+
+// --- Timer plumbing -------------------------------------------------------------
+
+void TcpConnection::RetxTimerCb(void* ctx, uint64_t /*arg*/) {
+  auto* conn = static_cast<TcpConnection*>(ctx);
+  conn->hot_.retx_timer = kInvalidTimerId;  // this entry just fired
+  conn->OnRetxTimer(conn->stack_.clock().Now());
+}
+
+void TcpConnection::AckTimerCb(void* ctx, uint64_t /*arg*/) {
+  auto* conn = static_cast<TcpConnection*>(ctx);
+  conn->hot_.ack_timer = kInvalidTimerId;
+  conn->OnAckTimer(conn->stack_.clock().Now());
+}
+
+void TcpConnection::StateTimerCb(void* ctx, uint64_t /*arg*/) {
+  auto* conn = static_cast<TcpConnection*>(ctx);
+  conn->hot_.state_timer = kInvalidTimerId;
+  conn->OnStateTimer(conn->stack_.clock().Now());
+}
+
+void TcpConnection::ReschedRetx() {
+  Scheduler& sched = stack_.scheduler();
+  if (hot_.retx_timer != kInvalidTimerId) {
+    sched.CancelTimer(hot_.retx_timer);
+    hot_.retx_timer = kInvalidTimerId;
+  }
+  if (hot_.state != TcpState::kClosed && cold_ != nullptr && !cold_->inflight.empty()) {
+    hot_.retx_timer =
+        sched.ArmTimer(cold_->inflight.front().rto_deadline, &RetxTimerCb, this, 0);
+  }
+}
+
+void TcpConnection::ArmAckTimer(TimeNs deadline) {
+  Scheduler& sched = stack_.scheduler();
+  if (hot_.ack_timer != kInvalidTimerId) {
+    sched.CancelTimer(hot_.ack_timer);
+  }
+  hot_.ack_timer = sched.ArmTimer(deadline, &AckTimerCb, this, 0);
+}
+
+void TcpConnection::CancelAckTimer() {
+  if (hot_.ack_timer != kInvalidTimerId) {
+    stack_.scheduler().CancelTimer(hot_.ack_timer);
+    hot_.ack_timer = kInvalidTimerId;
+  }
+}
+
+void TcpConnection::ArmStateTimer(StateTimerKind kind, TimeNs deadline) {
+  Scheduler& sched = stack_.scheduler();
+  if (hot_.state_timer != kInvalidTimerId) {
+    sched.CancelTimer(hot_.state_timer);
+  }
+  hot_.state_timer = sched.ArmTimer(deadline, &StateTimerCb, this, 0);
+  hot_.state_timer_kind = kind;
+}
+
+void TcpConnection::CancelStateTimer() {
+  if (hot_.state_timer != kInvalidTimerId) {
+    stack_.scheduler().CancelTimer(hot_.state_timer);
+    hot_.state_timer = kInvalidTimerId;
+  }
+  hot_.state_timer_kind = StateTimerKind::kNone;
+}
+
+void TcpConnection::CancelAllTimers() {
+  if (hot_.retx_timer != kInvalidTimerId) {
+    stack_.scheduler().CancelTimer(hot_.retx_timer);
+    hot_.retx_timer = kInvalidTimerId;
+  }
+  CancelAckTimer();
+  CancelStateTimer();
+}
+
+void TcpConnection::MaybeArmPersist(TimeNs now) {
+  const bool data_state =
+      hot_.state == TcpState::kEstablished || hot_.state == TcpState::kCloseWait ||
+      hot_.state == TcpState::kFinWait1 || hot_.state == TcpState::kLastAck ||
+      hot_.state == TcpState::kClosing;
+  const bool need = data_state && cold_ != nullptr && !cold_->unsent.empty() &&
+                    hot_.snd_wnd == 0 && cold_->bytes_inflight == 0;
+  if (need) {
+    if (hot_.state_timer_kind != StateTimerKind::kPersist) {
+      // Zero-window persist (RFC 1122 4.2.2.17): wait an RTO, then force a 1-byte probe.
+      ArmStateTimer(StateTimerKind::kPersist, now + rtt_.rto());
+    }
+  } else if (hot_.state_timer_kind == StateTimerKind::kPersist) {
+    CancelStateTimer();
+  }
+}
+
+void TcpConnection::OnRetxTimer(TimeNs now) {
+  if (hot_.state == TcpState::kClosed || cold_ == nullptr || cold_->inflight.empty()) {
+    return;
+  }
+  InflightSegment& front = cold_->inflight.front();
+  if (front.rto_deadline > now) {
+    ReschedRetx();  // deadline was refreshed after this entry was armed
+    return;
+  }
+  // RTO fired. A zero-window stall is a *persist* situation, not a dead peer: keep probing
+  // without counting toward the abort limit (RFC 1122 4.2.2.17 — the connection stays open
+  // as long as the receiver keeps acking).
+  if (hot_.snd_wnd != 0) {
+    if (hot_.consecutive_retx < 255) {
+      hot_.consecutive_retx++;
+    }
+    if (hot_.consecutive_retx > stack_.config().max_retransmits) {
+      // Established-connection give-up: the abort status (not a connect timeout) reaches every
+      // waiter — pending pops complete with it and subsequent pushes return it.
+      EnterClosed(Status::kConnectionAborted);
+      return;
+    }
+  }
+  front.retransmitted = true;
+  rtt_.Backoff();
+  SendDataSegment(front, now);  // also refreshes rto_deadline via current rto
+  cold_->stats.retransmits++;
+  stack_.TraceRetransmit(local_.port, front.seq);
+  cold_->cc->OnTimeout(now);
+  ReschedRetx();
+}
+
+void TcpConnection::OnAckTimer(TimeNs /*now*/) {
+  if (hot_.state == TcpState::kClosed || !hot_.ack_needed) {
+    return;  // piggybacked away or the connection died; nothing to do
+  }
+  if (cold_ != nullptr && !hot_.ack_immediate && stack_.config().delayed_acks) {
+    cold_->stats.delayed_acks++;  // held to the timer; no data segment piggybacked it
+  }
+  SendPureAck();
+}
+
+void TcpConnection::OnStateTimer(TimeNs now) {
+  const StateTimerKind kind = hot_.state_timer_kind;
+  hot_.state_timer_kind = StateTimerKind::kNone;
+  const TcpConfig& cfg = stack_.config();
+  switch (kind) {
+    case StateTimerKind::kConnectRetry: {
+      if (hot_.state != TcpState::kSynSent) {
+        return;
+      }
+      hot_.hs_attempts++;
+      if (hot_.hs_attempts > cfg.max_syn_retries) {
+        EnterClosed(Status::kTimedOut);
+        return;
+      }
+      if (SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true) != Status::kOk) {
+        stack_.CountTxError();
+      }
+      if (cold_ != nullptr) {
+        cold_->stats.retransmits++;
+      }
+      stack_.TraceRetransmit(local_.port, iss_);
+      const unsigned shift = std::min<unsigned>(hot_.hs_attempts, 16);
+      ArmStateTimer(StateTimerKind::kConnectRetry, now + (cfg.initial_rto << shift));
+      return;
+    }
+    case StateTimerKind::kSynAckRetry: {
+      if (hot_.state != TcpState::kSynReceived) {
+        return;
+      }
+      hot_.hs_attempts++;
+      if (hot_.hs_attempts > cfg.max_syn_retries) {
+        EnterClosed(Status::kTimedOut);
+        return;
+      }
+      if (SendControl(TcpFlags{.syn = true, .ack = true}, iss_, /*with_options=*/true) !=
+          Status::kOk) {
+        stack_.CountTxError();
+      }
+      if (cold_ != nullptr) {
+        cold_->stats.retransmits++;
+      }
+      stack_.TraceRetransmit(local_.port, iss_);
+      const unsigned shift = std::min<unsigned>(hot_.hs_attempts, 16);
+      ArmStateTimer(StateTimerKind::kSynAckRetry, now + (cfg.initial_rto << shift));
+      return;
+    }
+    case StateTimerKind::kPersist: {
+      if (hot_.state == TcpState::kClosed || cold_ == nullptr) {
+        return;
+      }
+      if (!cold_->unsent.empty() && hot_.snd_wnd == 0 && cold_->bytes_inflight == 0) {
+        // Force a 1-byte probe through the closed window; once inflight, the normal RTO path
+        // (exempt from the abort count while snd_wnd == 0) sustains the probing.
+        Buffer& front = cold_->unsent.front();
+        InflightSegment seg;
+        seg.seq = hot_.snd_nxt;
+        seg.data.Append(front.Slice(0, 1));
+        front.TrimFront(1);
+        if (front.empty()) {
+          cold_->unsent.pop_front();
+        }
+        cold_->unsent_bytes -= 1;
+        hot_.snd_nxt = hot_.snd_nxt + 1;
+        cold_->bytes_inflight += 1;
+        SendDataSegment(seg, now);
+        cold_->inflight.push_back(std::move(seg));
+        ReschedRetx();
+      }
+      return;
+    }
+    case StateTimerKind::kTimeWait: {
+      if (hot_.state == TcpState::kTimeWait) {
+        EnterClosed(Status::kOk);
+      }
+      return;
+    }
+    case StateTimerKind::kNone:
+      return;
+  }
+}
+
+// --- Application-facing ----------------------------------------------------------
 
 Status TcpConnection::Push(Buffer data) {
   if (error_ != Status::kOk) {
     return error_;
   }
-  if (fin_queued_) {
+  if (hot_.fin_queued) {
     return Status::kInvalidArgument;  // already closed for sending
   }
-  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+  if (hot_.state != TcpState::kEstablished && hot_.state != TcpState::kCloseWait) {
     return Status::kNotConnected;
   }
   if (data.empty()) {
@@ -90,24 +326,25 @@ Status TcpConnection::Push(Buffer data) {
   if (data.size() >= PoolAllocator::kZeroCopyThreshold) {
     data.Rkey();
   }
-  unsent_bytes_ += data.size();
-  unsent_.push_back(std::move(data));
-  // Fast path: transmit inline, run-to-completion (§5.2). Leftovers wake the sender fiber.
-  TrySend(stack_.clock().Now());
-  if (!unsent_.empty()) {
-    window_event_.Notify();
-  }
+  ColdState& c = EnsureCold();
+  c.unsent_bytes += data.size();
+  c.unsent.push_back(std::move(data));
+  // Fast path: transmit inline, run-to-completion (§5.2). Window-blocked leftovers drain from
+  // ProcessAck (new ack / window update) or the persist probe.
+  const TimeNs now = stack_.clock().Now();
+  TrySend(now);
+  MaybeArmPersist(now);
   return Status::kOk;
 }
 
 std::optional<Buffer> TcpConnection::PopData() {
-  if (ready_.empty()) {
+  if (cold_ == nullptr || cold_->ready.empty()) {
     return std::nullopt;
   }
   const bool window_was_closed = ReceiveCapacityLeft() == 0;
-  Buffer b = std::move(ready_.front());
-  ready_.pop_front();
-  ready_bytes_ -= b.size();
+  Buffer b = std::move(cold_->ready.front());
+  cold_->ready.pop_front();
+  cold_->ready_bytes -= b.size();
   // The receive window just opened; advertise it — urgently if it had slammed shut (the peer
   // may be persist-probing against a zero window), lazily otherwise (the next data segment or
   // delayed ack carries the update).
@@ -120,37 +357,39 @@ std::optional<Buffer> TcpConnection::PopData() {
 }
 
 Status TcpConnection::Close() {
-  switch (state_) {
+  switch (hot_.state) {
     case TcpState::kSynSent:
     case TcpState::kSynReceived:
       EnterClosed(Status::kOk);
       return Status::kOk;
     case TcpState::kEstablished:
-      state_ = TcpState::kFinWait1;
+      hot_.state = TcpState::kFinWait1;
       break;
     case TcpState::kCloseWait:
-      state_ = TcpState::kLastAck;
+      hot_.state = TcpState::kLastAck;
       break;
     case TcpState::kClosed:
       return Status::kOk;
     default:
       return Status::kOk;  // close already in progress
   }
-  fin_queued_ = true;
-  TrySend(stack_.clock().Now());
-  window_event_.Notify();
+  hot_.fin_queued = true;
+  EnsureCold();  // the FIN needs an inflight slot
+  const TimeNs now = stack_.clock().Now();
+  TrySend(now);
+  MaybeArmPersist(now);
   return Status::kOk;
 }
 
 void TcpConnection::Abort() {
-  if (state_ != TcpState::kClosed) {
+  if (hot_.state != TcpState::kClosed) {
     TcpHeader rst;
     rst.src_port = local_.port;
     rst.dst_port = remote_.port;
-    rst.seq = snd_nxt_.v;
+    rst.seq = hot_.snd_nxt.v;
     rst.flags.rst = true;
     rst.flags.ack = true;
-    rst.ack = rcv_nxt_.v;
+    rst.ack = hot_.rcv_nxt.v;
     if (stack_.SendSegment(rst, remote_.ip, {}) != Status::kOk) {
       stack_.CountTxError();  // peer will see the abort via RTO instead
     }
@@ -158,45 +397,77 @@ void TcpConnection::Abort() {
   }
 }
 
+// --- Open paths ------------------------------------------------------------------
+
 void TcpConnection::StartActiveOpen() {
-  state_ = TcpState::kSynSent;
-  snd_nxt_ = iss_ + 1;  // SYN consumes one sequence number
-  rcv_wscale_ = stack_.config().window_scale;
-  auto self =
-      stack_.conns_.at(TcpStack::ConnKey{remote_.ip.value, remote_.port, local_.port});
-  stack_.scheduler().Spawn(RunFiber(self, ConnectFiber()));
-  stack_.scheduler().Spawn(RunFiber(self, RetransmitFiber()));
-  stack_.scheduler().Spawn(RunFiber(self, AckerFiber()));
-  stack_.scheduler().Spawn(RunFiber(self, SenderFiber()));
+  EnsureCold();
+  hot_.state = TcpState::kSynSent;
+  hot_.snd_nxt = iss_ + 1;  // SYN consumes one sequence number
+  hot_.rcv_wscale = stack_.config().window_scale;
+  if (SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true) != Status::kOk) {
+    stack_.CountTxError();  // the retry timer below resends the SYN
+  }
+  hot_.hs_attempts = 0;
+  ArmStateTimer(StateTimerKind::kConnectRetry,
+                stack_.clock().Now() + stack_.config().initial_rto);
 }
 
 void TcpConnection::StartPassiveOpen(const TcpHeader& syn, TcpListener* listener) {
-  state_ = TcpState::kSynReceived;
+  EnsureCold();
+  hot_.state = TcpState::kSynReceived;
   pending_listener_ = listener;
   listener->syn_rcvd_count_++;
   irs_ = SeqNum{syn.seq};
-  rcv_nxt_ = irs_ + 1;
-  snd_nxt_ = iss_ + 1;
+  hot_.rcv_nxt = irs_ + 1;
+  hot_.snd_nxt = iss_ + 1;
   if (syn.mss_option) {
-    mss_ = std::min<size_t>(mss_, *syn.mss_option);
+    hot_.mss = static_cast<uint16_t>(std::min<size_t>(hot_.mss, *syn.mss_option));
   }
   if (syn.window_scale_option) {
-    snd_wscale_ = *syn.window_scale_option;
-    rcv_wscale_ = stack_.config().window_scale;
+    hot_.snd_wscale = *syn.window_scale_option;
+    hot_.rcv_wscale = stack_.config().window_scale;
   }
   if (syn.timestamps_option && stack_.config().timestamps) {
-    ts_enabled_ = true;
-    ts_recent_ = syn.timestamps_option->tsval;
-    ts_recent_valid_ = true;
+    hot_.ts_enabled = true;
+    hot_.ts_recent = syn.timestamps_option->tsval;
+    hot_.ts_recent_valid = true;
   }
-  snd_wnd_ = syn.window;  // SYN windows are never scaled
-  auto self =
-      stack_.conns_.at(TcpStack::ConnKey{remote_.ip.value, remote_.port, local_.port});
-  stack_.scheduler().Spawn(RunFiber(self, SynAckFiber()));
-  stack_.scheduler().Spawn(RunFiber(self, RetransmitFiber()));
-  stack_.scheduler().Spawn(RunFiber(self, AckerFiber()));
-  stack_.scheduler().Spawn(RunFiber(self, SenderFiber()));
+  hot_.snd_wnd = syn.window;  // SYN windows are never scaled
+  if (SendControl(TcpFlags{.syn = true, .ack = true}, iss_, /*with_options=*/true) !=
+      Status::kOk) {
+    stack_.CountTxError();  // the retry timer below resends the SYN-ACK
+  }
+  hot_.hs_attempts = 0;
+  ArmStateTimer(StateTimerKind::kSynAckRetry,
+                stack_.clock().Now() + stack_.config().initial_rto);
 }
+
+void TcpConnection::CompleteCookieOpen(const TcpHeader& ack, const SynCookies::SynOptions& opts) {
+  hot_.state = TcpState::kEstablished;
+  hot_.snd_una = iss_ + 1;  // iss_ is the cookie; the SYN-ACK consumed one sequence number
+  hot_.snd_nxt = iss_ + 1;
+  irs_ = SeqNum{ack.seq} - 1;
+  hot_.rcv_nxt = SeqNum{ack.seq};
+  hot_.mss = static_cast<uint16_t>(
+      std::min<uint32_t>(opts.mss, static_cast<uint32_t>(stack_.DefaultMss())));
+  if (opts.peer_wscale != SynCookies::kNoWscale) {
+    hot_.snd_wscale = opts.peer_wscale;
+    hot_.rcv_wscale = stack_.config().window_scale;
+  }
+  hot_.snd_wnd = static_cast<uint32_t>(ack.window) << hot_.snd_wscale;
+  if (opts.timestamps && stack_.config().timestamps) {
+    hot_.ts_enabled = true;
+    if (ack.timestamps_option) {
+      hot_.ts_recent = ack.timestamps_option->tsval;
+      hot_.ts_recent_valid = true;
+    }
+  }
+  // Deliberately hot-only: no cold state, no timers. Everything else materializes on first
+  // data (ProcessData/Push) — a floods-worth of idle accepted connections stays at one slab
+  // slot plus one flow-table entry each.
+}
+
+// --- Segment TX ------------------------------------------------------------------
 
 uint32_t TcpConnection::NowTsval() const {
   // 1 µs timestamp tick: fine-grained enough for µs RTTs, wraps in ~71 minutes (acceptable for
@@ -205,9 +476,9 @@ uint32_t TcpConnection::NowTsval() const {
 }
 
 void TcpConnection::StampTimestamps(TcpHeader* hdr) const {
-  if (ts_enabled_) {
+  if (hot_.ts_enabled) {
     hdr->timestamps_option =
-        TcpHeader::Timestamps{NowTsval(), ts_recent_valid_ ? ts_recent_ : 0};
+        TcpHeader::Timestamps{NowTsval(), hot_.ts_recent_valid ? hot_.ts_recent : 0};
   }
 }
 
@@ -218,7 +489,7 @@ Status TcpConnection::SendControl(TcpFlags flags, SeqNum seq, bool with_options)
   hdr.seq = seq.v;
   hdr.flags = flags;
   if (flags.ack) {
-    hdr.ack = rcv_nxt_.v;
+    hdr.ack = hot_.rcv_nxt.v;
   }
   if (flags.syn) {
     hdr.window = static_cast<uint16_t>(
@@ -231,7 +502,7 @@ Status TcpConnection::SendControl(TcpFlags flags, SeqNum seq, bool with_options)
     hdr.window_scale_option = stack_.config().window_scale;
     if (stack_.config().timestamps) {
       // Offer (or confirm) RFC 7323 timestamps on the SYN/SYN-ACK.
-      hdr.timestamps_option = TcpHeader::Timestamps{NowTsval(), ts_recent_};
+      hdr.timestamps_option = TcpHeader::Timestamps{NowTsval(), hot_.ts_recent};
     }
   } else {
     StampTimestamps(&hdr);
@@ -244,7 +515,7 @@ void TcpConnection::SendDataSegment(InflightSegment& seg, TimeNs now) {
   hdr.src_port = local_.port;
   hdr.dst_port = remote_.port;
   hdr.seq = seg.seq.v;
-  hdr.ack = rcv_nxt_.v;
+  hdr.ack = hot_.rcv_nxt.v;
   hdr.flags.ack = true;
   hdr.flags.psh = !seg.data.empty();
   hdr.flags.fin = seg.fin;
@@ -257,41 +528,48 @@ void TcpConnection::SendDataSegment(InflightSegment& seg, TimeNs now) {
   }
   seg.sent_at = now;
   seg.rto_deadline = now + rtt_.rto();
-  stats_.segments_sent++;
-  stats_.bytes_sent += seg.data.size();
+  if (cold_ != nullptr) {
+    cold_->stats.segments_sent++;
+    cold_->stats.bytes_sent += seg.data.size();
+  }
   // This segment carried the ack: drop any pending pure-ack obligation (piggybacking).
-  ack_needed_ = false;
-  ack_immediate_ = false;
-  full_segs_since_ack_ = 0;
+  hot_.ack_needed = false;
+  hot_.ack_immediate = false;
+  hot_.full_segs_since_ack = 0;
+  CancelAckTimer();
 }
 
 void TcpConnection::TrySend(TimeNs now) {
-  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
-      state_ != TcpState::kFinWait1 && state_ != TcpState::kLastAck &&
-      state_ != TcpState::kClosing) {
+  if (hot_.state != TcpState::kEstablished && hot_.state != TcpState::kCloseWait &&
+      hot_.state != TcpState::kFinWait1 && hot_.state != TcpState::kLastAck &&
+      hot_.state != TcpState::kClosing) {
     return;
   }
+  if (cold_ == nullptr) {
+    return;  // nothing queued: hot-only connections have nothing to send
+  }
+  ColdState& c = *cold_;
   const bool coalesce = stack_.config().coalesce_segments;
   bool sent_any = false;
-  while (!unsent_.empty()) {
+  while (!c.unsent.empty()) {
     const size_t window = EffectiveSendWindow();
     if (window == 0) {
       break;
     }
     const size_t budget = std::min(EffectiveMss(), window);
     InflightSegment seg;
-    seg.seq = snd_nxt_;
+    seg.seq = hot_.snd_nxt;
     size_t filled = 0;
     // Gather queued buffers (or leading slices of them) until the segment fills to MSS/window
     // or runs out of gather slots; with coalescing off, one Push buffer per segment.
-    while (!unsent_.empty() && filled < budget && !seg.data.full()) {
-      Buffer& front = unsent_.front();
+    while (!c.unsent.empty() && filled < budget && !seg.data.full()) {
+      Buffer& front = c.unsent.front();
       const size_t take = std::min(front.size(), budget - filled);
       if (take == front.size()) {
         // Whole buffer fits in this segment: move it, avoiding a second reference (which
         // would spill into the allocator's overflow table).
         seg.data.Append(std::move(front));
-        unsent_.pop_front();
+        c.unsent.pop_front();
       } else {
         seg.data.Append(front.Slice(0, take));
         front.TrimFront(take);
@@ -301,39 +579,65 @@ void TcpConnection::TrySend(TimeNs now) {
         break;
       }
     }
-    unsent_bytes_ -= filled;
-    snd_nxt_ = snd_nxt_ + static_cast<uint32_t>(filled);
-    bytes_inflight_ += filled;
+    c.unsent_bytes -= filled;
+    hot_.snd_nxt = hot_.snd_nxt + static_cast<uint32_t>(filled);
+    c.bytes_inflight += filled;
     if (seg.data.num_slices() > 1) {
-      stats_.coalesced_segments++;
+      c.stats.coalesced_segments++;
     }
     SendDataSegment(seg, now);
-    inflight_.push_back(std::move(seg));
+    c.inflight.push_back(std::move(seg));
     sent_any = true;
   }
   // FIN rides after all data has been carved into segments.
-  if (fin_queued_ && !fin_sent_ && unsent_.empty()) {
+  if (hot_.fin_queued && !hot_.fin_sent && c.unsent.empty()) {
     InflightSegment seg;
-    seg.seq = snd_nxt_;
+    seg.seq = hot_.snd_nxt;
     seg.fin = true;
-    fin_seq_ = snd_nxt_;
-    fin_sent_ = true;
-    snd_nxt_ = snd_nxt_ + 1;
+    fin_seq_ = hot_.snd_nxt;
+    hot_.fin_sent = true;
+    hot_.snd_nxt = hot_.snd_nxt + 1;
     SendDataSegment(seg, now);
-    inflight_.push_back(std::move(seg));
+    c.inflight.push_back(std::move(seg));
     sent_any = true;
   }
   if (sent_any) {
-    ArmRetransmitter();
+    ReschedRetx();
   }
 }
 
+// --- Ack scheduling --------------------------------------------------------------
+
 void TcpConnection::ScheduleAck() {
-  if (!ack_needed_ || !ack_immediate_) {
-    // Newly needed, or escalating an armed delayed ack: wake the acker out of its timed wait.
-    ack_needed_ = true;
-    ack_immediate_ = true;
-    ack_event_.Notify();
+  const TcpConfig& cfg = stack_.config();
+  if (!cfg.delayed_acks && cfg.ack_delay > 0) {
+    // Legacy fixed-delay coalescing ablation: every ack waits exactly ack_delay.
+    if (hot_.ack_needed) {
+      return;
+    }
+    hot_.ack_needed = true;
+    hot_.ack_immediate = false;
+    ArmAckTimer(stack_.clock().Now() + cfg.ack_delay);
+    return;
+  }
+  if (hot_.ack_needed && hot_.ack_immediate) {
+    return;  // already scheduled urgently
+  }
+  // Newly needed, or escalating an armed delayed ack.
+  hot_.ack_needed = true;
+  hot_.ack_immediate = true;
+  CancelAckTimer();
+  if (stack_.in_burst_) {
+    // Coalesce within the RX burst: one pure ack per connection at burst end, however many
+    // segments this burst delivered.
+    if (!hot_.ack_pending_listed) {
+      hot_.ack_pending_listed = true;
+      stack_.pending_ack_conns_.push_back(this);
+    }
+  } else {
+    // Outside a burst (application-side window updates): a past-deadline wheel entry fires on
+    // the next poll, batching repeated schedules from the same poll round into one ack.
+    ArmAckTimer(stack_.clock().Now());
   }
 }
 
@@ -342,13 +646,22 @@ void TcpConnection::ScheduleDelayedAck(TimeNs now) {
     ScheduleAck();  // ablation: legacy ack-per-segment (plus the fixed ack_delay, if set)
     return;
   }
-  if (ack_needed_) {
-    return;  // already armed (or immediate); never push an armed deadline back (RFC 1122)
+  if (hot_.ack_needed) {
+    return;  // already armed (or urgent); never push an armed deadline back (RFC 1122)
   }
-  ack_needed_ = true;
-  ack_immediate_ = false;
-  ack_deadline_ = now + DelayedAckTimeout();
-  ack_event_.Notify();
+  hot_.ack_needed = true;
+  hot_.ack_immediate = false;
+  ArmAckTimer(now + DelayedAckTimeout());
+}
+
+void TcpConnection::SendPureAck() {
+  hot_.ack_needed = false;
+  hot_.ack_immediate = false;
+  hot_.full_segs_since_ack = 0;
+  CancelAckTimer();
+  if (SendControl(TcpFlags{.ack = true}, hot_.snd_nxt, /*with_options=*/false) != Status::kOk) {
+    stack_.CountTxError();  // a lost pure ack is recovered by the peer's retransmit
+  }
 }
 
 DurationNs TcpConnection::DelayedAckTimeout() const {
@@ -356,21 +669,28 @@ DurationNs TcpConnection::DelayedAckTimeout() const {
   return std::min<DurationNs>(stack_.config().delayed_ack_timeout, 500 * kMillisecond);
 }
 
+// --- Segment RX ------------------------------------------------------------------
+
 void TcpConnection::OnSegment(const TcpHeader& hdr, std::span<const uint8_t> payload,
                               TimeNs now) {
-  stats_.segments_received++;
-  stats_.bytes_received += payload.size();
+  if (!payload.empty() || hdr.flags.fin) {
+    EnsureCold();  // data (or a FIN's state machinery) needs the cold half
+  }
+  if (cold_ != nullptr) {
+    cold_->stats.segments_received++;
+    cold_->stats.bytes_received += payload.size();
+  }
 
   if (hdr.flags.rst) {
-    if (state_ == TcpState::kSynSent) {
+    if (hot_.state == TcpState::kSynSent) {
       EnterClosed(Status::kConnectionRefused);
-    } else if (state_ != TcpState::kClosed) {
+    } else if (hot_.state != TcpState::kClosed) {
       EnterClosed(Status::kConnectionReset);
     }
     return;
   }
 
-  switch (state_) {
+  switch (hot_.state) {
     case TcpState::kSynSent: {
       if (!hdr.flags.syn || !hdr.flags.ack) {
         return;  // simultaneous open unsupported; ignore
@@ -379,52 +699,51 @@ void TcpConnection::OnSegment(const TcpHeader& hdr, std::span<const uint8_t> pay
         return;  // bogus ack of our SYN
       }
       irs_ = SeqNum{hdr.seq};
-      rcv_nxt_ = irs_ + 1;
-      snd_una_ = SeqNum{hdr.ack};
+      hot_.rcv_nxt = irs_ + 1;
+      hot_.snd_una = SeqNum{hdr.ack};
       if (hdr.mss_option) {
-        mss_ = std::min<size_t>(mss_, *hdr.mss_option);
+        hot_.mss = static_cast<uint16_t>(std::min<size_t>(hot_.mss, *hdr.mss_option));
       }
       if (hdr.window_scale_option) {
-        snd_wscale_ = *hdr.window_scale_option;
+        hot_.snd_wscale = *hdr.window_scale_option;
       } else {
-        rcv_wscale_ = 0;  // peer doesn't scale; neither do we
+        hot_.rcv_wscale = 0;  // peer doesn't scale; neither do we
       }
       if (hdr.timestamps_option && stack_.config().timestamps) {
-        ts_enabled_ = true;
-        ts_recent_ = hdr.timestamps_option->tsval;
-        ts_recent_valid_ = true;
+        hot_.ts_enabled = true;
+        hot_.ts_recent = hdr.timestamps_option->tsval;
+        hot_.ts_recent_valid = true;
       }
-      snd_wnd_ = hdr.window;  // unscaled on SYN
-      state_ = TcpState::kEstablished;
-      if (SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false) !=
+      hot_.snd_wnd = hdr.window;  // unscaled on SYN
+      hot_.state = TcpState::kEstablished;
+      CancelStateTimer();  // connect-retry no longer needed
+      if (SendControl(TcpFlags{.ack = true}, hot_.snd_nxt, /*with_options=*/false) !=
           Status::kOk) {
         stack_.CountTxError();  // peer's SYN-ACK retransmit re-triggers this ack
       }
-      established_.Notify();
-      window_event_.Notify();
+      EnsureCold().established.Notify();
       return;
     }
     case TcpState::kSynReceived: {
       if (hdr.flags.syn) {
-        // Duplicate SYN: our SYN-ACK may have been lost; the SynAckFiber retransmits.
+        // Duplicate SYN: our SYN-ACK may have been lost; the retry timer resends it.
         return;
       }
       if (!hdr.flags.ack || SeqNum{hdr.ack} != iss_ + 1) {
         return;
       }
-      snd_una_ = SeqNum{hdr.ack};
-      snd_wnd_ = static_cast<size_t>(hdr.window) << snd_wscale_;
-      state_ = TcpState::kEstablished;
-      established_.Notify();
-      window_event_.Notify();
+      hot_.snd_una = SeqNum{hdr.ack};
+      hot_.snd_wnd = static_cast<uint32_t>(hdr.window) << hot_.snd_wscale;
+      hot_.state = TcpState::kEstablished;
+      CancelStateTimer();  // SYN-ACK retry no longer needed
+      EnsureCold().established.Notify();
       if (pending_listener_ != nullptr) {
         TcpListener* l = pending_listener_;
         pending_listener_ = nullptr;
         l->syn_rcvd_count_--;
-        auto it = stack_.conns_.find(
-            TcpStack::ConnKey{remote_.ip.value, remote_.port, local_.port});
-        DEMI_CHECK(it != stack_.conns_.end());
-        l->ready_.push_back(it->second);
+        auto self = stack_.conns_.FindShared(FlowKey());
+        DEMI_CHECK(self != nullptr);
+        l->ready_.push_back(std::move(self));
         l->acceptable_.Notify();
       }
       // Fall through to process any piggybacked payload.
@@ -436,19 +755,21 @@ void TcpConnection::OnSegment(const TcpHeader& hdr, std::span<const uint8_t> pay
       break;
   }
 
-  if (ts_enabled_ && hdr.timestamps_option) {
+  if (hot_.ts_enabled && hdr.timestamps_option) {
     // PAWS (RFC 7323 §5): reject segments whose timestamp regressed strictly before ts_recent
     // (wrapping compare), unless they are bare acks for new data.
     const uint32_t tsval = hdr.timestamps_option->tsval;
-    if (ts_recent_valid_ && static_cast<int32_t>(tsval - ts_recent_) < 0) {
-      stats_.paws_drops++;
+    if (hot_.ts_recent_valid && static_cast<int32_t>(tsval - hot_.ts_recent) < 0) {
+      if (cold_ != nullptr) {
+        cold_->stats.paws_drops++;
+      }
       ScheduleAck();  // duplicate-looking segment: re-ack so the peer resynchronizes
       return;
     }
     // Update ts_recent when the segment covers rcv_nxt (RFC 7323 §4.3's simplified rule).
-    if (SeqNum{hdr.seq} <= rcv_nxt_) {
-      ts_recent_ = tsval;
-      ts_recent_valid_ = true;
+    if (SeqNum{hdr.seq} <= hot_.rcv_nxt) {
+      hot_.ts_recent = tsval;
+      hot_.ts_recent_valid = true;
     }
   }
 
@@ -463,23 +784,26 @@ void TcpConnection::OnSegment(const TcpHeader& hdr, std::span<const uint8_t> pay
 void TcpConnection::ProcessAck(const TcpHeader& hdr, TimeNs now) {
   // demilint: fastpath
   const SeqNum ack{hdr.ack};
-  const size_t new_wnd = static_cast<size_t>(hdr.window) << snd_wscale_;
-  const bool window_grew = new_wnd > snd_wnd_;
-  snd_wnd_ = new_wnd;
+  const auto new_wnd = static_cast<uint32_t>(static_cast<size_t>(hdr.window) << hot_.snd_wscale);
+  const bool window_grew = new_wnd > hot_.snd_wnd;
+  hot_.snd_wnd = new_wnd;
 
-  if (ack > snd_nxt_) {
+  if (ack > hot_.snd_nxt) {
     return;  // acks data we never sent; ignore
   }
-  if (ack > snd_una_) {
-    const size_t newly_acked = static_cast<size_t>(ack - snd_una_);
+  bool acked_new = false;
+  if (ack > hot_.snd_una && cold_ != nullptr) {
+    ColdState& c = *cold_;
+    acked_new = true;
+    const auto newly_acked = static_cast<size_t>(ack - hot_.snd_una);
     bool sampled = false;
-    if (ts_enabled_ && hdr.timestamps_option && hdr.timestamps_option->tsecr != 0) {
+    if (hot_.ts_enabled && hdr.timestamps_option && hdr.timestamps_option->tsecr != 0) {
       // RTTM: tsecr echoes our clock at transmit time, valid even across retransmissions.
       const uint32_t echoed = hdr.timestamps_option->tsecr;
       const uint32_t delta_us = NowTsval() - echoed;
       if (delta_us < 60u * 1000u * 1000u) {  // sanity: ignore >60 s (wrap artifacts)
         rtt_.OnSample(static_cast<DurationNs>(delta_us) * 1000);
-        stats_.ts_rtt_samples++;
+        c.stats.ts_rtt_samples++;
         sampled = true;  // prefer the timestamp sample over the per-segment timer
       }
     }
@@ -489,7 +813,7 @@ void TcpConnection::ProcessAck(const TcpHeader& hdr, TimeNs now) {
     // in the peer's reassembly queue; the cumulative ack releasing them measures the RTO, not
     // the path RTT.) Timestamp RTTM above is retransmission-safe and exempt.
     bool ack_covers_retx = false;
-    for (const InflightSegment& seg : inflight_) {
+    for (const InflightSegment& seg : c.inflight) {
       const uint32_t seg_len = static_cast<uint32_t>(seg.data.size()) + (seg.fin ? 1 : 0);
       if (ack < seg.seq + seg_len) {
         break;  // past the fully-covered prefix
@@ -499,58 +823,64 @@ void TcpConnection::ProcessAck(const TcpHeader& hdr, TimeNs now) {
         break;
       }
     }
-    while (!inflight_.empty()) {
-      InflightSegment& seg = inflight_.front();
+    while (!c.inflight.empty()) {
+      InflightSegment& seg = c.inflight.front();
       const uint32_t seg_len = static_cast<uint32_t>(seg.data.size()) + (seg.fin ? 1 : 0);
       if (ack >= seg.seq + seg_len) {
         if (!seg.retransmitted && !ack_covers_retx && !sampled) {
           rtt_.OnSample(now - seg.sent_at);
           sampled = true;
         }
-        bytes_inflight_ -= seg.data.size();
-        inflight_.pop_front();  // drops the libOS reference: UAF-protected buffer may recycle
+        c.bytes_inflight -= seg.data.size();
+        c.inflight.pop_front();  // drops the libOS reference: UAF-protected buffer may recycle
       } else if (ack > seg.seq) {
-        const uint32_t covered = static_cast<uint32_t>(ack - seg.seq);
+        const auto covered = static_cast<uint32_t>(ack - seg.seq);
         seg.data.TrimFront(covered);
         seg.seq = ack;
-        bytes_inflight_ -= covered;
+        c.bytes_inflight -= covered;
         break;
       } else {
         break;
       }
     }
-    snd_una_ = ack;
-    dup_acks_ = 0;
-    consecutive_retx_ = 0;
-    cc_->OnAck(newly_acked, now);
-    if (fin_sent_ && !our_fin_acked_ && ack >= fin_seq_ + 1) {
-      our_fin_acked_ = true;
+    hot_.snd_una = ack;
+    hot_.dup_acks = 0;
+    hot_.consecutive_retx = 0;
+    c.cc->OnAck(newly_acked, now);
+    if (hot_.fin_sent && !hot_.our_fin_acked && ack >= fin_seq_ + 1) {
+      hot_.our_fin_acked = true;
       OnOurFinAcked(now);
     }
-    window_event_.Notify();
-    ArmRetransmitter();
-    TrySend(now);
-  } else if (ack == snd_una_ && !inflight_.empty() && !hdr.flags.syn && !hdr.flags.fin) {
-    stats_.dup_acks_seen++;
-    if (++dup_acks_ == 3) {
+    ReschedRetx();
+  } else if (ack == hot_.snd_una && cold_ != nullptr && !cold_->inflight.empty() &&
+             !hdr.flags.syn && !hdr.flags.fin) {
+    cold_->stats.dup_acks_seen++;
+    if (++hot_.dup_acks == 3) {
       // Fast retransmit.
-      InflightSegment& seg = inflight_.front();
+      InflightSegment& seg = cold_->inflight.front();
       seg.retransmitted = true;
       SendDataSegment(seg, now);
-      stats_.fast_retransmits++;
+      cold_->stats.fast_retransmits++;
       stack_.TraceRetransmit(local_.port, seg.seq);
-      cc_->OnFastRetransmit(now);
-      dup_acks_ = 0;
+      cold_->cc->OnFastRetransmit(now);
+      hot_.dup_acks = 0;
+      ReschedRetx();
     }
+  } else if (ack > hot_.snd_una) {
+    hot_.snd_una = ack;  // hot-only connection (nothing inflight to reconcile)
   }
-  if (window_grew) {
-    window_event_.Notify();
+  if (acked_new || window_grew) {
+    // The window opened or freed: drain queued data now (this replaces the old sender fiber's
+    // wakeup) and re-evaluate the zero-window persist timer.
+    TrySend(now);
+    MaybeArmPersist(now);
   }
   // demilint: end-fastpath
 }
 
 void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> payload,
                                 TimeNs now) {
+  ColdState& c = EnsureCold();
   SeqNum seq{hdr.seq};
 
   // Ack policy (RFC 1122 4.2.3.2, RFC 5681 §4.2): in-order sub-threshold data may ride a
@@ -561,22 +891,22 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
 
   if (hdr.flags.fin) {
     const SeqNum fin_at = seq + static_cast<uint32_t>(payload.size());
-    if (!remote_fin_seen_) {
-      remote_fin_seen_ = true;
+    if (!hot_.remote_fin_seen) {
+      hot_.remote_fin_seen = true;
       remote_fin_seq_ = fin_at;
     }
   }
 
   if (!payload.empty()) {
     // Left-trim data we already have.
-    if (seq < rcv_nxt_) {
+    if (seq < hot_.rcv_nxt) {
       immediate = true;  // duplicate bytes: re-ack now so the retransmitting peer resyncs
-      const uint32_t overlap = static_cast<uint32_t>(rcv_nxt_ - seq);
+      const auto overlap = static_cast<uint32_t>(hot_.rcv_nxt - seq);
       if (overlap >= payload.size()) {
         payload = {};
       } else {
         payload = payload.subspan(overlap);
-        seq = rcv_nxt_;
+        seq = hot_.rcv_nxt;
       }
     }
   }
@@ -587,54 +917,58 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
       ScheduleAck();
       return;
     }
-    if (seq == rcv_nxt_) {
+    if (seq == hot_.rcv_nxt) {
       Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size());
       if (!buf.valid()) {
-        // Heap exhausted: drop without advancing rcv_nxt_; the un-acked sender retransmits.
+        // Heap exhausted: drop without advancing rcv_nxt; the un-acked sender retransmits.
         stack_.CountRxAllocDrop();
         ScheduleAck();
         return;
       }
       std::memcpy(buf.mutable_data(), payload.data(), payload.size());
-      rcv_nxt_ = rcv_nxt_ + static_cast<uint32_t>(payload.size());
-      ready_bytes_ += buf.size();
-      ready_.push_back(std::move(buf));
-      const SeqNum before_drain = rcv_nxt_;
+      hot_.rcv_nxt = hot_.rcv_nxt + static_cast<uint32_t>(payload.size());
+      c.ready_bytes += buf.size();
+      c.ready.push_back(std::move(buf));
+      const SeqNum before_drain = hot_.rcv_nxt;
       DrainReassembly();
-      if (rcv_nxt_ != before_drain) {
+      if (hot_.rcv_nxt != before_drain) {
         immediate = true;  // this segment filled a gap: ack the whole advance right away
       }
-      if (payload.size() >= EffectiveMss() &&
-          ++full_segs_since_ack_ >= stack_.config().ack_every_segments) {
-        immediate = true;
+      if (payload.size() >= EffectiveMss()) {
+        if (hot_.full_segs_since_ack < 255) {
+          hot_.full_segs_since_ack++;
+        }
+        if (hot_.full_segs_since_ack >= stack_.config().ack_every_segments) {
+          immediate = true;
+        }
       }
-      readable_.Notify();
-    } else if (seq > rcv_nxt_) {
+      c.readable.Notify();
+    } else if (seq > hot_.rcv_nxt) {
       // Out of order: stash for reassembly (dedup by start seq; overlaps resolved on drain).
-      stats_.out_of_order++;
+      c.stats.out_of_order++;
       immediate = true;  // dup-ack immediately so the peer's fast retransmit can trigger
-      if (reassembly_.find(seq.v) == reassembly_.end()) {
+      if (c.reassembly.find(seq.v) == c.reassembly.end()) {
         Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size());
         if (!buf.valid()) {
           // The reassembly stash is an optimization; dropping only costs a retransmit later.
           stack_.CountRxAllocDrop();
         } else {
           std::memcpy(buf.mutable_data(), payload.data(), payload.size());
-          reassembly_bytes_ += buf.size();
-          reassembly_.emplace(seq.v, std::move(buf));
+          c.reassembly_bytes += buf.size();
+          c.reassembly.emplace(seq.v, std::move(buf));
         }
       }
     }
   }
 
   // A FIN becomes "received" only once all data before it is in order.
-  if (remote_fin_seen_ && !remote_fin_received_ && rcv_nxt_ == remote_fin_seq_) {
-    rcv_nxt_ = rcv_nxt_ + 1;
-    remote_fin_received_ = true;
+  if (hot_.remote_fin_seen && !hot_.remote_fin_received && hot_.rcv_nxt == remote_fin_seq_) {
+    hot_.rcv_nxt = hot_.rcv_nxt + 1;
+    hot_.remote_fin_received = true;
     immediate = true;  // don't hold the peer's close on a delay timer
     HandleFinReached(now);
-    readable_.Notify();
-  } else if (remote_fin_seen_ && !remote_fin_received_) {
+    c.readable.Notify();
+  } else if (hot_.remote_fin_seen && !hot_.remote_fin_received) {
     immediate = true;  // FIN past a gap: keep dup-acking until the hole fills
   }
 
@@ -646,41 +980,42 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
 }
 
 void TcpConnection::DrainReassembly() {
-  while (!reassembly_.empty()) {
-    auto it = reassembly_.begin();
+  ColdState& c = *cold_;
+  while (!c.reassembly.empty()) {
+    auto it = c.reassembly.begin();
     SeqNum seq{it->first};
-    if (seq > rcv_nxt_) {
+    if (seq > hot_.rcv_nxt) {
       break;
     }
     Buffer buf = std::move(it->second);
-    reassembly_bytes_ -= buf.size();
-    reassembly_.erase(it);
-    if (seq < rcv_nxt_) {
-      const uint32_t overlap = static_cast<uint32_t>(rcv_nxt_ - seq);
+    c.reassembly_bytes -= buf.size();
+    c.reassembly.erase(it);
+    if (seq < hot_.rcv_nxt) {
+      const auto overlap = static_cast<uint32_t>(hot_.rcv_nxt - seq);
       if (overlap >= buf.size()) {
         continue;  // fully duplicate
       }
       buf.TrimFront(overlap);
     }
-    rcv_nxt_ = rcv_nxt_ + static_cast<uint32_t>(buf.size());
-    ready_bytes_ += buf.size();
-    ready_.push_back(std::move(buf));
+    hot_.rcv_nxt = hot_.rcv_nxt + static_cast<uint32_t>(buf.size());
+    c.ready_bytes += buf.size();
+    c.ready.push_back(std::move(buf));
   }
 }
 
-void TcpConnection::HandleFinReached(TimeNs now) {
-  switch (state_) {
+void TcpConnection::HandleFinReached(TimeNs /*now*/) {
+  switch (hot_.state) {
     case TcpState::kEstablished:
-      state_ = TcpState::kCloseWait;
+      hot_.state = TcpState::kCloseWait;
       break;
     case TcpState::kFinWait1:
-      state_ = our_fin_acked_ ? TcpState::kTimeWait : TcpState::kClosing;
-      if (state_ == TcpState::kTimeWait) {
+      if (hot_.our_fin_acked) {
         EnterTimeWait();
+      } else {
+        hot_.state = TcpState::kClosing;
       }
       break;
     case TcpState::kFinWait2:
-      state_ = TcpState::kTimeWait;
       EnterTimeWait();
       break;
     default:
@@ -688,13 +1023,12 @@ void TcpConnection::HandleFinReached(TimeNs now) {
   }
 }
 
-void TcpConnection::OnOurFinAcked(TimeNs now) {
-  switch (state_) {
+void TcpConnection::OnOurFinAcked(TimeNs /*now*/) {
+  switch (hot_.state) {
     case TcpState::kFinWait1:
-      state_ = TcpState::kFinWait2;
+      hot_.state = TcpState::kFinWait2;
       break;
     case TcpState::kClosing:
-      state_ = TcpState::kTimeWait;
       EnterTimeWait();
       break;
     case TcpState::kLastAck:
@@ -706,18 +1040,16 @@ void TcpConnection::OnOurFinAcked(TimeNs now) {
 }
 
 void TcpConnection::EnterTimeWait() {
-  state_ = TcpState::kTimeWait;
-  auto it = stack_.conns_.find(TcpStack::ConnKey{remote_.ip.value, remote_.port, local_.port});
-  if (it != stack_.conns_.end()) {
-    stack_.scheduler().Spawn(RunFiber(it->second, TimeWaitFiber()));
-  }
+  hot_.state = TcpState::kTimeWait;
+  CancelStateTimer();  // a pending persist (if any) is moot now
+  ArmStateTimer(StateTimerKind::kTimeWait, stack_.clock().Now() + stack_.config().time_wait);
 }
 
 void TcpConnection::EnterClosed(Status error) {
-  if (state_ == TcpState::kClosed) {
+  if (hot_.state == TcpState::kClosed) {
     return;
   }
-  state_ = TcpState::kClosed;
+  hot_.state = TcpState::kClosed;
   if (error_ == Status::kOk && error != Status::kOk) {
     error_ = error;
   }
@@ -725,184 +1057,18 @@ void TcpConnection::EnterClosed(Status error) {
     pending_listener_->syn_rcvd_count_--;
     pending_listener_ = nullptr;
   }
-  // Drop all buffer references (releases UAF-deferred application frees).
-  inflight_.clear();
-  unsent_.clear();
-  unsent_bytes_ = 0;
-  bytes_inflight_ = 0;
-  // Wake everything so blocked fibers and application waiters observe the close and exit.
-  readable_.Notify();
-  established_.Notify();
-  retx_event_.Notify();
-  ack_event_.Notify();
-  window_event_.Notify();
-}
-
-// --- Background fibers ---
-
-Task<void> TcpConnection::ConnectFiber() {
-  Scheduler& sched = stack_.scheduler();
-  DurationNs timeout = rtt_.rto();
-  int attempts = 0;
-  if (SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true) != Status::kOk) {
-    stack_.CountTxError();  // the timeout below retries the SYN
-  }
-  while (state_ == TcpState::kSynSent) {
-    co_await established_.WaitWithTimeout(sched, stack_.clock().Now() + timeout);
-    if (state_ != TcpState::kSynSent) {
-      break;
-    }
-    if (++attempts > stack_.config().max_syn_retries) {
-      EnterClosed(Status::kTimedOut);
-      break;
-    }
-    timeout *= 2;
-    if (SendControl(TcpFlags{.syn = true}, iss_, /*with_options=*/true) != Status::kOk) {
-      stack_.CountTxError();
-    }
-    stats_.retransmits++;
-    stack_.TraceRetransmit(local_.port, iss_);
-  }
-}
-
-Task<void> TcpConnection::SynAckFiber() {
-  Scheduler& sched = stack_.scheduler();
-  DurationNs timeout = rtt_.rto();
-  int attempts = 0;
-  const bool offer_options = true;
-  if (SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options) != Status::kOk) {
-    stack_.CountTxError();  // the timeout below retries the SYN-ACK
-  }
-  while (state_ == TcpState::kSynReceived) {
-    co_await established_.WaitWithTimeout(sched, stack_.clock().Now() + timeout);
-    if (state_ != TcpState::kSynReceived) {
-      break;
-    }
-    if (++attempts > stack_.config().max_syn_retries) {
-      EnterClosed(Status::kTimedOut);
-      break;
-    }
-    timeout *= 2;
-    if (SendControl(TcpFlags{.syn = true, .ack = true}, iss_, offer_options) != Status::kOk) {
-      stack_.CountTxError();
-    }
-    stats_.retransmits++;
-    stack_.TraceRetransmit(local_.port, iss_);
-  }
-}
-
-Task<void> TcpConnection::RetransmitFiber() {
-  Scheduler& sched = stack_.scheduler();
-  while (state_ != TcpState::kClosed) {
-    if (inflight_.empty()) {
-      co_await retx_event_.Wait();
-      continue;
-    }
-    const TimeNs deadline = inflight_.front().rto_deadline;
-    const TimeNs now = stack_.clock().Now();
-    if (now < deadline) {
-      co_await retx_event_.WaitWithTimeout(sched, deadline);
-      continue;
-    }
-    // RTO fired. A zero-window stall is a *persist* situation, not a dead peer: keep probing
-    // without counting toward the abort limit (RFC 1122 4.2.2.17 — the connection stays open
-    // as long as the receiver keeps acking).
-    if (snd_wnd_ != 0 && ++consecutive_retx_ > stack_.config().max_retransmits) {
-      // Established-connection give-up: the abort status (not a connect timeout) reaches every
-      // waiter — pending pops complete with it and subsequent pushes return it.
-      EnterClosed(Status::kConnectionAborted);
-      break;
-    }
-    InflightSegment& seg = inflight_.front();
-    seg.retransmitted = true;
-    rtt_.Backoff();
-    SendDataSegment(seg, now);  // also refreshes rto_deadline via current rto
-    stats_.retransmits++;
-    stack_.TraceRetransmit(local_.port, seg.seq);
-    cc_->OnTimeout(now);
-  }
-}
-
-Task<void> TcpConnection::AckerFiber() {
-  Scheduler& sched = stack_.scheduler();
-  const DurationNs legacy_delay = stack_.config().ack_delay;
-  while (state_ != TcpState::kClosed) {
-    if (!ack_needed_) {
-      co_await ack_event_.Wait();
-      continue;
-    }
-    if (!ack_immediate_) {
-      // Delayed ack armed: hold until the deadline unless escalated to immediate (or
-      // piggybacked away by an outgoing data segment) first.
-      const TimeNs now = stack_.clock().Now();
-      if (now < ack_deadline_) {
-        co_await ack_event_.WaitWithTimeout(sched, ack_deadline_);
-        continue;  // re-evaluate: escalated, piggybacked, or deadline reached
-      }
-    } else if (legacy_delay > 0 && !stack_.config().delayed_acks) {
-      // Legacy fixed-delay coalescing (only with the RFC 1122 machinery disabled).
-      co_await sched.Sleep(legacy_delay);
-    }
-    if (state_ == TcpState::kClosed) {
-      break;
-    }
-    if (ack_needed_) {
-      if (!ack_immediate_) {
-        stats_.delayed_acks++;  // held to the timer; no data segment piggybacked it
-      }
-      ack_needed_ = false;
-      ack_immediate_ = false;
-      full_segs_since_ack_ = 0;
-      if (SendControl(TcpFlags{.ack = true}, snd_nxt_, /*with_options=*/false) != Status::kOk) {
-        stack_.CountTxError();  // a lost pure ack is recovered by the peer's retransmit
-      }
-    }
-  }
-}
-
-Task<void> TcpConnection::SenderFiber() {
-  Scheduler& sched = stack_.scheduler();
-  while (state_ != TcpState::kClosed) {
-    const bool want_send = !unsent_.empty() || (fin_queued_ && !fin_sent_);
-    if (!want_send) {
-      co_await window_event_.Wait();
-      continue;
-    }
-    const TimeNs now = stack_.clock().Now();
-    TrySend(now);
-    if (!unsent_.empty() && EffectiveSendWindow() == 0 && bytes_inflight_ == 0 &&
-        snd_wnd_ == 0) {
-      // Zero-window persist: wait an RTO, then force a 1-byte probe through.
-      co_await window_event_.WaitWithTimeout(sched, now + rtt_.rto());
-      if (state_ == TcpState::kClosed) {
-        break;
-      }
-      if (!unsent_.empty() && snd_wnd_ == 0 && bytes_inflight_ == 0) {
-        Buffer& front = unsent_.front();
-        InflightSegment seg;
-        seg.seq = snd_nxt_;
-        seg.data.Append(front.Slice(0, 1));
-        front.TrimFront(1);
-        if (front.empty()) {
-          unsent_.pop_front();
-        }
-        unsent_bytes_ -= 1;
-        snd_nxt_ = snd_nxt_ + 1;
-        bytes_inflight_ += 1;
-        SendDataSegment(seg, stack_.clock().Now());
-        inflight_.push_back(std::move(seg));
-        ArmRetransmitter();
-      }
-    } else if (!unsent_.empty() || (fin_queued_ && !fin_sent_)) {
-      co_await window_event_.Wait();
-    }
-  }
-}
-
-Task<void> TcpConnection::TimeWaitFiber() {
-  co_await stack_.scheduler().Sleep(stack_.config().time_wait);
-  if (state_ == TcpState::kTimeWait) {
-    EnterClosed(Status::kOk);
+  CancelAllTimers();
+  hot_.ack_needed = false;  // a listed burst-flush entry becomes a no-op
+  hot_.ack_immediate = false;
+  if (cold_ != nullptr) {
+    // Drop all buffer references (releases UAF-deferred application frees).
+    cold_->inflight.clear();
+    cold_->unsent.clear();
+    cold_->unsent_bytes = 0;
+    cold_->bytes_inflight = 0;
+    // Wake application waiters so they observe the close.
+    cold_->readable.Notify();
+    cold_->established.Notify();
   }
 }
 
@@ -911,14 +1077,14 @@ Task<void> TcpConnection::TimeWaitFiber() {
 TcpStack::TcpStack(EthernetLayer& eth, Scheduler& scheduler, PoolAllocator& alloc, Clock& clock,
                    TcpConfig config)
     : eth_(eth), scheduler_(scheduler), alloc_(alloc), clock_(clock), config_(config),
-      rng_(config.isn_seed) {
+      rng_(config.isn_seed), cookies_(rng_.Next()), conns_(config.flow_table_capacity) {
   eth_.RegisterReceiver(IpProto::kTcp, this);
 }
 
 TcpStack::~TcpStack() {
-  for (auto& [key, conn] : conns_) {
+  conns_.ForEach([](uint64_t /*key*/, const std::shared_ptr<TcpConnection>& conn) {
     conn->EnterClosed(Status::kCancelled);
-  }
+  });
 }
 
 size_t TcpStack::DefaultMss() const {
@@ -942,13 +1108,13 @@ Result<std::shared_ptr<TcpConnection>> TcpStack::Connect(SocketAddress remote) {
   if (local_port == 0) {
     return Status::kNoBufferSpace;
   }
-  const ConnKey key{remote.ip.value, remote.port, local_port};
-  if (conns_.count(key) > 0) {
+  const uint64_t key = FlowTable::MakeKey(remote.ip.value, remote.port, local_port);
+  if (conns_.Find(key) != nullptr) {
     return Status::kAddressInUse;
   }
   const SocketAddress local{eth_.local_ip(), local_port};
-  auto conn = std::make_shared<TcpConnection>(*this, local, remote, NewIss());
-  conns_[key] = conn;
+  auto conn = slab_.Make<TcpConnection>(*this, local, remote, NewIss());
+  conns_.Insert(key, conn);
   stats_.conns_opened++;
   conn->StartActiveOpen();
   return conn;
@@ -1011,6 +1177,83 @@ void TcpStack::SendRst(const TcpHeader& in, Ipv4Addr dst) {
   }
 }
 
+void TcpStack::SendSynCookieSynAck(const TcpHeader& syn, Ipv4Addr src, uint64_t key) {
+  SynCookies::SynOptions opts;
+  const uint32_t peer_mss =
+      syn.mss_option ? *syn.mss_option : SynCookies::kMssTable[0];
+  opts.mss = SynCookies::RoundMss(
+      std::min<uint32_t>(peer_mss, static_cast<uint32_t>(DefaultMss())));
+  opts.peer_wscale =
+      syn.window_scale_option ? *syn.window_scale_option : SynCookies::kNoWscale;
+  opts.timestamps = syn.timestamps_option.has_value() && config_.timestamps;
+  const uint32_t cookie = cookies_.Encode(key, syn.seq, opts, clock_.Now());
+
+  TcpHeader hdr;
+  hdr.src_port = syn.dst_port;
+  hdr.dst_port = syn.src_port;
+  hdr.seq = cookie;  // the ISS *is* the cookie
+  hdr.ack = syn.seq + 1;
+  hdr.flags.syn = true;
+  hdr.flags.ack = true;
+  hdr.window = static_cast<uint16_t>(std::min<size_t>(config_.recv_buffer_bytes, 0xFFFF));
+  hdr.mss_option = static_cast<uint16_t>(opts.mss);
+  if (syn.window_scale_option) {
+    hdr.window_scale_option = config_.window_scale;
+  }
+  if (opts.timestamps) {
+    hdr.timestamps_option = TcpHeader::Timestamps{
+        static_cast<uint32_t>(clock_.Now() / 1000), syn.timestamps_option->tsval};
+  }
+  stats_.syn_cookies_sent++;
+  if (SendSegment(hdr, src, {}) != Status::kOk) {
+    stats_.tx_errors++;  // the client's SYN retransmit re-triggers a fresh cookie
+  }
+}
+
+bool TcpStack::TryCookieValidate(const TcpHeader& hdr, const Ipv4Header& ip,
+                                 std::span<const uint8_t> payload, uint64_t key, TimeNs now) {
+  auto lit = listeners_.find(hdr.dst_port);
+  if (lit == listeners_.end()) {
+    return false;
+  }
+  const uint32_t cookie = hdr.ack - 1;      // our SYN-ACK's ISS
+  const uint32_t client_iss = hdr.seq - 1;  // their SYN's ISS
+  const auto opts = cookies_.Decode(key, client_iss, cookie, now);
+  if (!opts) {
+    return false;
+  }
+  TcpListener* listener = lit->second.get();
+  if (listener->ready_.size() >= listener->backlog_) {
+    return true;  // valid cookie, no accept-queue room: drop silently (no RST), client retries
+  }
+  const SocketAddress local{eth_.local_ip(), hdr.dst_port};
+  const SocketAddress remote{ip.src, hdr.src_port};
+  auto conn = slab_.Make<TcpConnection>(*this, local, remote, SeqNum{cookie});
+  conn->CompleteCookieOpen(hdr, *opts);
+  conns_.Insert(key, conn);
+  stats_.conns_opened++;
+  stats_.syn_cookies_validated++;
+  listener->ready_.push_back(conn);
+  listener->acceptable_.Notify();
+  if (!payload.empty() || hdr.flags.fin) {
+    conn->OnSegment(hdr, payload, now);  // the validating ACK may carry the first data
+  }
+  return true;
+}
+
+void TcpStack::OnRxBurstBegin() { in_burst_ = true; }
+
+void TcpStack::OnRxBurstEnd() {
+  in_burst_ = false;
+  for (TcpConnection* conn : pending_ack_conns_) {
+    conn->hot_.ack_pending_listed = false;
+    if (conn->hot_.state != TcpState::kClosed && conn->hot_.ack_needed) {
+      conn->SendPureAck();  // one coalesced pure ack per connection per burst
+    }
+  }
+  pending_ack_conns_.clear();
+}
+
 void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   // demilint: fastpath
   size_t hdr_len = 0;
@@ -1028,10 +1271,10 @@ void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   stats_.segments_rx++;
   const auto payload = l4.subspan(hdr_len);
 
-  const ConnKey key{ip.src.value, hdr->src_port, hdr->dst_port};
-  auto it = conns_.find(key);
-  if (it != conns_.end()) {
-    it->second->OnSegment(*hdr, payload, clock_.Now());
+  const uint64_t key = FlowTable::MakeKey(ip.src.value, hdr->src_port, hdr->dst_port);
+  TcpConnection* conn = conns_.Find(key);
+  if (conn != nullptr) {
+    conn->OnSegment(*hdr, payload, clock_.Now());
     return;
   }
   // demilint: end-fastpath
@@ -1041,16 +1284,26 @@ void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
     auto lit = listeners_.find(hdr->dst_port);
     if (lit != listeners_.end()) {
       TcpListener* listener = lit->second.get();
+      if (config_.syn_cookies) {
+        // Stateless handshake: answer with a cookie SYN-ACK, allocate nothing until the
+        // third ACK validates (docs/SCALING.md §2).
+        SendSynCookieSynAck(*hdr, ip.src, key);
+        return;
+      }
       if (listener->ready_.size() + listener->syn_rcvd_count_ >= listener->backlog_ ||
           conns_.size() >= config_.max_syn_backlog + 1024) {
         return;  // backlog full: drop the SYN, client retries
       }
       const SocketAddress local{eth_.local_ip(), hdr->dst_port};
       const SocketAddress remote{ip.src, hdr->src_port};
-      auto conn = std::make_shared<TcpConnection>(*this, local, remote, NewIss());
-      conns_[key] = conn;
+      auto new_conn = slab_.Make<TcpConnection>(*this, local, remote, NewIss());
+      conns_.Insert(key, new_conn);
       stats_.conns_opened++;
-      conn->StartPassiveOpen(*hdr, listener);
+      new_conn->StartPassiveOpen(*hdr, listener);
+      return;
+    }
+  } else if (config_.syn_cookies && hdr->flags.ack && !hdr->flags.rst && !hdr->flags.syn) {
+    if (TryCookieValidate(*hdr, ip, payload, key, clock_.Now())) {
       return;
     }
   }
@@ -1078,22 +1331,22 @@ void AccumulateConnStats(TcpConnection::ConnStats* into, const TcpConnection::Co
 }  // namespace
 
 void TcpStack::Reap() {
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->second->state() == TcpState::kClosed && it->second->app_released()) {
-      AccumulateConnStats(&reaped_conn_stats_, it->second->conn_stats());
-      it = conns_.erase(it);
-      stats_.conns_reaped++;
-    } else {
-      ++it;
-    }
-  }
+  const size_t reaped = conns_.EraseIf(
+      [this](uint64_t /*key*/, const std::shared_ptr<TcpConnection>& conn) {
+        if (conn->state() == TcpState::kClosed && conn->app_released()) {
+          AccumulateConnStats(&reaped_conn_stats_, conn->conn_stats());
+          return true;
+        }
+        return false;
+      });
+  stats_.conns_reaped += reaped;
 }
 
 TcpConnection::ConnStats TcpStack::AggregateConnStats() const {
   TcpConnection::ConnStats total = reaped_conn_stats_;
-  for (const auto& [key, conn] : conns_) {
+  conns_.ForEach([&total](uint64_t /*key*/, const std::shared_ptr<TcpConnection>& conn) {
     AccumulateConnStats(&total, conn->conn_stats());
-  }
+  });
   return total;
 }
 
@@ -1129,6 +1382,17 @@ void TcpStack::SetObservability(MetricsRegistry* registry, Tracer* tracer) {
                        [this] { return stats_.conns_reaped; });
   reg.RegisterCallback("tcp.connections", "tcp", "conns", "Current connection table size",
                        [this] { return conns_.size(); });
+  reg.RegisterCallback("tcp.flows", "tcp", "conns", "Live flow-table entries",
+                       [this] { return conns_.size(); });
+  reg.RegisterCallback("tcp.syn_cookies_sent", "tcp", "segments",
+                       "Stateless SYN-ACKs sent with a cookie ISS",
+                       [this] { return stats_.syn_cookies_sent; });
+  reg.RegisterCallback("tcp.syn_cookies_validated", "tcp", "conns",
+                       "Connections established from a validated SYN cookie",
+                       [this] { return stats_.syn_cookies_validated; });
+  reg.RegisterCallback("tcp.tcb_bytes", "tcp", "bytes",
+                       "Bytes reserved by the TCB slab and flow table",
+                       [this] { return TcbBytesReserved(); });
   reg.RegisterCallback("tcp.bytes_sent", "tcp", "bytes", "Payload bytes sent (all conns)",
                        [this] { return AggregateConnStats().bytes_sent; });
   reg.RegisterCallback("tcp.bytes_received", "tcp", "bytes",

@@ -1,13 +1,20 @@
 // The Catnip TCP stack (paper §6.3): RFC 793 + window scaling from RFC 7323, Cubic congestion
 // control, zero-copy send path, deterministic time parameterization.
 //
-// Structure mirrors the paper:
+// Structure mirrors the paper, scaled for a million connections per shard (docs/SCALING.md):
 //  - The *fast path* is TcpStack::OnIpv4Packet -> TcpConnection::OnSegment: in-order, error-free
 //    segments are processed run-to-completion and the blocked application is woken directly.
-//  - *Background coroutines* per established connection handle retransmission, pure acks and
-//    window-probing/sending; they stay blocked (paper's blockable coroutines) until the fast
-//    path or a timer wakes them. Connection establishment (active SYN / passive SYN-ACK) runs in
-//    its own coroutine driving the handshake with backoff.
+//    Demultiplexing goes through an open-addressed flow table (flow_table.h) keyed by the packed
+//    4-tuple — one hash, short linear probes, no per-packet allocation.
+//  - Protocol timers (retransmit, delayed ack, handshake retry / persist / TIME_WAIT) are O(1)
+//    timing-wheel entries (src/runtime/timer_wheel.h), not per-connection coroutines: an idle
+//    established connection owns *zero* fibers and at most three wheel entries.
+//  - Connection state is split hot/cold: the first cache line of TcpConnection (HotState) holds
+//    everything a pure-ack round trip touches; queues, reassembly, congestion state and events
+//    (ColdState) are allocated on first use. A cookie-accepted connection that never transfers
+//    data never allocates its cold half.
+//  - With `TcpConfig::syn_cookies` on, SYN handling is stateless (syn_cookies.h): the TCB is
+//    deferred until the third ACK proves the handshake, so a SYN flood allocates nothing.
 //  - For full zero-copy the send path keeps a ring of application buffer *views* (Buffer slices)
 //    rather than copying into a byte buffer; segments hold references until cumulatively acked,
 //    which is what makes UAF protection necessary and sufficient (§5.3, §6.3).
@@ -26,6 +33,9 @@
 #include "src/memory/buffer.h"
 #include "src/net/ethernet.h"
 #include "src/net/tcp/congestion.h"
+#include "src/net/tcp/flow_table.h"
+#include "src/net/tcp/syn_cookies.h"
+#include "src/net/tcp/tcb_slab.h"
 #include "src/net/tcp/tcp_types.h"
 #include "src/observability/trace.h"
 #include "src/runtime/event.h"
@@ -123,26 +133,28 @@ class TcpConnection {
 
   // Returns the next chunk of in-order received data, or nullopt if none is ready.
   std::optional<Buffer> PopData();
-  bool HasReadyData() const { return !ready_.empty(); }
+  bool HasReadyData() const { return cold_ != nullptr && !cold_->ready.empty(); }
   // True once the peer's FIN is reached AND all data before it has been popped.
-  bool EndOfStream() const { return remote_fin_received_ && ready_.empty(); }
+  bool EndOfStream() const {
+    return hot_.remote_fin_received && (cold_ == nullptr || cold_->ready.empty());
+  }
 
   // Half-closes the local side; queued data (then FIN) still drains.
   [[nodiscard]] Status Close();
   // Hard reset.
   void Abort();
 
-  TcpState state() const { return state_; }
+  TcpState state() const { return hot_.state; }
   [[nodiscard]] Status error() const { return error_; }
   SocketAddress local() const { return local_; }
   SocketAddress remote() const { return remote_; }
 
-  Event& readable() { return readable_; }
-  Event& established_event() { return established_; }
+  Event& readable() { return EnsureCold().readable; }
+  Event& established_event() { return EnsureCold().established; }
 
   // The libOS dropped its queue descriptor: the stack may reap once fully closed.
-  void ReleaseByApp() { app_released_ = true; }
-  bool app_released() const { return app_released_; }
+  void ReleaseByApp() { hot_.app_released = true; }
+  bool app_released() const { return hot_.app_released; }
 
   struct ConnStats {
     uint64_t segments_sent = 0;
@@ -158,14 +170,17 @@ class TcpConnection {
     uint64_t coalesced_segments = 0;  // data segments that carried >1 gathered buffer slice
     uint64_t delayed_acks = 0;        // pure acks held to the delayed-ack timer before sending
   };
-  bool timestamps_enabled() const { return ts_enabled_; }
-  const ConnStats& conn_stats() const { return stats_; }
+  bool timestamps_enabled() const { return hot_.ts_enabled; }
+  // Counters live in the cold half; a connection that never materialized one reports zeros.
+  const ConnStats& conn_stats() const;
   const RttEstimator& rtt_estimator() const { return rtt_; }
-  size_t BytesInFlight() const { return bytes_inflight_; }
-  size_t cwnd() const { return cc_->cwnd(); }
+  size_t BytesInFlight() const { return cold_ == nullptr ? 0 : cold_->bytes_inflight; }
+  size_t cwnd() const { return cold_ == nullptr ? 0 : cold_->cc->cwnd(); }
   // Wire payload budget per segment (MSS minus negotiated option overhead); what the
   // coalescer fills to and the "full-sized segment" threshold of the ack policy.
   size_t effective_mss() const { return EffectiveMss(); }
+  // True while the connection is hot-only (no queues/congestion/event state allocated yet).
+  bool IsHotOnly() const { return cold_ == nullptr; }
 
  private:
   friend class TcpStack;
@@ -179,12 +194,76 @@ class TcpConnection {
     bool retransmitted = false;
   };
 
+  // What the single state timer is armed for; the kinds are mutually exclusive by TCP state
+  // (handshake retry before ESTABLISHED, persist while established, TIME_WAIT after).
+  enum class StateTimerKind : uint8_t {
+    kNone,
+    kConnectRetry,  // active open: SYN retransmission with doubling timeout
+    kSynAckRetry,   // stateful passive open: SYN-ACK retransmission
+    kPersist,       // zero-window probing
+    kTimeWait,      // 2MSL hold before CLOSED
+  };
+
+  // The first cache line: every field a pure-ack round trip on an established connection
+  // reads or writes (docs/SCALING.md §3 documents the layout and byte budget).
+  struct HotState {
+    TimerId retx_timer = kInvalidTimerId;   // RTO for inflight.front()
+    TimerId ack_timer = kInvalidTimerId;    // delayed/pending pure ack
+    TimerId state_timer = kInvalidTimerId;  // handshake retry / persist / TIME_WAIT
+    SeqNum snd_una;                         // oldest unacked
+    SeqNum snd_nxt;                         // next to send
+    SeqNum rcv_nxt;
+    uint32_t snd_wnd = 0;     // peer-advertised, scaled
+    uint32_t ts_recent = 0;   // latest valid peer tsval (echoed as tsecr)
+    uint16_t mss = 1460;
+    TcpState state = TcpState::kClosed;
+    uint8_t snd_wscale = 0;          // peer's scale
+    uint8_t rcv_wscale = 0;          // our advertised scale (0 until negotiated)
+    uint8_t dup_acks = 0;
+    uint8_t consecutive_retx = 0;    // saturating; reset by every new ack
+    uint8_t hs_attempts = 0;         // handshake retransmissions so far
+    StateTimerKind state_timer_kind = StateTimerKind::kNone;
+    uint8_t full_segs_since_ack = 0;  // full-MSS segments received since we last sent an ack
+    bool app_released : 1 = false;
+    bool fin_queued : 1 = false;
+    bool fin_sent : 1 = false;
+    bool our_fin_acked : 1 = false;
+    bool remote_fin_seen : 1 = false;      // FIN segment received (maybe out of order)
+    bool remote_fin_received : 1 = false;  // rcv_nxt advanced past the FIN
+    bool ts_enabled : 1 = false;           // RFC 7323 timestamps negotiated
+    bool ts_recent_valid : 1 = false;
+    bool ack_needed : 1 = false;
+    bool ack_immediate : 1 = false;      // send at burst end / next poll, not the delay timer
+    bool ack_pending_listed : 1 = false;  // queued on the stack's per-burst ack flush list
+  };
+  static_assert(sizeof(HotState) <= 64, "HotState must fit one cache line");
+
+  // Everything else: allocated on first data (or first app wait), ~3 KB once the deques are
+  // warm. A half-open or idle cookie-accepted connection never pays for it.
+  struct ColdState {
+    std::deque<Buffer> unsent;
+    size_t unsent_bytes = 0;
+    std::deque<InflightSegment> inflight;
+    size_t bytes_inflight = 0;
+    std::deque<Buffer> ready;
+    size_t ready_bytes = 0;
+    std::map<uint32_t, Buffer> reassembly;  // seq (absolute) -> payload
+    size_t reassembly_bytes = 0;
+    std::unique_ptr<CongestionControl> cc;
+    Event readable;
+    Event established;
+    ConnStats stats;
+  };
+
   // --- Stack-facing ---
   void OnSegment(const TcpHeader& hdr, std::span<const uint8_t> payload, TimeNs now);
   void StartActiveOpen();
   void StartPassiveOpen(const TcpHeader& syn, TcpListener* listener);
+  // Cookie-validated third ACK: the connection is born ESTABLISHED, hot-only.
+  void CompleteCookieOpen(const TcpHeader& ack, const SynCookies::SynOptions& opts);
 
   // --- Internals ---
+  ColdState& EnsureCold();
   void ProcessAck(const TcpHeader& hdr, TimeNs now);
   void ProcessData(const TcpHeader& hdr, std::span<const uint8_t> payload, TimeNs now);
   void DrainReassembly();
@@ -193,87 +272,52 @@ class TcpConnection {
   void TrySend(TimeNs now);
   void SendDataSegment(InflightSegment& seg, TimeNs now);
   [[nodiscard]] Status SendControl(TcpFlags flags, SeqNum seq, bool with_options);
-  void ScheduleAck();                   // immediate: the acker sends on its next run
+  void ScheduleAck();                   // urgent: goes out at burst end or the next poll
   void ScheduleDelayedAck(TimeNs now);  // coalescing: arm (or keep) the delayed-ack deadline
+  void SendPureAck();
   DurationNs DelayedAckTimeout() const;
   uint32_t NowTsval() const;
   void StampTimestamps(TcpHeader* hdr) const;
-  void ArmRetransmitter() { retx_event_.Notify(); }
   void EnterTimeWait();
   void EnterClosed(Status error);
   size_t EffectiveSendWindow() const;
   // MSS minus per-segment option overhead (timestamps consume 12 bytes of header on every
   // segment once negotiated, RFC 7323 appendix A).
-  size_t EffectiveMss() const { return mss_ - (ts_enabled_ ? 12 : 0); }
+  size_t EffectiveMss() const { return hot_.mss - (hot_.ts_enabled ? 12 : 0); }
   uint16_t AdvertisedWindow() const;
   size_t ReceiveCapacityLeft() const;
 
-  // Background coroutines (one each, spawned at creation; exit when state_ == kClosed).
-  Task<void> ConnectFiber();     // active-open SYN retransmission
-  Task<void> SynAckFiber();      // passive-open SYN-ACK retransmission
-  Task<void> RetransmitFiber();  // RTO handling
-  Task<void> AckerFiber();       // pure acks
-  Task<void> SenderFiber();      // drains unsent when windows open; zero-window probing
-  Task<void> TimeWaitFiber();    // 2MSL then closed
+  // --- Timer plumbing (the three wheel entries replacing the old per-connection fibers) ---
+  // Re-arms the retransmit timer at inflight.front()'s deadline (cancels it when idle).
+  void ReschedRetx();
+  void ArmAckTimer(TimeNs deadline);
+  void CancelAckTimer();
+  void ArmStateTimer(StateTimerKind kind, TimeNs deadline);
+  void CancelStateTimer();
+  void CancelAllTimers();
+  // Arms (or cancels) the zero-window persist probe after any send-side progress point.
+  void MaybeArmPersist(TimeNs now);
+  void OnRetxTimer(TimeNs now);
+  void OnAckTimer(TimeNs now);
+  void OnStateTimer(TimeNs now);
+  static void RetxTimerCb(void* ctx, uint64_t arg);
+  static void AckTimerCb(void* ctx, uint64_t arg);
+  static void StateTimerCb(void* ctx, uint64_t arg);
 
+  uint64_t FlowKey() const;
+
+  HotState hot_;  // first member: the hot line starts at offset 0
   TcpStack& stack_;
   SocketAddress local_;
   SocketAddress remote_;
-  TcpState state_ = TcpState::kClosed;
   Status error_ = Status::kOk;
-  bool app_released_ = false;
-  TcpListener* pending_listener_ = nullptr;  // passive open: where to deliver on ESTABLISHED
-
-  // Send state.
-  SeqNum snd_una_;  // oldest unacked
-  SeqNum snd_nxt_;  // next to send
+  TcpListener* pending_listener_ = nullptr;  // stateful passive open: deliver on ESTABLISHED
   SeqNum iss_;
-  size_t snd_wnd_ = 0;        // peer-advertised, scaled
-  uint8_t snd_wscale_ = 0;    // peer's scale
-  std::deque<Buffer> unsent_;
-  size_t unsent_bytes_ = 0;
-  std::deque<InflightSegment> inflight_;
-  size_t bytes_inflight_ = 0;
-  bool fin_queued_ = false;
-  bool fin_sent_ = false;
-  SeqNum fin_seq_;  // sequence of our FIN once sent
-  bool our_fin_acked_ = false;
-  int dup_acks_ = 0;
-  int consecutive_retx_ = 0;
-
-  // Receive state.
-  SeqNum rcv_nxt_;
   SeqNum irs_;
-  std::deque<Buffer> ready_;
-  size_t ready_bytes_ = 0;
-  std::map<uint32_t, Buffer> reassembly_;  // seq (absolute) -> payload
-  size_t reassembly_bytes_ = 0;
-  bool remote_fin_seen_ = false;      // FIN segment received (maybe out of order)
-  SeqNum remote_fin_seq_;             // its sequence number
-  bool remote_fin_received_ = false;  // rcv_nxt_ advanced past the FIN
-  uint8_t rcv_wscale_ = 0;            // our advertised scale (0 until negotiated)
-
-  size_t mss_ = 1460;
-
-  // RFC 7323 timestamps (negotiated on SYN).
-  bool ts_enabled_ = false;
-  uint32_t ts_recent_ = 0;       // latest valid peer tsval (echoed as tsecr)
-  bool ts_recent_valid_ = false;
-
-  std::unique_ptr<CongestionControl> cc_;
+  SeqNum fin_seq_;         // sequence of our FIN once sent
+  SeqNum remote_fin_seq_;  // sequence of the peer's FIN
   RttEstimator rtt_;
-
-  bool ack_needed_ = false;
-  bool ack_immediate_ = false;        // send on the next acker run; don't wait for the timer
-  TimeNs ack_deadline_ = 0;           // armed delayed-ack deadline (valid while ack_needed_)
-  uint32_t full_segs_since_ack_ = 0;  // full-MSS segments received since we last sent an ack
-  Event readable_;
-  Event established_;
-  Event retx_event_;
-  Event ack_event_;
-  Event window_event_;
-
-  ConnStats stats_;
+  std::unique_ptr<ColdState> cold_;
 };
 
 class TcpListener {
@@ -313,6 +357,8 @@ class TcpStack final : public Ipv4Receiver {
   void CloseListener(TcpListener* listener);
 
   void OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) override;
+  void OnRxBurstBegin() override;
+  void OnRxBurstEnd() override;
 
   // Destroys connections that are fully closed and released by the application.
   void Reap();
@@ -334,6 +380,8 @@ class TcpStack final : public Ipv4Receiver {
     uint64_t tx_errors = 0;          // segment transmit failures absorbed (retransmission recovers)
     uint64_t conns_opened = 0;
     uint64_t conns_reaped = 0;
+    uint64_t syn_cookies_sent = 0;       // stateless SYN-ACKs answered with a cookie ISS
+    uint64_t syn_cookies_validated = 0;  // third ACKs whose cookie checked out (TCB created)
   };
   const Stats& stats() const { return stats_; }
   size_t NumConnections() const { return conns_.size(); }
@@ -348,6 +396,12 @@ class TcpStack final : public Ipv4Receiver {
   // so counters never go backwards when closed state is garbage-collected.
   TcpConnection::ConnStats AggregateConnStats() const;
 
+  // Scaling introspection (bench_c1m, docs/SCALING.md): the flow table, the TCB slab, and the
+  // total bytes both reserve.
+  const FlowTable& flow_table() const { return conns_; }
+  const TcbSlab& tcb_slab() const { return slab_; }
+  size_t TcbBytesReserved() const { return slab_.ReservedBytes() + conns_.ReservedBytes(); }
+
   // Registers the tcp.* metrics into `registry` and (optionally) attaches a tracer for
   // kRetransmit events; either pointer may be null (docs/OBSERVABILITY.md).
   void SetObservability(MetricsRegistry* registry, Tracer* tracer);
@@ -355,24 +409,18 @@ class TcpStack final : public Ipv4Receiver {
  private:
   friend class TcpConnection;
 
-  struct ConnKey {
-    uint32_t remote_ip;
-    uint16_t remote_port;
-    uint16_t local_port;
-    bool operator==(const ConnKey&) const = default;
-  };
-  struct ConnKeyHash {
-    size_t operator()(const ConnKey& k) const {
-      return std::hash<uint64_t>()((uint64_t{k.remote_ip} << 32) |
-                                   (uint64_t{k.remote_port} << 16) | k.local_port);
-    }
-  };
-
   // Sends one segment whose payload is the concatenation of `payload_slices` (zero-copy
   // gather: header + slices go to the NIC as one TX burst). Empty for control segments.
   [[nodiscard]] Status SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
                      std::span<const std::span<const uint8_t>> payload_slices);
   void SendRst(const TcpHeader& in, Ipv4Addr dst);
+  // Stateless SYN handling: answer with a cookie SYN-ACK, allocating nothing.
+  void SendSynCookieSynAck(const TcpHeader& syn, Ipv4Addr src, uint64_t key);
+  // Tries to interpret a no-connection ACK as a returning SYN cookie; on success the
+  // connection is created ESTABLISHED and delivered to the listener. Returns true if the
+  // segment was consumed (even if dropped for backlog pressure — no RST for valid cookies).
+  bool TryCookieValidate(const TcpHeader& hdr, const Ipv4Header& ip,
+                         std::span<const uint8_t> payload, uint64_t key, TimeNs now);
   void TraceRetransmit(uint16_t local_port, SeqNum seq) {
     if (tracer_ != nullptr) {
       tracer_->Record(TraceEventType::kRetransmit, local_port, seq.v);
@@ -387,10 +435,19 @@ class TcpStack final : public Ipv4Receiver {
   Clock& clock_;
   TcpConfig config_;
   Rng rng_;
+  SynCookies cookies_;  // secret drawn from rng_ at construction (deterministic per seed)
 
-  std::unordered_map<ConnKey, std::shared_ptr<TcpConnection>, ConnKeyHash> conns_;
+  TcbSlab slab_;
+  FlowTable conns_;
   std::unordered_map<uint16_t, std::unique_ptr<TcpListener>> listeners_;
   uint16_t next_ephemeral_ = 40000;
+
+  // Per-burst ack coalescing: connections whose urgent ack is being held to the end of the
+  // current RX burst. Raw pointers are safe: entries are flushed before PollOnce returns and
+  // connections are only destroyed by Reap()/teardown, never mid-burst.
+  bool in_burst_ = false;
+  std::vector<TcpConnection*> pending_ack_conns_;
+
   Stats stats_;
   TcpConnection::ConnStats reaped_conn_stats_;  // totals of connections already reaped
   Tracer* tracer_ = nullptr;

@@ -103,6 +103,17 @@ struct TcpConfig {
 
   size_t max_syn_backlog = 128;
 
+  // Stateless SYN cookies (docs/SCALING.md §2): listeners answer SYNs without allocating any
+  // connection state; the TCB materializes only when the third ACK returns a valid cookie.
+  // Off by default because stateless SYN-ACKs cannot enforce a half-open backlog cap (the
+  // classical accept-queue semantics some applications — and tests — rely on).
+  bool syn_cookies = false;
+
+  // Initial flow-table capacity (slots; rounded up to a power of two). The table grows
+  // automatically at ~50% load; size this to the expected concurrent-connection count to
+  // avoid rehash pauses during a connection ramp.
+  size_t flow_table_capacity = 1024;
+
   // Seed for the ISN generator. Deterministic by default so tests replay exactly; chaos runs
   // vary it per seed and replays pin it (see docs/FAULTS.md).
   uint64_t isn_seed = 0xDEADBEEF;

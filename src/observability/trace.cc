@@ -29,6 +29,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "packet_rx";
     case TraceEventType::kRetransmit:
       return "retransmit";
+    case TraceEventType::kTimerWheelCascade:
+      return "timerwheel_cascade";
     case TraceEventType::kDiskSubmit:
       return "disk_submit";
     case TraceEventType::kDiskComplete:

@@ -31,6 +31,7 @@ enum class TraceEventType : uint8_t {
   kPacketTx,         // arg1 = ip protocol, arg2 = L4 bytes
   kPacketRx,         // arg1 = ip protocol, arg2 = L4 bytes
   kRetransmit,       // arg1 = local port, arg2 = sequence number
+  kTimerWheelCascade,  // arg1 = destination level, arg2 = remaining ticks to deadline
   kDiskSubmit,       // arg1 = 1 read / 0 write, arg2 = bytes
   kDiskComplete,     // arg1 = 1 read / 0 write, arg2 = cookie
   // Injected faults (src/faults/fault_injector.h; see docs/FAULTS.md).

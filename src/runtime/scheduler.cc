@@ -130,29 +130,20 @@ Waker Scheduler::WakerFor(FiberId id) {
 }
 
 void Scheduler::AddTimer(TimeNs deadline, Waker waker) {
-  timers_.push(TimerEntry{deadline, waker});
+  if (!waker.valid()) {
+    return;
+  }
+  wheel_.Arm(deadline, &Scheduler::WakeWordCb, waker.word_, waker.mask_);
 }
 
-TimeNs Scheduler::NextTimerDeadline() const {
-  return timers_.empty() ? 0 : timers_.top().deadline;
-}
+TimeNs Scheduler::NextTimerDeadline() const { return wheel_.NextDeadline(); }
 
 void Scheduler::SetResumePoint(std::coroutine_handle<> h) {
   DEMI_CHECK(running_fiber_ != kInvalidFiber);
   fibers_[running_fiber_].resume_point = h;
 }
 
-void Scheduler::FireDueTimers() {
-  if (timers_.empty()) {
-    return;
-  }
-  const TimeNs now = clock_.Now();
-  while (!timers_.empty() && timers_.top().deadline <= now) {
-    timers_.top().waker.Wake();
-    timers_.pop();
-    stats_.timer_fires++;
-  }
-}
+void Scheduler::FireDueTimers() { stats_.timer_fires += wheel_.Advance(clock_.Now()); }
 
 void Scheduler::ReleaseFiber(FiberId id) {
   stats_.fibers_completed++;

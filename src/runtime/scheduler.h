@@ -20,7 +20,6 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <queue>
 #include <vector>
 
 #include "src/common/bitops.h"
@@ -28,6 +27,7 @@
 #include "src/common/logging.h"
 #include "src/observability/trace.h"
 #include "src/runtime/task.h"
+#include "src/runtime/timer_wheel.h"
 
 namespace demi {
 
@@ -49,6 +49,8 @@ class Waker {
   bool valid() const { return word_ != nullptr; }
 
  private:
+  friend class Scheduler;  // timer-wheel entries store the raw word/mask pair
+
   uint64_t* word_ = nullptr;
   uint64_t mask_ = 0;
 };
@@ -132,9 +134,12 @@ class Scheduler {
     return id < fibers_.size() ? fibers_[id].runs : 0;
   }
 
-  // Attaches a tracer for kFiberScheduled/kFiberBlocked/kFiberYielded/kFiberCompleted events;
-  // nullptr detaches. The tracer must outlive the scheduler.
-  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  // Attaches a tracer for kFiberScheduled/kFiberBlocked/kFiberYielded/kFiberCompleted and
+  // kTimerWheelCascade events; nullptr detaches. The tracer must outlive the scheduler.
+  void SetTracer(Tracer* tracer) {
+    tracer_ = tracer;
+    wheel_.SetTracer(tracer);
+  }
 
   // --- Called from inside a running fiber (via thread-local current context) ---
   static Scheduler* Current();
@@ -144,8 +149,21 @@ class Scheduler {
   Waker CurrentWaker();
   Waker WakerFor(FiberId id);
 
-  // Registers a one-shot timer that wakes `waker` at `deadline`.
+  // Registers a one-shot timer that wakes `waker` at `deadline`. Fire-and-forget: there is no
+  // handle, so the wake happens regardless (spurious wakes are tolerated everywhere).
   void AddTimer(TimeNs deadline, Waker waker);
+
+  // Cancellable callback timer on the scheduler's timing wheel (src/runtime/timer_wheel.h).
+  // `cb(ctx, arg)` runs during a future Poll() once `deadline` is reached; O(1) arm/cancel, so
+  // per-connection protocol timers (retransmit/delayed-ack/TIME_WAIT) re-arm freely at
+  // million-connection scale. Cancelling an already-fired id is a safe no-op.
+  TimerId ArmTimer(TimeNs deadline, TimerWheel::Callback cb, void* ctx, uint64_t arg) {
+    return wheel_.Arm(deadline, cb, ctx, arg);
+  }
+  bool CancelTimer(TimerId id) { return wheel_.Cancel(id); }
+
+  // The wheel itself, for `timerwheel.*` metrics and tests.
+  const TimerWheel& timer_wheel() const { return wheel_; }
 
   // Called by blocking awaitables at suspension: records where to resume the current fiber.
   // `h` is the innermost suspended coroutine of the running fiber. Distinct from the Yield
@@ -207,13 +225,10 @@ class Scheduler {
   std::vector<FiberId> free_slots_;
   size_t live_fibers_ = 0;
 
-  struct TimerEntry {
-    TimeNs deadline;
-    Waker waker;
-    bool operator>(const TimerEntry& o) const { return deadline > o.deadline; }
-  };
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers_;
+  // Wake-a-fiber timer callback: `ctx` is the waker block word, `arg` the ready-bit mask.
+  static void WakeWordCb(void* ctx, uint64_t arg) { *static_cast<uint64_t*>(ctx) |= arg; }
 
+  TimerWheel wheel_;
   FiberId running_fiber_ = kInvalidFiber;
   Stats stats_;
   Tracer* tracer_ = nullptr;

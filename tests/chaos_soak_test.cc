@@ -36,6 +36,7 @@
 #include "src/core/shard_group.h"
 #include "src/faults/fault_injector.h"
 #include "src/liboses/catnip.h"
+#include "src/net/headers.h"
 #include "src/netsim/sim_network.h"
 #include "src/storage/sim_block_device.h"
 
@@ -899,6 +900,122 @@ TEST(ChaosSoakTest, ZeroWindowPersistDoesNotCountTowardAbort) {
   EXPECT_FALSE(failed) << "connection aborted during zero-window persist";
   EXPECT_EQ(rx.size(), payload.size());
   EXPECT_TRUE(rx == payload);
+}
+
+// A SYN flood from thousands of spoofed sources must cost the server nothing — with SYN
+// cookies on, every half-open "connection" lives entirely inside the 32-bit ISS of a
+// stateless SYN-ACK (docs/SCALING.md §2). This goes through the real wire (software
+// checksums, ARP, the NIC queue), unlike syn_cookie_test's direct-injection variant, and
+// proves the service stays up for a legitimate client DURING the flood's aftermath.
+TEST(ChaosSoakTest, SynFloodWithCookiesAllocatesNothingAndServiceSurvives) {
+  Watchdog dog;
+  TcpConfig server_tcp;
+  server_tcp.syn_cookies = true;
+  ChaosWorld w(FaultPlan{}, server_tcp, TcpConfig{}, /*with_disk=*/false, 6);
+
+  // Spoofed SYN-ACK replies go to a MAC with no attached port: they vanish at the switch.
+  // Pre-warming the ARP cache keeps the flood measuring TCB cost, not ARP-pending queues.
+  constexpr MacAddr kSpoofMac{0xEE};
+  constexpr int kSpoofIps = 256;
+  for (int i = 0; i < kSpoofIps; i++) {
+    w.server.ethernet().arp().Insert(Ipv4Addr::FromOctets(10, 9, 1, static_cast<uint8_t>(i)),
+                                     kSpoofMac);
+  }
+
+  auto sqd = w.server.Socket(SocketType::kStream);
+  ASSERT_TRUE(sqd.ok());
+  ASSERT_EQ(w.server.Bind(*sqd, {w.server.local_ip(), 7777}), Status::kOk);
+  ASSERT_EQ(w.server.Listen(*sqd, 8), Status::kOk);
+  auto accept_qt = w.server.Accept(*sqd);
+  ASSERT_TRUE(accept_qt.ok());
+
+  // ChaosWorld disables checksum offload, so crafted frames need real checksums.
+  auto deliver_syn = [&](Ipv4Addr src_ip, uint16_t src_port, uint32_t iss) {
+    TcpHeader syn;
+    syn.src_port = src_port;
+    syn.dst_port = 7777;
+    syn.seq = iss;
+    syn.flags.syn = true;
+    syn.window = 65535;
+    syn.mss_option = 1460;
+    Ipv4Header ip;
+    ip.protocol = IpProto::kTcp;
+    ip.src = src_ip;
+    ip.dst = w.server.local_ip();
+    ip.total_length = static_cast<uint16_t>(Ipv4Header::kSize + syn.SerializedSize());
+    WireFrame frame(EthernetHeader::kSize + Ipv4Header::kSize + syn.SerializedSize());
+    EthernetHeader{MacAddr{0x5}, kSpoofMac, EtherType::kIpv4}.Serialize(frame.data());
+    ip.Serialize(frame.data() + EthernetHeader::kSize);
+    syn.Serialize(frame.data() + EthernetHeader::kSize + Ipv4Header::kSize, ip.src, ip.dst,
+                  std::span<const uint8_t>{});
+    w.net.Deliver(kSpoofMac, MacAddr{0x5}, std::move(frame), w.clock.Now());
+  };
+
+  // Warm-up burst: let the pool allocator reserve its steady-state RX chunks before the
+  // baseline is taken, so the flat-memory assertion below measures the flood, not startup.
+  Rng rng(0xF100D);
+  auto spoofed = [&] {
+    return std::make_pair(
+        Ipv4Addr::FromOctets(10, 9, 1, static_cast<uint8_t>(rng.NextBounded(kSpoofIps))),
+        static_cast<uint16_t>(10000 + rng.NextBounded(50000)));
+  };
+  for (int i = 0; i < 64; i++) {
+    auto [ip, port] = spoofed();
+    deliver_syn(ip, port, static_cast<uint32_t>(rng.Next()));
+    w.Step();
+  }
+  ASSERT_TRUE(w.RunUntil([&] { return w.net.NextDeliveryTime() == 0; }, dog));
+  const size_t heap_baseline = w.server.allocator().GetStats().bytes_reserved;
+  const size_t slab_baseline = w.server.tcp().tcb_slab().ReservedBytes();
+  const uint64_t warmup_cookies = w.server.tcp().stats().syn_cookies_sent;
+
+  // The flood proper: 4000 spoofed SYNs, a few per poll so the NIC ring never taildrops.
+  constexpr uint64_t kFlood = 4000;
+  for (uint64_t i = 0; i < kFlood; i++) {
+    auto [ip, port] = spoofed();
+    deliver_syn(ip, port, static_cast<uint32_t>(rng.Next()));
+    if ((i & 3) == 3) {
+      w.Step();
+    }
+  }
+  ASSERT_TRUE(w.RunUntil(
+      [&] { return w.server.tcp().stats().syn_cookies_sent >= warmup_cookies + kFlood; }, dog))
+      << "server did not answer every flood SYN";
+
+  // The half-open flood allocated NOTHING: no TCBs, no slab growth, no heap growth.
+  EXPECT_EQ(w.server.tcp().NumConnections(), 0u);
+  EXPECT_EQ(w.server.tcp().tcb_slab().live(), 0u);
+  EXPECT_EQ(w.server.tcp().tcb_slab().ReservedBytes(), slab_baseline);
+  EXPECT_EQ(w.server.allocator().GetStats().bytes_reserved, heap_baseline);
+  EXPECT_EQ(w.server.tcp().stats().syn_cookies_validated, 0u);
+  EXPECT_EQ(w.server.tcp().stats().rst_sent, 0u);
+
+  // Service survives: a legitimate client completes a cookie handshake and gets its echo.
+  auto cqd = w.client.Socket(SocketType::kStream);
+  ASSERT_TRUE(cqd.ok());
+  auto conn_qt = w.client.Connect(*cqd, {w.server.local_ip(), 7777});
+  ASSERT_TRUE(conn_qt.ok());
+  ASSERT_TRUE(w.RunUntil(
+      [&] { return w.client.IsDone(*conn_qt) && w.server.IsDone(*accept_qt); }, dog))
+      << "legitimate handshake starved by the flood";
+  ASSERT_EQ(w.client.TryTake(*conn_qt)->status, Status::kOk);
+  auto acc = w.server.TryTake(*accept_qt);
+  ASSERT_TRUE(acc.ok());
+  ASSERT_EQ(acc->status, Status::kOk);
+  EXPECT_EQ(w.server.tcp().stats().syn_cookies_validated, 1u);
+
+  const std::string msg = "still serving through the flood";
+  auto push = PushCopied(w.client, *cqd, msg);
+  ASSERT_TRUE(push.ok());
+  auto pop = w.server.Pop(acc->new_qd);
+  ASSERT_TRUE(pop.ok());
+  ASSERT_TRUE(w.RunUntil([&] { return w.server.IsDone(*pop); }, dog));
+  auto rx = w.server.TryTake(*pop);
+  ASSERT_TRUE(rx.ok());
+  ASSERT_EQ(rx->status, Status::kOk);
+  std::string got;
+  AppendSga(w.server, *rx, &got);
+  EXPECT_EQ(got, msg);
 }
 
 // --- Multi-shard scenario: two shared-nothing workers under seeded corruption ---

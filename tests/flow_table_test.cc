@@ -1,0 +1,154 @@
+// FlowTable: the open-addressed 4-tuple demultiplexing table (docs/SCALING.md §4).
+//
+// The scaling-critical properties under test: probe lengths stay short out to a million
+// random flows (the 50% load-factor policy), tombstones from churn do not degrade lookups
+// (in-place rehash), and erase/reinsert cycles never lose or duplicate entries.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "src/net/tcp/flow_table.h"
+
+namespace demi {
+namespace {
+
+// The table stores shared_ptr<TcpConnection>, but only by type; any T works for the
+// container logic. A one-int payload keeps the 1M test's memory footprint honest.
+std::shared_ptr<TcpConnection> Marker() {
+  return std::shared_ptr<TcpConnection>(reinterpret_cast<TcpConnection*>(0x1),
+                                        [](TcpConnection*) {});
+}
+
+TEST(FlowTableTest, InsertFindErase) {
+  FlowTable t(16);
+  const uint64_t k1 = FlowTable::MakeKey(0x0A000002, 40001, 7000);
+  const uint64_t k2 = FlowTable::MakeKey(0x0A000002, 40002, 7000);
+  EXPECT_EQ(t.Find(k1), nullptr);
+  auto m = Marker();
+  EXPECT_TRUE(t.Insert(k1, m));
+  EXPECT_FALSE(t.Insert(k1, m));  // duplicate key rejected
+  EXPECT_NE(t.Find(k1), nullptr);
+  EXPECT_EQ(t.Find(k2), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Erase(k1));
+  EXPECT_FALSE(t.Erase(k1));
+  EXPECT_EQ(t.Find(k1), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTableTest, MakeKeyPacksTheTuple) {
+  const uint64_t k = FlowTable::MakeKey(0xC0A80101, 0xABCD, 0x1234);
+  EXPECT_EQ(k >> 32, 0xC0A80101u);
+  EXPECT_EQ((k >> 16) & 0xFFFF, 0xABCDu);
+  EXPECT_EQ(k & 0xFFFF, 0x1234u);
+}
+
+TEST(FlowTableTest, TombstoneChurnDoesNotDegradeOrLoseEntries) {
+  FlowTable t(64);
+  std::mt19937_64 rng(42);
+  std::unordered_set<uint64_t> live;
+  auto m = Marker();
+  // Heavy insert/erase churn at a small stable population: tombstones accumulate and must
+  // be cleaned by the in-place rehash rather than forcing unbounded growth.
+  for (int round = 0; round < 20000; round++) {
+    const uint64_t key = FlowTable::MakeKey(static_cast<uint32_t>(rng()), rng() & 0xFFFF,
+                                            rng() & 0xFFFF);
+    if (live.count(key) != 0) {
+      continue;
+    }
+    ASSERT_TRUE(t.Insert(key, m));
+    live.insert(key);
+    if (live.size() > 16) {
+      const uint64_t victim = *live.begin();
+      ASSERT_TRUE(t.Erase(victim));
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(t.size(), live.size());
+  for (const uint64_t key : live) {
+    EXPECT_NE(t.Find(key), nullptr);
+  }
+  // Churn at a ~16-entry population must not have ballooned the table.
+  EXPECT_LE(t.capacity(), 256u);
+}
+
+TEST(FlowTableTest, MillionEntriesKeepProbesShort) {
+  // Pre-sized to the target population, as TcpConfig::flow_table_capacity recommends.
+  FlowTable t(1u << 21);
+  std::mt19937_64 rng(7);
+  auto m = Marker();
+  std::vector<uint64_t> keys;
+  keys.reserve(1'000'000);
+  while (keys.size() < 1'000'000) {
+    // Realistic keyspace: ~4096 client IPs x 64k ports against a few local ports.
+    const uint32_t ip = 0x0A000000 | static_cast<uint32_t>(rng() & 0xFFF);
+    const uint16_t rport = static_cast<uint16_t>(rng());
+    const uint16_t lport = static_cast<uint16_t>(7000 + (rng() & 0x3));
+    const uint64_t key = FlowTable::MakeKey(ip, rport, lport);
+    if (t.Insert(key, m)) {
+      keys.push_back(key);
+    }
+  }
+  EXPECT_EQ(t.size(), 1'000'000u);
+  EXPECT_EQ(t.stats().grows, 0u) << "pre-sized table must not rehash during the ramp";
+
+  // Every key findable; probe statistics collected on the way.
+  for (const uint64_t key : keys) {
+    ASSERT_NE(t.Find(key), nullptr);
+  }
+  const FlowTable::Stats& s = t.stats();
+  ASSERT_GE(s.finds, 1'000'000u);
+  const double avg_probe = static_cast<double>(s.find_probes) / static_cast<double>(s.finds);
+  // ≤50% load linear probing: expected probe ~1.5; generous ceilings so the test is about
+  // the policy, not the RNG.
+  EXPECT_LT(avg_probe, 3.0) << "average probe length degraded";
+  EXPECT_LT(s.max_probe, 64u) << "worst-case probe run degraded";
+
+  // Misses stay cheap too (control bytes, not slot memory, bound the scan).
+  for (int i = 0; i < 1000; i++) {
+    const uint64_t key = FlowTable::MakeKey(0x0B000000 | static_cast<uint32_t>(rng() & 0xFFF),
+                                            rng() & 0xFFFF, 9999);
+    EXPECT_EQ(t.Find(key), nullptr);
+  }
+  EXPECT_LT(t.stats().max_probe, 64u);
+}
+
+TEST(FlowTableTest, GrowsFromTinyAndRetainsEverything) {
+  FlowTable t(1);  // normalized up to the minimum capacity
+  auto m = Marker();
+  for (uint32_t i = 0; i < 50'000; i++) {
+    ASSERT_TRUE(t.Insert(FlowTable::MakeKey(i, 1, 2), m));
+  }
+  EXPECT_GT(t.stats().grows, 0u);
+  EXPECT_EQ(t.size(), 50'000u);
+  for (uint32_t i = 0; i < 50'000; i++) {
+    ASSERT_NE(t.Find(FlowTable::MakeKey(i, 1, 2)), nullptr);
+  }
+  // Load factor stays at or under one half after growth.
+  EXPECT_GE(t.capacity(), 2 * t.size());
+}
+
+TEST(FlowTableTest, EraseIfAndForEachCoverEveryEntry) {
+  FlowTable t(64);
+  auto m = Marker();
+  for (uint32_t i = 0; i < 100; i++) {
+    ASSERT_TRUE(t.Insert(FlowTable::MakeKey(i, 1, 2), m));
+  }
+  size_t seen = 0;
+  t.ForEach([&seen](uint64_t, const std::shared_ptr<TcpConnection>&) { seen++; });
+  EXPECT_EQ(seen, 100u);
+  const size_t erased = t.EraseIf(
+      [](uint64_t key, const std::shared_ptr<TcpConnection>&) { return (key >> 32) % 2 == 0; });
+  EXPECT_EQ(erased, 50u);
+  EXPECT_EQ(t.size(), 50u);
+  for (uint32_t i = 0; i < 100; i++) {
+    EXPECT_EQ(t.Find(FlowTable::MakeKey(i, 1, 2)) != nullptr, i % 2 == 1);
+  }
+}
+
+}  // namespace
+}  // namespace demi

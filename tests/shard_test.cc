@@ -19,6 +19,7 @@
 #include "src/core/shard_group.h"
 #include "src/liboses/catnip.h"
 #include "src/netsim/sim_network.h"
+#include "src/storage/sim_block_device.h"
 
 namespace demi {
 namespace {
@@ -240,6 +241,20 @@ TEST(ShardGroupTest, SingleWorkerBehavesLikeClassicCatnip) {
   ASSERT_EQ(per_shard.size(), 1u);
   EXPECT_EQ(per_shard[0].bytes, bytes);
   EXPECT_EQ(per_shard[0].connections, 1u);
+}
+
+// The shared log device is single-consumer: a multi-worker group with storage attached must
+// refuse loudly and point at the ROADMAP item that lifts the restriction, not deadlock or
+// corrupt the log at runtime.
+TEST(ShardGroupTest, MultiWorkerWithStorageDiesWithRoadmapPointer) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MonotonicClock clock;
+  SimNetwork net(LinkConfig{}, /*seed=*/13);
+  SimBlockDevice disk(SimBlockDevice::Config{}, clock);
+  ShardGroup::Options opts;
+  opts.num_workers = 2;
+  opts.base = Catnip::Config{kServerMac, kServerIp, TcpConfig{}, &disk};
+  EXPECT_DEATH(ShardGroup(net, clock, opts), "per-shard Cattree partitions");
 }
 
 }  // namespace
