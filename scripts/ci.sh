@@ -3,12 +3,15 @@
 #
 #   1. configure + build with -Werror (DEMI_WERROR=ON) — warnings fail first, fast;
 #   2. the unit/integration test suite, including the perf smoke gates (perf_smoke_tcp,
-#      perf_smoke_multicore — self-skips on hosts with < 4 hardware threads — and
+#      perf_smoke_multicore — self-skips on hosts with < 4 hardware threads —
 #      perf_smoke_c1m, the 100k-flow scaling gate from docs/SCALING.md, which self-skips
-#      on memory-starved hosts);
+#      on memory-starved hosts, and perf_smoke_tenant, the deterministic noisy-neighbor
+#      isolation gate from docs/TENANCY.md) plus the tenant isolation and chaos suites
+#      (tenant_test, tenant_chaos_test);
 #   3. the lint label (demilint over the tree, its fixture selftest, check_docs);
 #   4. clang-tidy, when installed (skips gracefully otherwise);
-#   5. the sanitizer sweep (ASan, UBSan, targeted TSan).
+#   5. the sanitizer sweep (ASan, UBSan, targeted TSan, targeted DemiSan for the
+#      cross-tenant ownership death tests).
 #
 # Usage: scripts/ci.sh [repo_root]
 # Set DEMI_CI_SKIP_SANITIZERS=1 to stop after the lint stage (useful while iterating).

@@ -9,6 +9,8 @@
 # ThreadSanitizer runs a targeted job (build-tsan/) over just the tests that actually spawn
 # threads — the apps_test client/server echo pairs and the multi-worker ShardGroup suite
 # (real shard threads busy-polling a shared multi-queue NIC) — instead of the whole suite.
+# A final targeted DemiSan tree (build-demisan/, -DDEMI_OWNERSHIP_CHECKS=ON) runs the
+# cross-tenant ownership death tests that skip themselves in every other build.
 
 set -euo pipefail
 
@@ -33,11 +35,22 @@ cmake -B "$bdir" -S "$ROOT" -DDEMI_SANITIZE=thread > /dev/null
 cmake --build "$bdir" -j "$JOBS" --target apps_test shard_test timer_wheel_test > /dev/null
 "$bdir/tests/apps_test" --gtest_filter='*Threaded*'
 # The 2-worker shard runs: every cross-core seam (per-queue delivery locks, SPSC descriptor
-# rings, shared fabric stats) executes under TSan here.
+# rings, shared fabric stats) executes under TSan here. This filter includes the sharded
+# tenant suite (ShardGroupTest.ShardedEchoUnderTenantAccountsEveryShard: per-shard tenant
+# registration + TX scheduling while client threads hammer the shared NIC) and the
+# shutdown-drain regression (StopWithInflightPopsDrainsTokensAndBuffers).
 "$bdir/tests/shard_test" --gtest_filter='ShardGroup*'
 # The timer wheel is shard-local by design (one wheel per scheduler, no locks). Running its
 # suite under TSan documents and enforces that contract: any future cross-thread sharing of
 # a wheel must surface here, not as corruption in a shard soak.
 "$bdir/tests/timer_wheel_test"
+
+echo "=== DEMI_OWNERSHIP_CHECKS=ON (targeted: cross-tenant + ownership death tests) ==="
+# The DemiSan death tests (tests/tenant_test.cc TenantDemiSanDeathTest.*, docs/TENANCY.md)
+# GTEST_SKIP themselves in normal builds; this tree is where they actually abort.
+bdir="$ROOT/build-demisan"
+cmake -B "$bdir" -S "$ROOT" -DDEMI_OWNERSHIP_CHECKS=ON > /dev/null
+cmake --build "$bdir" -j "$JOBS" --target tenant_test > /dev/null
+"$bdir/tests/tenant_test" --gtest_filter='TenantDemiSan*'
 
 echo "All sanitizer sweeps passed."

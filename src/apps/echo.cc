@@ -28,6 +28,9 @@ EchoServerApp::EchoServerApp(LibOS& os, const EchoServerOptions& options)
   auto sock = os.Socket(options.type);
   DEMI_CHECK(sock.ok());
   DEMI_CHECK(os.Bind(*sock, options.listen) == Status::kOk);
+  if (options.tenant != kDefaultTenant) {
+    DEMI_CHECK(os.SetQueueTenant(*sock, options.tenant) == Status::kOk);
+  }
   if (options.type == SocketType::kStream) {
     DEMI_CHECK(os.Listen(*sock, 64) == Status::kOk);
     auto accept_qt = os.Accept(*sock);

@@ -26,6 +26,9 @@ struct EchoServerOptions {
   // replying) — the Figure 7 configuration. Requires a libOS with storage support.
   bool log_to_disk = false;
   std::string log_path = "echo.log";
+  // Isolation domain the listening socket (and thus every accepted connection) is charged to.
+  // kDefaultTenant leaves the server in the unbudgeted control domain (docs/TENANCY.md).
+  TenantId tenant = kDefaultTenant;
 };
 
 struct EchoServerStats {

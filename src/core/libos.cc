@@ -78,6 +78,74 @@ void LibOS::InitObservability() {
   metrics_.RegisterCallback("core.tokens_pending", "core", "tokens",
                             "Issued qtokens not yet completed",
                             [this] { return tokens_.NumPending(); });
+
+  metrics_.RegisterCallback("tenant.registered", "tenant", "tenants",
+                            "Isolation domains registered on this libOS",
+                            [this] { return tenants_.NumRegistered(); });
+  metrics_.RegisterCallback("tenant.accept_admitted", "tenant", "connections",
+                            "Accept-admission slots charged across all tenants",
+                            [this] { return tenants_.TotalAcceptAdmitted(); });
+  metrics_.RegisterCallback("tenant.accept_shed", "tenant", "connections",
+                            "Handshakes shed at a tenant's accept-admission limit",
+                            [this] { return tenants_.TotalAcceptShed(); });
+  metrics_.RegisterCallback("tenant.op_shed", "tenant", "ops",
+                            "Push/pop submissions shed at a tenant's inflight watermark",
+                            [this] { return tenants_.TotalOpShed(); });
+  metrics_.RegisterCallback("tenant.mem_denials", "tenant", "allocations",
+                            "DMA-heap allocations denied over a tenant memory budget",
+                            [this] { return alloc_.TenantDenials(); });
+  metrics_.RegisterCallback("tenant.mem_used_bytes", "tenant", "bytes",
+                            "DMA-heap bytes currently charged to registered tenants",
+                            [this] { return static_cast<uint64_t>(alloc_.TenantBytesUsed()); });
+}
+
+Status LibOS::RegisterTenant(TenantId tenant, const TenantConfig& config) {
+  if (tenant == kDefaultTenant) {
+    return Status::kInvalidArgument;  // tenant 0 is the implicit control domain
+  }
+  const bool fresh = !tenants_.IsRegistered(tenant);
+  tenants_.Register(tenant, config);
+  alloc_.SetTenantBudget(tenant, config.mem_budget_bytes);
+  if (fresh) {
+    // Per-tenant labelled gauges. The {tenant=N} suffix keeps them out of the fixed metric
+    // namespace (docs/OBSERVABILITY.md documents the families once, not per id).
+    const std::string label = "{tenant=" + std::to_string(tenant) + "}";
+    metrics_.RegisterCallback("tenant.mem_used" + label, "tenant", "bytes",
+                              "DMA-heap bytes charged to this tenant", [this, tenant] {
+                                return static_cast<uint64_t>(
+                                    alloc_.GetTenantMemStats(tenant).used_bytes);
+                              });
+    metrics_.RegisterCallback("tenant.mem_denials" + label, "tenant", "allocations",
+                              "Allocations denied over this tenant's memory budget",
+                              [this, tenant] { return alloc_.GetTenantMemStats(tenant).denials; });
+    metrics_.RegisterCallback("tenant.accept_shed" + label, "tenant", "connections",
+                              "Handshakes shed at this tenant's accept-admission limit",
+                              [this, tenant] { return tenants_.GetStats(tenant).accept_shed; });
+    metrics_.RegisterCallback("tenant.op_shed" + label, "tenant", "ops",
+                              "Submissions shed at this tenant's inflight watermark",
+                              [this, tenant] { return tenants_.GetStats(tenant).op_shed; });
+    metrics_.RegisterCallback("tenant.inflight_qtokens" + label, "tenant", "tokens",
+                              "Qtokens this tenant currently has in flight",
+                              [this, tenant] { return tokens_.InflightForTenant(tenant); });
+  }
+  OnTenantRegistered(tenant, config);
+  return Status::kOk;
+}
+
+size_t LibOS::DrainPendingTokens() {
+  // Give in-flight work a bounded chance to complete normally first: each round runs the
+  // fast-path poll plus every runnable coroutine once.
+  constexpr size_t kMaxDrainRounds = 64;
+  for (size_t round = 0; round < kMaxDrainRounds && tokens_.NumPending() > 0; round++) {
+    sched_.Poll();
+  }
+  // Force-dispose what is left. Completed-but-unclaimed pops carry app-owned sga buffers that
+  // must go back to the heap, or shutdown leaks them (and DemiSan flags the imbalance).
+  return tokens_.Drain([this](QResult& result) {
+    if (result.opcode == OpCode::kPop && result.status == Status::kOk) {
+      FreeSga(result.sga);
+    }
+  });
 }
 
 Result<QResult> LibOS::Wait(QToken qt, DurationNs timeout) {

@@ -17,6 +17,7 @@
 
 #include "src/common/clock.h"
 #include "src/core/qtoken_table.h"
+#include "src/core/tenant.h"
 #include "src/core/types.h"
 #include "src/memory/buffer.h"
 #include "src/memory/pool_allocator.h"
@@ -82,8 +83,24 @@ class LibOS {
   bool IsDone(QToken qt) const { return tokens_.IsDone(qt); }
   Result<QResult> TryTake(QToken qt) { return tokens_.Take(qt); }
 
+  // --- Multi-tenancy (docs/TENANCY.md) ---
+  // Registers an isolation domain: installs its memory budget on the DMA heap, publishes its
+  // per-tenant labelled metrics, and gives the concrete libOS a chance to wire datapath-side
+  // limits (TX token bucket, DRR weight). Tenant 0 is the control domain and not registrable.
+  [[nodiscard]] Status RegisterTenant(TenantId tenant, const TenantConfig& config);
+  // Assigns an existing queue (listener, connection, or UDP socket) to a tenant; every qtoken,
+  // buffer, and TX frame the queue produces is charged to that domain from then on. LibOSes
+  // without tenant-aware queues return kNotSupported.
+  [[nodiscard]] virtual Status SetQueueTenant(QueueDesc qd, TenantId tenant) {
+    return Status::kNotSupported;
+  }
+  TenantTable& tenants() { return tenants_; }
+  const TenantTable& tenants() const { return tenants_; }
+
   // --- Memory (the DMA-capable heap, §5.3) ---
   void* DmaMalloc(size_t size) { return alloc_.Alloc(size); }
+  // Tenant-charged allocation: fails (nullptr) once the tenant's registered budget is spent.
+  void* DmaMallocFor(TenantId tenant, size_t size) { return alloc_.AllocFor(size, tenant); }
   void DmaFree(void* ptr) { alloc_.Free(ptr); }
   // Frees every segment of a popped sgarray.
   void FreeSga(Sgarray& sga) {
@@ -111,6 +128,12 @@ class LibOS {
   // Runs one scheduler round (fast-path poll + runnable coroutines) without blocking. µs-scale
   // apps call this (or wait) at least every millisecond per the system model (§3.2).
   size_t PollOnce() { return sched_.Poll(); }
+
+  // Shutdown aid: polls until every issued qtoken completes (bounded rounds), then force-drains
+  // whatever is left, freeing popped sga buffers so the heap stays balanced. Returns the number
+  // of tokens disposed. ShardGroup calls this per shard before joining its workers so an
+  // in-flight pop at stop time cannot leak its completion buffer.
+  size_t DrainPendingTokens();
 
   // Single-process benchmarking hook: a function invoked on every wait_* polling round, used to
   // pump a peer libOS (and its server application) on the same thread. This emulates the
@@ -145,7 +168,12 @@ class LibOS {
   Scheduler sched_;
   PoolAllocator alloc_;
   QTokenTable tokens_;
+  TenantTable tenants_;
   QueueDesc next_qd_ = 3;  // 0..2 reserved out of POSIX habit
+
+  // Hook for concrete libOSes to propagate a freshly registered tenant's limits into their
+  // datapath (e.g. Catnip configures the NIC TX scheduler's token bucket and DRR weight).
+  virtual void OnTenantRegistered(TenantId /*tenant*/, const TenantConfig& /*config*/) {}
 
  private:
   // Registers the common instruments (sched.*, heap.*, core.*) and wires the tracer into the

@@ -22,7 +22,7 @@ class QTokenTable {
   // Attaches a tracer for kQTokenIssued events (the redeem side is traced by LibOS::Wait*).
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
-  QToken Allocate(OpCode op, QueueDesc qd) {
+  QToken Allocate(OpCode op, QueueDesc qd, TenantId tenant = kDefaultTenant) {
     uint32_t slot;
     if (!free_.empty()) {
       slot = free_.back();
@@ -34,9 +34,16 @@ class QTokenTable {
     Entry& e = *entries_[slot];
     e.in_use = true;
     e.done = false;
+    e.tenant = tenant;
     e.result = QResult{};
     e.result.opcode = op;
     e.result.qd = qd;
+    // Per-tenant inflight accounting backs the load-shedding watermark. Indexed by tenant id
+    // (ids are small) so the hot path is an array increment, never a hash lookup.
+    if (tenant >= inflight_by_tenant_.size()) {
+      inflight_by_tenant_.resize(static_cast<size_t>(tenant) + 1, 0);
+    }
+    inflight_by_tenant_[tenant]++;
     // Generation 0 would collide with kInvalidQToken for slot 0; start at 1.
     if (e.generation == 0) {
       e.generation = 1;
@@ -119,11 +126,53 @@ class QTokenTable {
     return n;
   }
 
+  size_t NumInUse() const {
+    size_t n = 0;
+    for (const auto& e : entries_) {
+      if (e->in_use) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+  // Inflight (allocated, not yet consumed) qtokens charged to `tenant`. Backs the
+  // load-shedding watermark (docs/TENANCY.md).
+  size_t InflightForTenant(TenantId tenant) const {
+    return tenant < inflight_by_tenant_.size() ? inflight_by_tenant_[tenant] : 0;
+  }
+
+  TenantId TenantOf(QToken qt) const {
+    const Entry* e = Lookup(qt);
+    return e == nullptr ? kDefaultTenant : e->tenant;
+  }
+
+  // Shutdown path: force-release every live slot (ShardGroup drains before joining workers so
+  // an in-flight pop at stop cannot leak its slot). Completed results are handed to `dispose`
+  // first so their payloads (pop sga buffers the app never saw) can be freed.
+  template <typename Dispose>
+  size_t Drain(Dispose&& dispose) {
+    size_t drained = 0;
+    for (uint32_t slot = 0; slot < entries_.size(); slot++) {
+      Entry& e = *entries_[slot];
+      if (!e.in_use) {
+        continue;
+      }
+      if (e.done) {
+        dispose(e.result);
+      }
+      ReleaseSlot(slot);
+      drained++;
+    }
+    return drained;
+  }
+
  private:
   struct Entry {
     uint32_t generation = 0;
     bool in_use = false;
     bool done = false;
+    TenantId tenant = kDefaultTenant;
     QResult result;
   };
 
@@ -141,19 +190,24 @@ class QTokenTable {
   }
   const Entry* Lookup(QToken qt) const { return const_cast<QTokenTable*>(this)->Lookup(qt); }
 
-  void Release(QToken qt) {
-    const uint32_t slot = static_cast<uint32_t>(qt & 0xFFFFFFFF);
+  void Release(QToken qt) { ReleaseSlot(static_cast<uint32_t>(qt & 0xFFFFFFFF)); }
+
+  void ReleaseSlot(uint32_t slot) {
     Entry& e = *entries_[slot];
     e.in_use = false;
     e.generation++;
     if (e.generation == 0) {
       e.generation = 1;
     }
+    if (e.tenant < inflight_by_tenant_.size() && inflight_by_tenant_[e.tenant] > 0) {
+      inflight_by_tenant_[e.tenant]--;
+    }
     free_.push_back(slot);
   }
 
   std::vector<std::unique_ptr<Entry>> entries_;
   std::vector<uint32_t> free_;
+  std::vector<size_t> inflight_by_tenant_;
   Tracer* tracer_ = nullptr;
 };
 

@@ -66,6 +66,10 @@ void ShardGroup::WorkerMain(size_t shard_id) {
     init_cv_.wait(lock, [this] { return ready_ == options_.num_workers; });
   }
   fn_(shard_id, *shards_[shard_id]);
+  // Drain before the thread exits: a pop still in flight when RequestStop lands would leak its
+  // qtoken slot and — if it completed after the app stopped waiting — its sga buffer. Disposal
+  // happens on the owning worker thread while the shard's heap and stacks are fully alive.
+  shards_[shard_id]->DrainPendingTokens();
 }
 
 void ShardGroup::ServeLoop(Catnip& os, const std::function<void()>& pump) {

@@ -21,6 +21,12 @@ constexpr QueueDesc kInvalidQd = -1;
 using QToken = uint64_t;
 constexpr QToken kInvalidQToken = 0;
 
+// Tenant identifier: the isolation domain a queue (and every Buffer/qtoken/TX frame it
+// produces) is charged to. Tenant 0 is the default/control domain — untagged memory, ARP,
+// RSTs — and is exempt from budgets, rate limiting, and shedding (docs/TENANCY.md).
+using TenantId = uint16_t;
+constexpr TenantId kDefaultTenant = 0;
+
 enum class SocketType : uint8_t { kStream, kDatagram };
 
 // Scatter-gather array. PDPIX I/O submits complete operations as pointer arrays so the libOS

@@ -9,7 +9,8 @@ namespace demi {
 
 bool FaultPlan::Any() const {
   return net_corrupt > 0 || net_link_flap > 0 || net_partition > 0 || disk_error > 0 ||
-         disk_delay > 0 || disk_torn > 0 || alloc_fail > 0;
+         disk_delay > 0 || disk_torn > 0 || alloc_fail > 0 ||
+         (tenant_drop > 0 && tenant_drop_id != kDefaultTenant);
 }
 
 namespace {
@@ -90,6 +91,12 @@ std::optional<FaultPlan> FaultPlan::Parse(std::string_view spec, std::string* er
       ok = ParseProb(val, &plan.disk_torn);
     } else if (key == "alloc_fail") {
       ok = ParseProb(val, &plan.alloc_fail);
+    } else if (key == "tenant_drop") {
+      // "<id>:<rate>": aim per-frame loss at one tenant's TX path.
+      const size_t colon = val.find(':');
+      ok = colon != std::string_view::npos && ParseU64(val.substr(0, colon), &u) &&
+           u <= UINT16_MAX && ParseProb(val.substr(colon + 1), &plan.tenant_drop);
+      plan.tenant_drop_id = static_cast<uint32_t>(u);
     } else {
       if (error != nullptr) {
         *error = "unknown FaultPlan key \"" + std::string(key) + "\"";
@@ -155,6 +162,9 @@ std::string FaultPlan::ToString() const {
   }
   if (alloc_fail > 0) {
     os << ",alloc_fail=" << alloc_fail;
+  }
+  if (tenant_drop > 0 && tenant_drop_id != kDefaultTenant) {
+    os << ",tenant_drop=" << tenant_drop_id << ":" << tenant_drop;
   }
   return os.str();
 }
@@ -282,6 +292,20 @@ bool FaultInjector::AllocShouldFail(size_t bytes) {
   return true;
 }
 
+bool FaultInjector::TenantShouldDrop(TenantId tenant, size_t bytes) {
+  if (!armed_) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.tenant_drop <= 0 || plan_.tenant_drop_id != tenant ||
+      !rng_.NextBool(plan_.tenant_drop)) {
+    return false;
+  }
+  stats_.tenant_frames_dropped++;
+  Trace(TraceEventType::kFaultTenantDrop, tenant, bytes);
+  return true;
+}
+
 FaultInjector::Stats FaultInjector::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -313,6 +337,9 @@ void FaultInjector::RegisterMetrics(MetricsRegistry& registry) {
                             stat(&Stats::disk_torn_writes));
   registry.RegisterCallback("faults.alloc_failures", "faults", "allocs",
                             "Pool allocations failed by injection", stat(&Stats::alloc_failures));
+  registry.RegisterCallback("faults.tenant_frames_dropped", "faults", "frames",
+                            "Frames swallowed by tenant-scoped drop targeting",
+                            stat(&Stats::tenant_frames_dropped));
 }
 
 }  // namespace demi

@@ -27,6 +27,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/core/types.h"
 #include "src/net/address.h"
 #include "src/observability/metrics.h"
 #include "src/observability/trace.h"
@@ -54,6 +55,12 @@ struct FaultPlan {
 
   // Memory (consulted once per PoolAllocator::Alloc).
   double alloc_fail = 0.0;           // Alloc returns nullptr
+
+  // Tenant-scoped network loss (consulted per EthernetLayer::SendIpv4 for that tenant only).
+  // Parsed as "tenant_drop=<id>:<rate>"; lets chaos soaks aim loss at one tenant and assert
+  // the others' invariants still hold (docs/TENANCY.md).
+  uint32_t tenant_drop_id = 0;       // kDefaultTenant (0) disables
+  double tenant_drop = 0.0;          // per-frame drop probability for that tenant
 
   // True if any knob is non-zero (i.e. arming this plan can inject something).
   bool Any() const;
@@ -110,6 +117,11 @@ class FaultInjector {
 
   bool AllocShouldFail(size_t bytes);
 
+  // --- tenant injection point (EthernetLayer::SendIpv4) ---
+
+  // True when the plan targets `tenant` with tenant_drop and this frame loses the coin flip.
+  bool TenantShouldDrop(TenantId tenant, size_t bytes);
+
   struct Stats {
     uint64_t frames_corrupted = 0;
     uint64_t frames_dropped = 0;   // swallowed by a flap or partition window
@@ -119,6 +131,7 @@ class FaultInjector {
     uint64_t disk_delays = 0;
     uint64_t disk_torn_writes = 0;
     uint64_t alloc_failures = 0;
+    uint64_t tenant_frames_dropped = 0;  // frames swallowed by tenant_drop targeting
   };
   Stats GetStats() const;
 

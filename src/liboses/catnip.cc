@@ -44,6 +44,7 @@ Catnip::Catnip(SimNetwork& network, const Config& config, Clock& clock)
   eth_.SetTracer(&tracer_);
   udp_.RegisterMetrics(metrics_);
   tcp_.SetObservability(&metrics_, &tracer_);
+  tcp_.SetTenantTable(&tenants_);
   if (config.disk != nullptr) {
     storage_ = std::make_unique<StorageQueueEngine>(*config.disk, sched_, alloc_, tokens_);
     disk_ = config.disk;
@@ -69,6 +70,46 @@ Catnip::~Catnip() {
 Catnip::QueueState* Catnip::Find(QueueDesc qd) {
   auto it = queues_.find(qd);
   return it == queues_.end() ? nullptr : &it->second;
+}
+
+void Catnip::OnTenantRegistered(TenantId tenant, const TenantConfig& config) {
+  // Propagate the bandwidth policy to the NIC boundary: the TX scheduler enforces the token
+  // bucket inline and arbitrates backlogged tenants by weighted DRR.
+  eth_.tx_scheduler().Configure(tenant, config.tx_rate_bps, config.tx_burst_bytes,
+                                config.tx_weight);
+}
+
+Status Catnip::SetQueueTenant(QueueDesc qd, TenantId tenant) {
+  QueueState* q = Find(qd);
+  if (q == nullptr || q->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  q->tenant = tenant;
+  switch (q->kind) {
+    case QKind::kTcpListener:
+      q->listener->set_tenant(tenant);  // SYNs and accepted connections inherit it
+      break;
+    case QKind::kTcpConn:
+      q->conn->set_tenant(tenant);
+      break;
+    case QKind::kUdp:
+      q->udp->set_tenant(tenant);
+      break;
+    case QKind::kTcpUnbound:
+    case QKind::kFile:
+    case QKind::kMemory:
+      break;  // applied when the queue becomes a listener/connection; files/memory charge qtokens only
+  }
+  return Status::kOk;
+}
+
+bool Catnip::ShedOp(TenantId tenant) {
+  if (!tenants_.ShouldShed(tenant, tokens_.InflightForTenant(tenant))) {
+    return false;
+  }
+  tenants_.CountOpShed(tenant);
+  tracer_.Record(TraceEventType::kTenantOpShed, tenant, tokens_.InflightForTenant(tenant));
+  return true;
 }
 
 Task<void> Catnip::FastPathFiber() {
@@ -159,6 +200,7 @@ Status Catnip::Listen(QueueDesc qd, int backlog) {
   }
   q->kind = QKind::kTcpListener;
   q->listener = *listener;
+  q->listener->set_tenant(q->tenant);  // a pre-listen SetQueueTenant carries over
   return Status::kOk;
 }
 
@@ -166,6 +208,7 @@ QueueDesc Catnip::InstallConnQueue(std::shared_ptr<TcpConnection> conn) {
   const QueueDesc qd = NewQd();
   QueueState q;
   q.kind = QKind::kTcpConn;
+  q.tenant = conn->tenant();  // accepted connections inherit the listener's tenant
   q.conn = std::move(conn);
   queues_[qd] = std::move(q);
   return qd;
@@ -176,7 +219,7 @@ Result<QToken> Catnip::Accept(QueueDesc qd) {
   if (q == nullptr || q->closing || q->kind != QKind::kTcpListener) {
     return Status::kBadQueueDescriptor;
   }
-  const QToken qt = tokens_.Allocate(OpCode::kAccept, qd);
+  const QToken qt = tokens_.Allocate(OpCode::kAccept, qd, q->tenant);
   if (q->listener->HasPending()) {
     // Fast path: connection already established.
     auto conn = q->listener->Accept();
@@ -228,7 +271,7 @@ Result<QToken> Catnip::Connect(QueueDesc qd, SocketAddress remote) {
     // Connected-UDP: just set the default peer; completes immediately.
     q->udp_default_remote = remote;
     q->udp_connected = true;
-    const QToken qt = tokens_.Allocate(OpCode::kConnect, qd);
+    const QToken qt = tokens_.Allocate(OpCode::kConnect, qd, q->tenant);
     QResult r;
     r.status = Status::kOk;
     r.remote = remote;
@@ -244,7 +287,8 @@ Result<QToken> Catnip::Connect(QueueDesc qd, SocketAddress remote) {
   }
   q->kind = QKind::kTcpConn;
   q->conn = *conn;
-  const QToken qt = tokens_.Allocate(OpCode::kConnect, qd);
+  q->conn->set_tenant(q->tenant);  // active opens charge the socket's tenant
+  const QToken qt = tokens_.Allocate(OpCode::kConnect, qd, q->tenant);
   sched_.Spawn(ConnectOp(qd, qt, *conn));
   return qt;
 }
@@ -268,18 +312,24 @@ Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
   if (q == nullptr || q->closing) {
     return Status::kBadQueueDescriptor;
   }
+  if (ShedOp(q->tenant)) {
+    return Status::kQueueFull;  // over the tenant's inflight watermark: shed at submission
+  }
   switch (q->kind) {
     case QKind::kTcpConn: {
       // Inline, run-to-completion: the stack segments and transmits as far as windows allow
       // from within this call; the qtoken completes immediately since the stack now owns
       // (references) the buffers. The qtoken is allocated before pinning so DemiSan can name
       // it as each buffer's owner.
-      const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
+      const QToken qt = tokens_.Allocate(OpCode::kPush, qd, q->tenant);
       Status status = Status::kOk;
       for (uint32_t i = 0; i < sga.num_segs && status == Status::kOk; i++) {
-        Buffer buf = Buffer::TryFromApp(alloc_, sga.segs[i].buf, sga.segs[i].len);
+        Buffer buf = Buffer::TryFromApp(alloc_, sga.segs[i].buf, sga.segs[i].len, q->tenant);
         if (!buf.valid()) {
-          status = Status::kNoMemory;  // heap exhausted: surface ENOMEM through the qtoken
+          status = Status::kNoMemory;  // heap exhausted or tenant budget spent: ENOMEM
+          if (q->tenant != kDefaultTenant) {
+            tracer_.Record(TraceEventType::kTenantMemDeny, q->tenant, sga.segs[i].len);
+          }
           break;
         }
         buf.NoteOwner(qd, qt);
@@ -300,17 +350,20 @@ Result<QToken> Catnip::Push(QueueDesc qd, const Sgarray& sga) {
       if (storage_ == nullptr) {
         return Status::kNotSupported;
       }
-      const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
+      const QToken qt = tokens_.Allocate(OpCode::kPush, qd, q->tenant);
       sched_.Spawn(storage_->PushOp(qt, sga));
       return qt;
     }
     case QKind::kMemory: {
-      const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
+      const QToken qt = tokens_.Allocate(OpCode::kPush, qd, q->tenant);
       // Copy into a libOS-owned buffer: the channel hands ownership to the popper.
-      Buffer buf = Buffer::TryAllocate(alloc_, sga.TotalBytes());
+      Buffer buf = Buffer::TryAllocate(alloc_, sga.TotalBytes(), q->tenant);
       QResult r;
       if (!buf.valid()) {
         r.status = Status::kNoMemory;
+        if (q->tenant != kDefaultTenant) {
+          tracer_.Record(TraceEventType::kTenantMemDeny, q->tenant, sga.TotalBytes());
+        }
         CompleteToken(qt, r);
         return qt;
       }
@@ -339,13 +392,19 @@ Result<QToken> Catnip::PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to
   if (q->kind != QKind::kUdp) {
     return Status::kNotSupported;
   }
-  const QToken qt = tokens_.Allocate(OpCode::kPush, qd);
+  if (ShedOp(q->tenant)) {
+    return Status::kQueueFull;
+  }
+  const QToken qt = tokens_.Allocate(OpCode::kPush, qd, q->tenant);
   Status status;
   if (sga.num_segs == 1) {
     // Zero-copy single segment.
-    Buffer buf = Buffer::TryFromApp(alloc_, sga.segs[0].buf, sga.segs[0].len);
+    Buffer buf = Buffer::TryFromApp(alloc_, sga.segs[0].buf, sga.segs[0].len, q->tenant);
     if (!buf.valid()) {
       status = Status::kNoMemory;
+      if (q->tenant != kDefaultTenant) {
+        tracer_.Record(TraceEventType::kTenantMemDeny, q->tenant, sga.segs[0].len);
+      }
     } else {
       buf.NoteOwner(qd, qt);
       if (buf.size() >= PoolAllocator::kZeroCopyThreshold) {
@@ -354,9 +413,12 @@ Result<QToken> Catnip::PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to
       status = udp_.SendTo(*q->udp, to, buf);
     }
   } else {
-    Buffer buf = Buffer::TryAllocate(alloc_, sga.TotalBytes());
+    Buffer buf = Buffer::TryAllocate(alloc_, sga.TotalBytes(), q->tenant);
     if (!buf.valid()) {
       status = Status::kNoMemory;
+      if (q->tenant != kDefaultTenant) {
+        tracer_.Record(TraceEventType::kTenantMemDeny, q->tenant, sga.TotalBytes());
+      }
     } else {
       buf.NoteOwner(qd, qt);
       size_t off = 0;
@@ -399,9 +461,12 @@ Result<QToken> Catnip::Pop(QueueDesc qd) {
   if (q == nullptr || q->closing) {
     return Status::kBadQueueDescriptor;
   }
+  if (ShedOp(q->tenant)) {
+    return Status::kQueueFull;  // over the tenant's inflight watermark: shed at submission
+  }
   switch (q->kind) {
     case QKind::kTcpConn: {
-      const QToken qt = tokens_.Allocate(OpCode::kPop, qd);
+      const QToken qt = tokens_.Allocate(OpCode::kPop, qd, q->tenant);
       if (q->conn->HasReadyData()) {
         CompleteTcpPop(qt, qd, *q->conn);  // fast path: data already waiting
       } else {
@@ -410,7 +475,7 @@ Result<QToken> Catnip::Pop(QueueDesc qd) {
       return qt;
     }
     case QKind::kUdp: {
-      const QToken qt = tokens_.Allocate(OpCode::kPop, qd);
+      const QToken qt = tokens_.Allocate(OpCode::kPop, qd, q->tenant);
       if (q->udp->HasData()) {
         auto d = q->udp->PopDatagram();
         QResult r;
@@ -427,12 +492,12 @@ Result<QToken> Catnip::Pop(QueueDesc qd) {
       if (storage_ == nullptr) {
         return Status::kNotSupported;
       }
-      const QToken qt = tokens_.Allocate(OpCode::kPop, qd);
+      const QToken qt = tokens_.Allocate(OpCode::kPop, qd, q->tenant);
       sched_.Spawn(storage_->PopOp(qt, &q->file_cursor));
       return qt;
     }
     case QKind::kMemory: {
-      const QToken qt = tokens_.Allocate(OpCode::kPop, qd);
+      const QToken qt = tokens_.Allocate(OpCode::kPop, qd, q->tenant);
       sched_.Spawn(PopMemOp(qd, qt, q->mem));
       return qt;
     }

@@ -69,6 +69,9 @@ class Catnip final : public LibOS {
   Result<QToken> Push(QueueDesc qd, const Sgarray& sga) override;
   Result<QToken> PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to) override;
   Result<QToken> Pop(QueueDesc qd) override;
+  // Assigns a queue to an isolation domain: its qtokens, buffers, and TX frames are charged to
+  // that tenant, and accepted connections inherit the listener's tenant.
+  [[nodiscard]] Status SetQueueTenant(QueueDesc qd, TenantId tenant) override;
 
   // --- Introspection ---
   EthernetLayer& ethernet() { return eth_; }
@@ -99,6 +102,7 @@ class Catnip final : public LibOS {
   struct QueueState {
     QKind kind = QKind::kTcpUnbound;
     bool closing = false;
+    TenantId tenant = kDefaultTenant;
     int waiters = 0;  // blocked op coroutines touching events owned by this queue
     SocketAddress bound{};
     bool has_bound = false;
@@ -113,6 +117,10 @@ class Catnip final : public LibOS {
 
   QueueState* Find(QueueDesc qd);
   QueueDesc NewQd() { return next_qd_++; }
+  // Load shedding at submission: true (and counted/traced) when the tenant is over its
+  // inflight-qtoken watermark; the caller returns kQueueFull without allocating a qtoken.
+  bool ShedOp(TenantId tenant);
+  void OnTenantRegistered(TenantId tenant, const TenantConfig& config) override;
   QueueDesc InstallConnQueue(std::shared_ptr<TcpConnection> conn);
   void FinishClose(QueueDesc qd, QueueState& q);
 

@@ -30,14 +30,17 @@ class Buffer {
   // zero-copy threshold; copies below it. `ptr` must lie in `alloc`'s heap for the zero-copy
   // path (PDPIX requires all I/O memory to come from the DMA-capable heap). Returns an invalid
   // Buffer (!valid()) if the heap is exhausted — datapath callers surface kNoMemory instead of
-  // aborting.
-  static Buffer TryFromApp(PoolAllocator& alloc, const void* ptr, size_t len) {
+  // aborting. `tenant` names the isolation domain doing the push: the zero-copy path verifies
+  // the object belongs to it (DemiSan cross-tenant abort), the copy path charges its budget.
+  static Buffer TryFromApp(PoolAllocator& alloc, const void* ptr, size_t len,
+                           TenantId tenant = kDefaultTenant) {
     if (len >= PoolAllocator::kZeroCopyThreshold && alloc.Owns(ptr)) {
+      alloc.AssertTenantAccess(ptr, tenant, "push of another tenant's buffer");
       void* base = const_cast<void*>(ptr);
       alloc.IncRef(base);
       return Buffer(&alloc, base, 0, len, /*owned=*/false);
     }
-    void* copy = alloc.Alloc(len == 0 ? 1 : len);
+    void* copy = alloc.AllocFor(len == 0 ? 1 : len, tenant);
     if (copy == nullptr) {
       return Buffer();
     }
@@ -53,10 +56,11 @@ class Buffer {
     return b;
   }
 
-  // Allocates a fresh libOS-owned buffer (e.g., for incoming packet payloads). Returns an
-  // invalid Buffer (!valid()) if the heap is exhausted.
-  static Buffer TryAllocate(PoolAllocator& alloc, size_t len) {
-    void* base = alloc.Alloc(len == 0 ? 1 : len);
+  // Allocates a fresh libOS-owned buffer (e.g., for incoming packet payloads), charged to
+  // `tenant`'s memory budget. Returns an invalid Buffer (!valid()) if the heap is exhausted
+  // or the tenant is over budget.
+  static Buffer TryAllocate(PoolAllocator& alloc, size_t len, TenantId tenant = kDefaultTenant) {
+    void* base = alloc.AllocFor(len == 0 ? 1 : len, tenant);
     if (base == nullptr) {
       return Buffer();
     }

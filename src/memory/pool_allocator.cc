@@ -38,6 +38,7 @@ struct PoolAllocator::Superblock {
   size_t block_size;
   uint64_t* app_owned;  // 1 bit per object: application owns it
   uint64_t* os_ref;     // 1 bit per object: libOS holds >=1 reference
+  uint16_t* tenant_tags;  // per-object tenant domain; kDefaultTenant when untagged
 #if defined(DEMI_OWNERSHIP_CHECKS)
   uint32_t* generations;  // DemiSan: per-object recycle counter, starts at 1
 #endif
@@ -138,7 +139,7 @@ PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size
   // Solve for num_objects: per-object metadata + n*object_size <= space - padding.
   size_t n = space / object_size;
   while (n > 0) {
-    size_t meta_bytes = 2 * ((n + 63) / 64) * sizeof(uint64_t);
+    size_t meta_bytes = 2 * ((n + 63) / 64) * sizeof(uint64_t) + n * sizeof(uint16_t);
 #if defined(DEMI_OWNERSHIP_CHECKS)
     meta_bytes += n * sizeof(uint32_t);
 #endif
@@ -165,6 +166,10 @@ PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size
     sb->generations[i] = 1;  // 0 is reserved for "not a live heap object"
   }
 #endif
+  // Tenant tags go last: uint16_t needs the weakest alignment of the metadata arrays.
+  sb->tenant_tags = reinterpret_cast<uint16_t*>(cursor);
+  cursor += n * sizeof(uint16_t);
+  std::memset(sb->tenant_tags, 0, n * sizeof(uint16_t));
   // Align the object area to 64 bytes so objects are cacheline-friendly.
   auto addr = reinterpret_cast<uintptr_t>(cursor);
   addr = (addr + 63) & ~uintptr_t{63};
@@ -188,7 +193,30 @@ PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size
   return sb;
 }
 
-void* PoolAllocator::Alloc(size_t size) {
+bool PoolAllocator::ChargeTenant(TenantId tenant, size_t bytes) {
+  if (tenant == kDefaultTenant) {
+    return true;  // the control domain is never budgeted
+  }
+  TenantMem& mem = tenant_mem_[tenant];
+  if (mem.budget_bytes > 0 && mem.used_bytes + bytes > mem.budget_bytes) {
+    mem.denials++;
+    return false;
+  }
+  mem.used_bytes += bytes;
+  return true;
+}
+
+void PoolAllocator::CreditTenant(TenantId tenant, size_t bytes) {
+  if (tenant == kDefaultTenant) {
+    return;
+  }
+  auto it = tenant_mem_.find(tenant);
+  if (it != tenant_mem_.end()) {
+    it->second.used_bytes -= bytes < it->second.used_bytes ? bytes : it->second.used_bytes;
+  }
+}
+
+void* PoolAllocator::AllocFor(size_t size, TenantId tenant) {
   if (size == 0) {
     size = 1;
   }
@@ -197,13 +225,17 @@ void* PoolAllocator::Alloc(size_t size) {
   }
   if (size > kMaxPooledObject) {
     // Huge path: dedicated superblock holding exactly one object.
-    size_t need = sizeof(Superblock) + 2 * sizeof(uint64_t) + 64 + size;
+    if (!ChargeTenant(tenant, size)) {
+      return nullptr;  // over budget: this tenant sees exhaustion, the pool is untouched
+    }
+    size_t need = sizeof(Superblock) + 2 * sizeof(uint64_t) + sizeof(uint16_t) + 64 + size;
 #if defined(DEMI_OWNERSHIP_CHECKS)
     need += sizeof(uint32_t);  // the single object's generation counter
 #endif
     const size_t block_size = ((need + kSuperblockSize - 1) / kSuperblockSize) * kSuperblockSize;
     Superblock* sb = NewSuperblock(UINT32_MAX, size, block_size);
     if (sb == nullptr) {
+      CreditTenant(tenant, size);
       return nullptr;
     }
     // NewSuperblock computed num_objects from object_size; force exactly one for huge blocks.
@@ -211,16 +243,21 @@ void* PoolAllocator::Alloc(size_t size) {
     sb->free_head = kFreeListEnd;
     sb->live = 1;
     sb->SetBit(sb->app_owned, 0);
+    sb->tenant_tags[0] = tenant;
     stats_.live_objects++;
     return sb->ObjectAt(0);
   }
 
   const size_t ci = SizeClassIndex(size);
   SizeClass& sc = classes_[ci];
+  if (!ChargeTenant(tenant, sc.object_size)) {
+    return nullptr;
+  }
   Superblock* sb = sc.partial;
   if (sb == nullptr) {
     sb = NewSuperblock(ci, sc.object_size, kSuperblockSize);
     if (sb == nullptr) {
+      CreditTenant(tenant, sc.object_size);
       return nullptr;
     }
     sc.all.push_back(sb);
@@ -250,6 +287,7 @@ void* PoolAllocator::Alloc(size_t size) {
   sb->free_head = sb->NextOf(index);
   sb->live++;
   sb->SetBit(sb->app_owned, index);
+  sb->tenant_tags[index] = tenant;
   if (sb->free_head == kFreeListEnd) {
     // Block is now full: unlink from the partial list.
     sc.partial = sb->next_partial;
@@ -268,6 +306,10 @@ void PoolAllocator::RecycleObject(Superblock* sb, uint32_t index) {
     FreeHugeBlock(sb);
     return;
   }
+  // Credit the owning tenant now that the object truly returns to the pool: deferred frees
+  // (libOS still holds a reference) stay charged until this point.
+  CreditTenant(sb->tenant_tags[index], sb->object_size);
+  sb->tenant_tags[index] = kDefaultTenant;
 #if defined(DEMI_OWNERSHIP_CHECKS)
   // A recycled slot is a new identity: bump the generation so stale Buffers detect the reuse,
   // and poison the bytes so writes through stale pointers are caught at the next Alloc.
@@ -294,6 +336,7 @@ void PoolAllocator::RecycleObject(Superblock* sb, uint32_t index) {
 }
 
 void PoolAllocator::FreeHugeBlock(Superblock* sb) {
+  CreditTenant(sb->tenant_tags[0], sb->object_size);
 #if defined(DEMI_OWNERSHIP_CHECKS)
   owner_notes_.erase(sb->ObjectAt(0));
 #endif
@@ -424,6 +467,45 @@ void PoolAllocator::SetRegistrar(DmaRegistrar& registrar) {
 
 PoolAllocator::Stats PoolAllocator::GetStats() const { return stats_; }
 
+void PoolAllocator::SetTenantBudget(TenantId tenant, size_t budget_bytes) {
+  if (tenant == kDefaultTenant) {
+    return;  // the control domain is never budgeted
+  }
+  tenant_mem_[tenant].budget_bytes = budget_bytes;
+}
+
+TenantId PoolAllocator::TenantOf(const void* ptr) const {
+  if (!Owns(ptr)) {
+    return kDefaultTenant;
+  }
+  const Superblock* sb = HeaderOf(ptr);
+  return sb->tenant_tags[sb->IndexOf(ptr)];
+}
+
+PoolAllocator::TenantMemStats PoolAllocator::GetTenantMemStats(TenantId tenant) const {
+  const auto it = tenant_mem_.find(tenant);
+  if (it == tenant_mem_.end()) {
+    return TenantMemStats{};
+  }
+  return TenantMemStats{it->second.budget_bytes, it->second.used_bytes, it->second.denials};
+}
+
+size_t PoolAllocator::TenantBytesUsed() const {
+  size_t total = 0;
+  for (const auto& [id, mem] : tenant_mem_) {
+    total += mem.used_bytes;
+  }
+  return total;
+}
+
+uint64_t PoolAllocator::TenantDenials() const {
+  uint64_t total = 0;
+  for (const auto& [id, mem] : tenant_mem_) {
+    total += mem.denials;
+  }
+  return total;
+}
+
 #if defined(DEMI_OWNERSHIP_CHECKS)
 uint32_t PoolAllocator::Generation(const void* ptr) const {
   if (!Owns(ptr)) {
@@ -462,6 +544,40 @@ void PoolAllocator::OwnershipViolation(const void* ptr, uint32_t expected_gen,
                "[demi] DemiSan: %s: ptr=%p generation=%u expected=%u last owner: qd=%d qt=%llu%s\n",
                what, ptr, current_gen, expected_gen, qd, static_cast<unsigned long long>(qt),
                have_owner ? "" : " (none recorded)");
+  std::abort();
+}
+
+void PoolAllocator::AssertTenantAccess(const void* ptr, TenantId accessor,
+                                       const char* what) const {
+  if (accessor == kDefaultTenant || !Owns(ptr)) {
+    return;  // the control domain may touch anything; foreign pointers carry no tag
+  }
+  const Superblock* sb = HeaderOf(ptr);
+  const TenantId owner = sb->tenant_tags[sb->IndexOf(ptr)];
+  if (owner != kDefaultTenant && owner != accessor) {
+    TenantViolation(ptr, owner, accessor, what);
+  }
+}
+
+void PoolAllocator::TenantViolation(const void* ptr, TenantId owner, TenantId accessor,
+                                    const char* what) const {
+  int32_t qd = -1;
+  uint64_t qt = 0;
+  bool have_note = false;
+  if (Owns(ptr)) {
+    const Superblock* sb = HeaderOf(ptr);
+    const auto it = owner_notes_.find(sb->ObjectAt(sb->IndexOf(ptr)));
+    if (it != owner_notes_.end()) {
+      qd = it->second.qd;
+      qt = it->second.qt;
+      have_note = true;
+    }
+  }
+  std::fprintf(stderr,
+               "[demi] DemiSan: cross-tenant access: %s: ptr=%p owner tenant=%u accessor "
+               "tenant=%u last owner: qd=%d qt=%llu%s\n",
+               what, ptr, owner, accessor, qd, static_cast<unsigned long long>(qt),
+               have_note ? "" : " (none recorded)");
   std::abort();
 }
 #endif  // DEMI_OWNERSHIP_CHECKS

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/types.h"
 #include "src/memory/dma.h"
 
 namespace demi {
@@ -44,8 +45,14 @@ class PoolAllocator {
   PoolAllocator(const PoolAllocator&) = delete;
   PoolAllocator& operator=(const PoolAllocator&) = delete;
 
-  // Application-facing allocation: object starts app-owned, libOS ref clear.
-  void* Alloc(size_t size);
+  // Application-facing allocation: object starts app-owned, libOS ref clear. Charged to the
+  // control domain (kDefaultTenant): never budgeted.
+  void* Alloc(size_t size) { return AllocFor(size, kDefaultTenant); }
+  // Tenant-charged allocation. The object is tagged with `tenant` and its size-class capacity
+  // is charged against the tenant's byte budget (SetTenantBudget); a tenant at its budget gets
+  // nullptr — indistinguishable from heap exhaustion to the caller, but isolated to that
+  // tenant. kDefaultTenant is never charged or denied.
+  void* AllocFor(size_t size, TenantId tenant);
   // Application-facing free: clears app ownership; memory is recycled only once the libOS also
   // holds no reference (UAF protection).
   void Free(void* ptr);
@@ -92,6 +99,24 @@ class PoolAllocator {
   // surface as nullptr exactly like real heap exhaustion. See src/faults/fault_injector.h.
   void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
 
+  // --- Tenant memory domains (docs/TENANCY.md) ---
+  // Every object carries a 16-bit tenant tag (parallel to the DemiSan generation array).
+  // Budgets are charged in size-class capacity at AllocFor and credited when the object is
+  // recycled (i.e., a deferred free stays charged while the libOS still references it).
+  struct TenantMemStats {
+    size_t budget_bytes = 0;
+    size_t used_bytes = 0;
+    uint64_t denials = 0;
+  };
+  // Sets (or updates) a tenant's registered-memory budget; 0 tracks usage without enforcing.
+  void SetTenantBudget(TenantId tenant, size_t budget_bytes);
+  // Tenant tag of the object holding `ptr`; kDefaultTenant for foreign/untagged pointers.
+  TenantId TenantOf(const void* ptr) const;
+  TenantMemStats GetTenantMemStats(TenantId tenant) const;
+  // Aggregates across all non-default tenants, for fixed metrics.
+  size_t TenantBytesUsed() const;
+  uint64_t TenantDenials() const;
+
   // --- DemiSan (docs/STATIC_ANALYSIS.md) ---
   // Deterministic ownership sanitizer, compiled in by the DEMI_OWNERSHIP_CHECKS CMake option.
   // Every object carries a generation counter bumped each time it is recycled, and recycled
@@ -110,9 +135,18 @@ class PoolAllocator {
   // the generation the accessor captured when it legitimately held the object.
   [[noreturn]] void OwnershipViolation(const void* ptr, uint32_t expected_gen,
                                        const char* what) const;
+  // Cross-tenant access check: aborts with a tenant-naming diagnostic when `accessor` touches
+  // an object tagged for a different non-default tenant. kDefaultTenant may touch anything
+  // (control path), and untagged objects may be touched by anyone.
+  void AssertTenantAccess(const void* ptr, TenantId accessor, const char* what) const;
+  // Prints a DemiSan cross-tenant diagnostic (both tenant ids, last known owner) and aborts.
+  [[noreturn]] void TenantViolation(const void* ptr, TenantId owner, TenantId accessor,
+                                    const char* what) const;
 #else
   uint32_t Generation(const void* /*ptr*/) const { return 0; }
   void NoteOwner(const void* /*ptr*/, int32_t /*qd*/, uint64_t /*qt*/) {}
+  void AssertTenantAccess(const void* /*ptr*/, TenantId /*accessor*/, const char* /*what*/) const {
+  }
 #endif
 
  private:
@@ -123,6 +157,8 @@ class PoolAllocator {
   static Superblock* HeaderOf(const void* ptr);
 
   Superblock* NewSuperblock(size_t class_index, size_t object_size, size_t block_size);
+  bool ChargeTenant(TenantId tenant, size_t bytes);
+  void CreditTenant(TenantId tenant, size_t bytes);
   void RecycleObject(Superblock* sb, uint32_t index);
   void FreeHugeBlock(Superblock* sb);
   void IndexBlock(Superblock* sb);
@@ -137,6 +173,14 @@ class PoolAllocator {
   std::unordered_map<const void*, uint32_t> overflow_refs_;
   Stats stats_;
   FaultInjector* faults_ = nullptr;
+  struct TenantMem {
+    size_t budget_bytes = 0;
+    size_t used_bytes = 0;
+    uint64_t denials = 0;
+  };
+  // Per-tenant budget/usage accounting; only consulted for non-default tenants, so the
+  // kDefaultTenant hot path pays nothing. Entries appear on SetTenantBudget or first AllocFor.
+  std::unordered_map<TenantId, TenantMem> tenant_mem_;
 #if defined(DEMI_OWNERSHIP_CHECKS)
   struct OwnerNote {
     int32_t qd;

@@ -1,6 +1,10 @@
 #include "src/net/ethernet.h"
 
+#include <algorithm>
+#include <array>
+
 #include "src/common/logging.h"
+#include "src/faults/fault_injector.h"
 #include "src/observability/metrics.h"
 #include "src/observability/trace.h"
 
@@ -40,10 +44,46 @@ void EthernetLayer::RegisterMetrics(MetricsRegistry& registry) {
   registry.RegisterCallback("eth.tx_errors", "eth", "frames",
                             "Frame transmit failures absorbed (upper layers recover)",
                             [this] { return stats_.tx_errors; });
+  registry.RegisterCallback("nic.tx_sched_inline", "nic", "frames",
+                            "Frames admitted on the zero-copy TX fast path",
+                            [this] { return tx_sched_.stats().inline_frames; });
+  registry.RegisterCallback("nic.tx_sched_enqueued", "nic", "frames",
+                            "Frames throttled behind a tenant token bucket",
+                            [this] { return tx_sched_.stats().enqueued_frames; });
+  registry.RegisterCallback("nic.tx_sched_drained", "nic", "frames",
+                            "Throttled frames sent by the weighted-DRR drain",
+                            [this] { return tx_sched_.stats().drained_frames; });
+  registry.RegisterCallback("nic.tx_sched_drops", "nic", "frames",
+                            "Frames tail-dropped at a tenant's TX queue cap",
+                            [this] { return tx_sched_.stats().dropped_frames; });
+  registry.RegisterCallback("nic.tx_sched_rounds", "nic", "rounds",
+                            "Deficit-round-robin scan rounds over backlogged tenants",
+                            [this] { return tx_sched_.stats().drr_rounds; });
+  registry.RegisterCallback("nic.tx_sched_backlog", "nic", "frames",
+                            "Frames currently queued across all tenant TX queues",
+                            [this] { return tx_sched_.backlog_frames(); });
 }
 
 void EthernetLayer::RegisterReceiver(IpProto proto, Ipv4Receiver* receiver) {
   receivers_[static_cast<uint32_t>(proto)] = receiver;
+}
+
+Status EthernetLayer::TransmitFlattened(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto proto,
+                                        std::span<const uint8_t> l4_bytes) {
+  // Flattened frames live in ordinary heap memory, which the NIC may not DMA from (SimNic
+  // enforces the discipline for segments at or above the zero-copy threshold). Hand the bytes
+  // over as inline-sized chunks instead: the NIC copies each into the frame, the same bounce
+  // cost the flattening itself already paid.
+  constexpr size_t kInlineChunk = 512;
+  std::array<std::span<const uint8_t>, 8> chunks;
+  if (l4_bytes.size() > kInlineChunk * chunks.size()) {
+    return Status::kMessageTooLong;  // > 4 KB cannot be one frame on any supported MTU
+  }
+  size_t n = 0;
+  for (size_t off = 0; off < l4_bytes.size(); off += kInlineChunk) {
+    chunks[n++] = l4_bytes.subspan(off, std::min(kInlineChunk, l4_bytes.size() - off));
+  }
+  return TransmitIpv4(dst_mac, dst_ip, proto, std::span(chunks.data(), n));
 }
 
 Status EthernetLayer::TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto proto,
@@ -78,9 +118,40 @@ Status EthernetLayer::TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto pro
 }
 
 Status EthernetLayer::SendIpv4(Ipv4Addr dst, IpProto proto,
-                               std::span<const std::span<const uint8_t>> l4_segments) {
+                               std::span<const std::span<const uint8_t>> l4_segments,
+                               TenantId tenant) {
+  size_t l4_len = 0;
+  for (const auto& seg : l4_segments) {
+    l4_len += seg.size();
+  }
+  if (tenant != kDefaultTenant) {
+    // Explicitly attached injector first, else whatever the fabric is armed with — chaos tests
+    // arm SimNetwork after the libOS exists and still expect tenant_drop to bite.
+    FaultInjector* fx = faults_ != nullptr ? faults_ : nic_.network().fault_injector();
+    if (fx != nullptr && fx->TenantShouldDrop(tenant, l4_len)) {
+      return Status::kOk;  // injected tenant-scoped loss: frame consumed, L4 RTO recovers
+    }
+  }
   const auto mac = arp_cache_.Lookup(dst);
   if (mac) {
+    if (tenant != kDefaultTenant &&
+        !tx_sched_.AdmitInline(tenant, l4_len, nic_.clock().Now())) {
+      // Over the tenant's token-bucket rate (or behind its backlog): flatten and queue, the
+      // same copy the ARP-miss path accepts. PollOnce drains it when tokens accrue.
+      if (tracer_ != nullptr) {
+        tracer_->Record(TraceEventType::kTenantTxThrottle, tenant, l4_len);
+      }
+      TxScheduler::Frame f;
+      f.dst_mac = *mac;
+      f.dst_ip = dst;
+      f.proto = proto;
+      f.l4_bytes.reserve(l4_len);
+      for (const auto& seg : l4_segments) {
+        f.l4_bytes.insert(f.l4_bytes.end(), seg.begin(), seg.end());
+      }
+      tx_sched_.Enqueue(tenant, std::move(f), nic_.clock().Now());
+      return Status::kOk;
+    }
     return TransmitIpv4(*mac, dst, proto, l4_segments);
   }
   // ARP miss: queue a flattened copy and ask for the mapping (the slow path; the paper's fast
@@ -137,8 +208,8 @@ void EthernetLayer::HandleArp(std::span<const uint8_t> payload) {
   auto it = pending_.find(arp->sender_ip.value);
   if (it != pending_.end()) {
     for (PendingPacket& p : it->second) {
-      std::span<const uint8_t> seg(p.l4_bytes);
-      if (TransmitIpv4(arp->sender_mac, arp->sender_ip, p.proto, {&seg, 1}) != Status::kOk) {
+      if (TransmitFlattened(arp->sender_mac, arp->sender_ip, p.proto, p.l4_bytes) !=
+          Status::kOk) {
         stats_.tx_errors++;  // queued packet lost on TX failure; L4 retransmission recovers
       }
     }
@@ -198,6 +269,16 @@ size_t EthernetLayer::PollOnce() {
       (void)proto;
       receiver->OnRxBurstEnd();
     }
+  }
+  if (tx_sched_.backlog_frames() > 0) {
+    // Weighted-DRR drain of throttled tenant frames that virtual time has unlocked.
+    tx_sched_.Drain(nic_.clock().Now(), [this](const TxScheduler::Frame& f) {
+      const Status st = TransmitFlattened(f.dst_mac, f.dst_ip, f.proto, f.l4_bytes);
+      if (st != Status::kOk) {
+        stats_.tx_errors++;  // drained frame lost on TX failure; L4 retransmission recovers
+      }
+      return st;
+    });
   }
   return n;
   // demilint: end-fastpath

@@ -15,10 +15,12 @@
 
 #include "src/common/status.h"
 #include "src/net/headers.h"
+#include "src/net/tx_scheduler.h"
 #include "src/netsim/sim_network.h"
 
 namespace demi {
 
+class FaultInjector;
 class MetricsRegistry;
 class Tracer;
 
@@ -77,14 +79,23 @@ class EthernetLayer {
 
   // Sends one IPv4 packet whose L4 bytes are the concatenation of `l4_segments` (e.g., TCP
   // header + zero-copy payload). On ARP miss the frame is queued and an ARP request goes out;
-  // queued frames flush when the reply arrives.
+  // queued frames flush when the reply arrives. `tenant` is the isolation domain charged for
+  // the frame: rate-limited tenants that miss their token bucket get the frame flattened and
+  // queued behind the TxScheduler (kOk — delivery is deferred, not failed), and tenant-scoped
+  // fault injection (tenant_drop) silently consumes the frame so L4 recovery paths exercise.
   [[nodiscard]] Status SendIpv4(Ipv4Addr dst, IpProto proto,
-                  std::span<const std::span<const uint8_t>> l4_segments);
+                  std::span<const std::span<const uint8_t>> l4_segments,
+                  TenantId tenant = kDefaultTenant);
 
-  // Polls the NIC once (one burst) and dispatches; returns frames processed.
+  // Polls the NIC once (one burst) and dispatches; returns frames processed. Also drains any
+  // TxScheduler backlog that virtual time has unlocked.
   size_t PollOnce();
 
   ArpCache& arp() { return arp_cache_; }
+  TxScheduler& tx_scheduler() { return tx_sched_; }
+
+  // Optional chaos hook: consulted per SendIpv4 for tenant-scoped frame drops.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
 
   struct Stats {
     uint64_t ipv4_rx = 0;
@@ -113,6 +124,10 @@ class EthernetLayer {
   void HandleArp(std::span<const uint8_t> payload);
   [[nodiscard]] Status TransmitIpv4(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto proto,
                       std::span<const std::span<const uint8_t>> l4_segments);
+  // Transmits a flattened (non-DMA-registered) payload — an ARP-miss or TxScheduler copy —
+  // presenting it to the NIC as inline-sized chunks under the zero-copy DMA threshold.
+  [[nodiscard]] Status TransmitFlattened(MacAddr dst_mac, Ipv4Addr dst_ip, IpProto proto,
+                      std::span<const uint8_t> l4_bytes);
 
   SimNic& nic_;
   Ipv4Addr local_ip_;
@@ -132,6 +147,8 @@ class EthernetLayer {
 
   Stats stats_;
   Tracer* tracer_ = nullptr;
+  TxScheduler tx_sched_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace demi

@@ -390,7 +390,7 @@ void TcpConnection::Abort() {
     rst.flags.rst = true;
     rst.flags.ack = true;
     rst.ack = hot_.rcv_nxt.v;
-    if (stack_.SendSegment(rst, remote_.ip, {}) != Status::kOk) {
+    if (stack_.SendSegment(rst, remote_.ip, {}, tenant_) != Status::kOk) {
       stack_.CountTxError();  // peer will see the abort via RTO instead
     }
     EnterClosed(Status::kConnectionAborted);
@@ -416,6 +416,7 @@ void TcpConnection::StartPassiveOpen(const TcpHeader& syn, TcpListener* listener
   EnsureCold();
   hot_.state = TcpState::kSynReceived;
   pending_listener_ = listener;
+  tenant_ = listener->tenant();
   listener->syn_rcvd_count_++;
   irs_ = SeqNum{syn.seq};
   hot_.rcv_nxt = irs_ + 1;
@@ -507,7 +508,7 @@ Status TcpConnection::SendControl(TcpFlags flags, SeqNum seq, bool with_options)
   } else {
     StampTimestamps(&hdr);
   }
-  return stack_.SendSegment(hdr, remote_.ip, {});
+  return stack_.SendSegment(hdr, remote_.ip, {}, tenant_);
 }
 
 void TcpConnection::SendDataSegment(InflightSegment& seg, TimeNs now) {
@@ -523,7 +524,7 @@ void TcpConnection::SendDataSegment(InflightSegment& seg, TimeNs now) {
   StampTimestamps(&hdr);
   std::span<const uint8_t> slices[SegmentPayload::kMaxSlices];
   const size_t nslices = seg.data.Gather(slices);
-  if (stack_.SendSegment(hdr, remote_.ip, {slices, nslices}) != Status::kOk) {
+  if (stack_.SendSegment(hdr, remote_.ip, {slices, nslices}, tenant_) != Status::kOk) {
     stack_.CountTxError();  // segment stays inflight; the RTO path retransmits it
   }
   seg.sent_at = now;
@@ -918,7 +919,7 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
       return;
     }
     if (seq == hot_.rcv_nxt) {
-      Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size());
+      Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size(), tenant_);
       if (!buf.valid()) {
         // Heap exhausted: drop without advancing rcv_nxt; the un-acked sender retransmits.
         stack_.CountRxAllocDrop();
@@ -948,7 +949,7 @@ void TcpConnection::ProcessData(const TcpHeader& hdr, std::span<const uint8_t> p
       c.stats.out_of_order++;
       immediate = true;  // dup-ack immediately so the peer's fast retransmit can trigger
       if (c.reassembly.find(seq.v) == c.reassembly.end()) {
-        Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size());
+        Buffer buf = Buffer::TryAllocate(stack_.allocator(), payload.size(), tenant_);
         if (!buf.valid()) {
           // The reassembly stash is an optimization; dropping only costs a retransmit later.
           stack_.CountRxAllocDrop();
@@ -1056,6 +1057,10 @@ void TcpConnection::EnterClosed(Status error) {
   if (pending_listener_ != nullptr) {
     pending_listener_->syn_rcvd_count_--;
     pending_listener_ = nullptr;
+    // Died before delivery to the app: give the tenant its accept-admission slot back.
+    if (stack_.tenants_ != nullptr) {
+      stack_.tenants_->ReleaseAccept(tenant_);
+    }
   }
   CancelAllTimers();
   hot_.ack_needed = false;  // a listed burst-flush entry becomes a no-op
@@ -1127,6 +1132,7 @@ Result<TcpListener*> TcpStack::Listen(uint16_t port, size_t backlog) {
   auto listener = std::make_unique<TcpListener>();
   listener->port_ = port;
   listener->backlog_ = backlog == 0 ? 64 : backlog;
+  listener->stack_ = this;
   TcpListener* raw = listener.get();
   listeners_[port] = std::move(listener);
   return raw;
@@ -1139,12 +1145,30 @@ void TcpStack::CloseListener(TcpListener* listener) {
   for (auto& conn : listener->ready_) {
     conn->Abort();
     conn->ReleaseByApp();
+    // Ready-but-never-accepted: the admission slot charged at SYN time comes back here.
+    if (tenants_ != nullptr) {
+      tenants_->ReleaseAccept(conn->tenant());
+    }
   }
   listeners_.erase(listener->port_);
 }
 
+std::shared_ptr<TcpConnection> TcpListener::Accept() {
+  if (ready_.empty()) {
+    return nullptr;
+  }
+  auto conn = std::move(ready_.front());
+  ready_.pop_front();
+  // Delivered to the application: the accept-admission slot frees up for the next handshake.
+  if (stack_ != nullptr && stack_->tenants_ != nullptr) {
+    stack_->tenants_->ReleaseAccept(conn->tenant());
+  }
+  return conn;
+}
+
 Status TcpStack::SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
-                             std::span<const std::span<const uint8_t>> payload_slices) {
+                             std::span<const std::span<const uint8_t>> payload_slices,
+                             TenantId tenant) {
   uint8_t hdr_bytes[TcpHeader::kBaseSize + TcpHeader::kMaxOptionBytes];
   hdr.Serialize(hdr_bytes, eth_.local_ip(), dst, payload_slices,
                 /*compute_checksum=*/!eth_.checksum_offload());
@@ -1160,7 +1184,7 @@ Status TcpStack::SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
       segs[n++] = slice;
     }
   }
-  return eth_.SendIpv4(dst, IpProto::kTcp, {segs, n});
+  return eth_.SendIpv4(dst, IpProto::kTcp, {segs, n}, tenant);
 }
 
 void TcpStack::SendRst(const TcpHeader& in, Ipv4Addr dst) {
@@ -1226,9 +1250,18 @@ bool TcpStack::TryCookieValidate(const TcpHeader& hdr, const Ipv4Header& ip,
   if (listener->ready_.size() >= listener->backlog_) {
     return true;  // valid cookie, no accept-queue room: drop silently (no RST), client retries
   }
+  if (tenants_ != nullptr && !tenants_->TryAdmitAccept(listener->tenant())) {
+    // Same shed policy as the stateful path: a validated cookie still consumes an
+    // accept-admission slot, so an over-limit tenant's handshake completes later.
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kTenantAcceptShed, listener->tenant(), hdr.dst_port);
+    }
+    return true;
+  }
   const SocketAddress local{eth_.local_ip(), hdr.dst_port};
   const SocketAddress remote{ip.src, hdr.src_port};
   auto conn = slab_.Make<TcpConnection>(*this, local, remote, SeqNum{cookie});
+  conn->set_tenant(listener->tenant());
   conn->CompleteCookieOpen(hdr, *opts);
   conns_.Insert(key, conn);
   stats_.conns_opened++;
@@ -1293,6 +1326,15 @@ void TcpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
       if (listener->ready_.size() + listener->syn_rcvd_count_ >= listener->backlog_ ||
           conns_.size() >= config_.max_syn_backlog + 1024) {
         return;  // backlog full: drop the SYN, client retries
+      }
+      if (tenants_ != nullptr && !tenants_->TryAdmitAccept(listener->tenant())) {
+        // Tenant over its accept-admission limit: shed the SYN silently (no RST), the
+        // client's retransmit retries once the tenant drains its accept queue.
+        if (tracer_ != nullptr) {
+          tracer_->Record(TraceEventType::kTenantAcceptShed, listener->tenant(),
+                          hdr->dst_port);
+        }
+        return;
       }
       const SocketAddress local{eth_.local_ip(), hdr->dst_port};
       const SocketAddress remote{ip.src, hdr->src_port};

@@ -30,6 +30,7 @@
 
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/core/tenant.h"
 #include "src/memory/buffer.h"
 #include "src/net/ethernet.h"
 #include "src/net/tcp/congestion.h"
@@ -155,6 +156,12 @@ class TcpConnection {
   // The libOS dropped its queue descriptor: the stack may reap once fully closed.
   void ReleaseByApp() { hot_.app_released = true; }
   bool app_released() const { return hot_.app_released; }
+
+  // Isolation domain this connection's memory and TX bandwidth are charged to. Inherited from
+  // the listener on passive open, set by the libOS on active open. Lives outside HotState:
+  // the pure-ack path never reads it (SendSegment takes it as a parameter).
+  TenantId tenant() const { return tenant_; }
+  void set_tenant(TenantId tenant) { tenant_ = tenant; }
 
   struct ConnStats {
     uint64_t segments_sent = 0;
@@ -310,6 +317,7 @@ class TcpConnection {
   TcpStack& stack_;
   SocketAddress local_;
   SocketAddress remote_;
+  TenantId tenant_ = kDefaultTenant;
   Status error_ = Status::kOk;
   TcpListener* pending_listener_ = nullptr;  // stateful passive open: deliver on ESTABLISHED
   SeqNum iss_;
@@ -323,16 +331,15 @@ class TcpConnection {
 class TcpListener {
  public:
   bool HasPending() const { return !ready_.empty(); }
-  std::shared_ptr<TcpConnection> Accept() {
-    if (ready_.empty()) {
-      return nullptr;
-    }
-    auto conn = std::move(ready_.front());
-    ready_.pop_front();
-    return conn;
-  }
+  // Pops the next established connection (releasing its tenant accept-admission slot);
+  // nullptr when none is ready. Defined in tcp.cc: it reaches back into the stack's
+  // TenantTable.
+  std::shared_ptr<TcpConnection> Accept();
   Event& acceptable() { return acceptable_; }
   uint16_t port() const { return port_; }
+  // Isolation domain for connections accepted through this listener.
+  TenantId tenant() const { return tenant_; }
+  void set_tenant(TenantId tenant) { tenant_ = tenant; }
 
  private:
   friend class TcpStack;
@@ -340,6 +347,8 @@ class TcpListener {
   uint16_t port_ = 0;
   size_t backlog_ = 64;
   size_t syn_rcvd_count_ = 0;
+  TenantId tenant_ = kDefaultTenant;
+  TcpStack* stack_ = nullptr;
   std::deque<std::shared_ptr<TcpConnection>> ready_;
   Event acceptable_;
 };
@@ -406,13 +415,22 @@ class TcpStack final : public Ipv4Receiver {
   // kRetransmit events; either pointer may be null (docs/OBSERVABILITY.md).
   void SetObservability(MetricsRegistry* registry, Tracer* tracer);
 
+  // Attaches the libOS's tenant table: accept-queue admission (stateful and cookie paths)
+  // consults it per SYN, and Accept/teardown release the admission slots. Null (the default)
+  // disables tenant admission entirely.
+  void SetTenantTable(TenantTable* tenants) { tenants_ = tenants; }
+  TenantTable* tenant_table() { return tenants_; }
+
  private:
   friend class TcpConnection;
+  friend class TcpListener;
 
   // Sends one segment whose payload is the concatenation of `payload_slices` (zero-copy
   // gather: header + slices go to the NIC as one TX burst). Empty for control segments.
+  // `tenant` is the connection's isolation domain, charged at the TX scheduler.
   [[nodiscard]] Status SendSegment(const TcpHeader& hdr, Ipv4Addr dst,
-                     std::span<const std::span<const uint8_t>> payload_slices);
+                     std::span<const std::span<const uint8_t>> payload_slices,
+                     TenantId tenant = kDefaultTenant);
   void SendRst(const TcpHeader& in, Ipv4Addr dst);
   // Stateless SYN handling: answer with a cookie SYN-ACK, allocating nothing.
   void SendSynCookieSynAck(const TcpHeader& syn, Ipv4Addr src, uint64_t key);
@@ -451,6 +469,7 @@ class TcpStack final : public Ipv4Receiver {
   Stats stats_;
   TcpConnection::ConnStats reaped_conn_stats_;  // totals of connections already reaped
   Tracer* tracer_ = nullptr;
+  TenantTable* tenants_ = nullptr;
 };
 
 }  // namespace demi

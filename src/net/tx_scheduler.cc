@@ -1,0 +1,154 @@
+#include "src/net/tx_scheduler.h"
+
+namespace demi {
+
+namespace {
+// Deficit accumulation cap: one quantum of headroom plus the largest L4 payload a frame can
+// carry, so a token-starved tenant cannot bank unbounded deficit across Drain calls but any
+// single frame can always eventually pass.
+constexpr double kMaxFrameBytes = 64 * 1024;
+}  // namespace
+
+void TxScheduler::Configure(TenantId tenant, uint64_t rate_bps, size_t burst_bytes,
+                            uint32_t weight) {
+  if (tenant == kDefaultTenant) {
+    return;  // the control domain is never scheduled
+  }
+  TenantState* s = FindState(tenant);
+  if (s == nullptr) {
+    states_.push_back(TenantState{});
+    s = &states_.back();
+    s->id = tenant;
+  }
+  s->rate_bps = rate_bps;
+  s->burst_bytes = static_cast<double>(burst_bytes);
+  s->weight = weight == 0 ? 1 : weight;
+  // Start with a full bucket: the first burst up to `burst_bytes` goes out unthrottled.
+  s->tokens = s->burst_bytes;
+}
+
+TxScheduler::TenantState* TxScheduler::FindState(TenantId tenant) {
+  for (TenantState& s : states_) {
+    if (s.id == tenant) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const TxScheduler::TenantState* TxScheduler::FindState(TenantId tenant) const {
+  return const_cast<TxScheduler*>(this)->FindState(tenant);
+}
+
+bool TxScheduler::IsLimited(TenantId tenant) const {
+  const TenantState* s = FindState(tenant);
+  return s != nullptr && s->rate_bps > 0;
+}
+
+void TxScheduler::Refill(TenantState& s, TimeNs now) {
+  if (s.rate_bps == 0 || now <= s.last_refill) {
+    return;
+  }
+  const double dt_ns = static_cast<double>(now - s.last_refill);
+  s.tokens += static_cast<double>(s.rate_bps) * dt_ns / 8e9;
+  if (s.tokens > s.burst_bytes) {
+    s.tokens = s.burst_bytes;
+  }
+  s.last_refill = now;
+}
+
+bool TxScheduler::AdmitInline(TenantId tenant, size_t frame_bytes, TimeNs now) {
+  TenantState* s = FindState(tenant);
+  if (s == nullptr) {
+    return true;  // unconfigured tenants (and kDefaultTenant) bypass the scheduler
+  }
+  if (s->rate_bps == 0) {
+    s->tx_bytes += frame_bytes;
+    stats_.inline_frames++;
+    return true;
+  }
+  if (!s->queue.empty()) {
+    return false;  // preserve per-tenant frame order behind the existing backlog
+  }
+  Refill(*s, now);
+  if (static_cast<double>(frame_bytes) > s->tokens) {
+    return false;
+  }
+  s->tokens -= static_cast<double>(frame_bytes);
+  s->tx_bytes += frame_bytes;
+  stats_.inline_frames++;
+  return true;
+}
+
+void TxScheduler::Enqueue(TenantId tenant, Frame frame, TimeNs now) {
+  TenantState* s = FindState(tenant);
+  if (s == nullptr) {
+    stats_.dropped_frames++;  // contract: Enqueue only after AdmitInline said no
+    return;
+  }
+  Refill(*s, now);
+  if (s->queue.size() >= kMaxQueuedPerTenant) {
+    stats_.dropped_frames++;  // tail drop at the tenant's own cap; L4 RTO recovers
+    return;
+  }
+  s->throttled++;
+  stats_.enqueued_frames++;
+  backlog_frames_++;
+  s->queue.push_back(std::move(frame));
+}
+
+size_t TxScheduler::Drain(TimeNs now, const std::function<Status(const Frame&)>& tx) {
+  if (backlog_frames_ == 0) {
+    return 0;
+  }
+  // demilint: fastpath
+  size_t sent = 0;
+  bool progress = true;
+  while (backlog_frames_ > 0 && progress) {
+    progress = false;
+    stats_.drr_rounds++;
+    for (TenantState& s : states_) {
+      if (s.queue.empty()) {
+        s.deficit = 0;  // classic DRR: no banking credit while idle
+        continue;
+      }
+      Refill(s, now);
+      s.deficit += static_cast<double>(s.weight) * static_cast<double>(kQuantumBytes);
+      const double cap =
+          static_cast<double>(s.weight) * static_cast<double>(kQuantumBytes) + kMaxFrameBytes;
+      if (s.deficit > cap) {
+        s.deficit = cap;
+      }
+      while (!s.queue.empty()) {
+        const Frame& f = s.queue.front();
+        const double bytes = static_cast<double>(f.l4_bytes.size());
+        if (bytes > s.deficit || (s.rate_bps > 0 && bytes > s.tokens)) {
+          break;  // out of deficit this round, or the bucket is dry until more virtual time
+        }
+        s.deficit -= bytes;
+        if (s.rate_bps > 0) {
+          s.tokens -= bytes;
+        }
+        (void)tx(f);  // TX failure is absorbed: the frame is consumed and L4 recovers
+        s.tx_bytes += f.l4_bytes.size();
+        stats_.drained_frames++;
+        s.queue.pop_front();
+        backlog_frames_--;
+        sent++;
+        progress = true;
+      }
+    }
+  }
+  // demilint: end-fastpath
+  return sent;
+}
+
+TxScheduler::TenantTxStats TxScheduler::GetTenantTxStats(TenantId tenant) const {
+  const TenantState* s = FindState(tenant);
+  if (s == nullptr) {
+    return TenantTxStats{};
+  }
+  return TenantTxStats{s->tx_bytes, s->throttled, s->queue.size()};
+}
+
+}  // namespace demi

@@ -72,7 +72,8 @@ Status UdpStack::SendTo(Socket& socket, SocketAddress dst, const Buffer& payload
   std::span<const uint8_t> segs[2] = {{hdr, sizeof(hdr)}, {payload.data(), payload.size()}};
   const size_t nsegs = payload.empty() ? 1 : 2;
   stats_.tx_datagrams++;
-  return eth_.SendIpv4(dst.ip, IpProto::kUdp, std::span<const std::span<const uint8_t>>(segs, nsegs));
+  return eth_.SendIpv4(dst.ip, IpProto::kUdp,
+                       std::span<const std::span<const uint8_t>>(segs, nsegs), socket.tenant_);
 }
 
 void UdpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
@@ -103,7 +104,7 @@ void UdpStack::OnIpv4Packet(const Ipv4Header& ip, std::span<const uint8_t> l4) {
   const size_t payload_len = udp->length - UdpHeader::kSize;
   // Incoming data lands in a fresh DMA-heap buffer; pop() will hand ownership to the app.
   // Exhaustion degrades to a drop (a NIC with no mbufs), never an abort.
-  Buffer buf = Buffer::TryAllocate(alloc_, payload_len);
+  Buffer buf = Buffer::TryAllocate(alloc_, payload_len, socket.tenant_);
   if (!buf.valid()) {
     stats_.rx_alloc_drops++;
     return;

@@ -26,6 +26,9 @@ class UdpStack final : public Ipv4Receiver {
   class Socket {
    public:
     uint16_t local_port() const { return local_port_; }
+    // Isolation domain charged for this socket's TX frames and RX payload buffers.
+    TenantId tenant() const { return tenant_; }
+    void set_tenant(TenantId tenant) { tenant_ = tenant; }
     bool HasData() const { return !rx_.empty(); }
     std::optional<Datagram> PopDatagram() {
       if (rx_.empty()) {
@@ -40,6 +43,7 @@ class UdpStack final : public Ipv4Receiver {
    private:
     friend class UdpStack;
     uint16_t local_port_ = 0;
+    TenantId tenant_ = kDefaultTenant;
     std::deque<Datagram> rx_;
     Event readable_;
     size_t max_queued_ = 1024;

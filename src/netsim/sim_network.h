@@ -87,6 +87,9 @@ class SimNetwork {
   void SetFaultInjector(FaultInjector* faults) {
     faults_.store(faults, std::memory_order_release);
   }
+  // The armed injector (null when chaos is off). EthernetLayer consults this for tenant-scoped
+  // TX drops so a test arming the fabric after libOS construction is still honored.
+  FaultInjector* fault_injector() const { return faults_.load(std::memory_order_acquire); }
 
   struct Stats {
     uint64_t frames_sent = 0;

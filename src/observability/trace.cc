@@ -49,6 +49,16 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "fault_torn_write";
     case TraceEventType::kFaultAllocFail:
       return "fault_alloc_fail";
+    case TraceEventType::kTenantMemDeny:
+      return "tenant_mem_deny";
+    case TraceEventType::kTenantAcceptShed:
+      return "tenant_accept_shed";
+    case TraceEventType::kTenantOpShed:
+      return "tenant_op_shed";
+    case TraceEventType::kTenantTxThrottle:
+      return "tenant_tx_throttle";
+    case TraceEventType::kFaultTenantDrop:
+      return "fault_tenant_drop";
   }
   return "unknown";
 }

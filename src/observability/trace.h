@@ -42,6 +42,12 @@ enum class TraceEventType : uint8_t {
   kFaultDiskDelay,     // arg1 = 1 read / 0 write, arg2 = extra latency ns
   kFaultTornWrite,     // arg1 = bytes that reached the media, arg2 = cookie
   kFaultAllocFail,     // arg2 = requested bytes
+  // Tenant isolation decisions (docs/TENANCY.md).
+  kTenantMemDeny,      // arg1 = tenant id, arg2 = requested bytes
+  kTenantAcceptShed,   // arg1 = tenant id, arg2 = listener queue descriptor
+  kTenantOpShed,       // arg1 = tenant id, arg2 = inflight qtokens at the watermark
+  kTenantTxThrottle,   // arg1 = tenant id, arg2 = frame bytes queued behind the bucket
+  kFaultTenantDrop,    // arg1 = tenant id, arg2 = frame bytes
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -369,7 +369,7 @@ void RunTcpEchoScenario(uint64_t seed, EchoFingerprint* out) {
       }
     }
   }
-  EXPECT_EQ(fault_metrics, 8u) << "faults.* metric family incomplete";
+  EXPECT_EQ(fault_metrics, 9u) << "faults.* metric family incomplete";
 
   // ...and trace events.
   bool saw_fault_event = false;

@@ -243,6 +243,96 @@ TEST(ShardGroupTest, SingleWorkerBehavesLikeClassicCatnip) {
   EXPECT_EQ(per_shard[0].connections, 1u);
 }
 
+// Shutdown drain regression: a pop still in flight when RequestStop lands — plus a completed
+// pop whose sga the app never took — must not leak qtoken slots or heap buffers. WorkerMain
+// calls DrainPendingTokens() on the owning thread before it exits; this pins that behavior.
+TEST(ShardGroupTest, StopWithInflightPopsDrainsTokensAndBuffers) {
+  MonotonicClock clock;
+  SimNetwork net(LinkConfig{}, /*seed=*/21);
+  ShardGroup group(net, clock, TwoWorkerOptions());
+
+  group.Start([&group](size_t /*shard_id*/, Catnip& os) {
+    auto mq = os.MemoryQueue();
+    ASSERT_TRUE(mq.ok());
+    // Pop #1 completes with a buffer nobody ever takes: the drain must free its sga.
+    void* msg = os.DmaMalloc(64);
+    ASSERT_NE(msg, nullptr);
+    std::memset(msg, 0x42, 64);
+    auto push = os.Push(*mq, Sgarray::Of(msg, 64));
+    ASSERT_TRUE(push.ok());
+    os.DmaFree(msg);
+    auto done_pop = os.Pop(*mq);
+    ASSERT_TRUE(done_pop.ok());
+    // Pop #2 stays pending forever: the drain must release its slot.
+    auto pending_pop = os.Pop(*mq);
+    ASSERT_TRUE(pending_pop.ok());
+    group.ServeLoop(os, [] {});
+  });
+
+  group.RequestStop();
+  group.Join();
+  for (size_t i = 0; i < group.num_workers(); i++) {
+    EXPECT_EQ(group.shard(i).tokens().NumInUse(), 0u) << "shard " << i << " leaked qtokens";
+    EXPECT_EQ(group.shard(i).allocator().GetStats().live_objects, 0u)
+        << "shard " << i << " leaked pop buffers";
+  }
+}
+
+// Tenant isolation under real worker threads: every shard registers the tenant, the sharded
+// echo server charges its listener (and thus every accepted connection) to it, and the
+// per-shard token buckets account the TX bytes. Suite name keeps the `ShardGroup` prefix so
+// the TSan job exercises the tenant datapath too.
+TEST(ShardGroupTest, ShardedEchoUnderTenantAccountsEveryShard) {
+  MonotonicClock clock;
+  SimNetwork net(LinkConfig{}, /*seed=*/23);
+  ShardGroup group(net, clock, TwoWorkerOptions());
+
+  constexpr TenantId kTenant = 7;
+  const SocketAddress server_addr{kServerIp, 7878};
+  EchoServerOptions options{server_addr};
+  options.tenant = kTenant;
+  std::vector<EchoServerStats> per_shard(group.num_workers());
+  group.Start([&group, options, &per_shard](size_t shard_id, Catnip& os) {
+    TenantConfig cfg;
+    cfg.tx_rate_bps = 80'000'000;  // fast enough to never stall echo RTTs in real time
+    cfg.tx_burst_bytes = 64 * 1024;
+    cfg.tx_weight = 2;
+    ASSERT_EQ(os.RegisterTenant(kTenant, cfg), Status::kOk);
+    EchoServerApp app(os, options);
+    group.ServeLoop(os, [&app] { app.Pump(); });
+    per_shard[shard_id] = app.stats();
+  });
+
+  uint64_t bytes_sent = 0;
+  for (size_t c = 0; c < 2; c++) {
+    auto client = MakeClient(net, clock, c);
+    for (size_t conn = 0; conn < 3; conn++) {
+      ByteExactEchoRun(*client, server_addr, /*rounds=*/10,
+                       static_cast<uint8_t>(0x20 * (c + 1) + conn), &bytes_sent);
+    }
+  }
+
+  group.RequestStop();
+  group.Join();
+
+  uint64_t served = 0;
+  uint64_t admitted = 0;
+  uint64_t tenant_tx_bytes = 0;
+  for (size_t i = 0; i < group.num_workers(); i++) {
+    Catnip& shard = group.shard(i);
+    EXPECT_TRUE(shard.tenants().IsRegistered(kTenant));
+    served += per_shard[i].bytes;
+    admitted += shard.tenants().GetStats(kTenant).accept_admitted;
+    tenant_tx_bytes += shard.ethernet().tx_scheduler().GetTenantTxStats(kTenant).tx_bytes;
+    EXPECT_EQ(shard.tokens().NumInUse(), 0u) << "shard " << i;
+  }
+  EXPECT_EQ(served, bytes_sent);
+  EXPECT_EQ(admitted, 6u) << "every accepted connection must be admission-charged";
+  // Every echoed byte crossed the rate-limited tenant's bucket, so the per-tenant TX
+  // accounting must at least cover the payload bytes (headers come on top).
+  EXPECT_GE(tenant_tx_bytes, bytes_sent);
+}
+
 // The shared log device is single-consumer: a multi-worker group with storage attached must
 // refuse loudly and point at the ROADMAP item that lifts the restriction, not deadlock or
 // corrupt the log at runtime.

@@ -1,0 +1,616 @@
+// Multi-tenant isolation tests (docs/TENANCY.md): TX token buckets + weighted DRR, per-tenant
+// DMA-heap budgets, accept-queue admission, inflight-watermark load shedding, tenant-scoped
+// fault injection, and the DemiSan cross-tenant access abort.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/qtoken_table.h"
+#include "src/core/tenant.h"
+#include "src/faults/fault_injector.h"
+#include "src/liboses/catnip.h"
+#include "src/memory/buffer.h"
+#include "src/memory/pool_allocator.h"
+#include "src/net/tx_scheduler.h"
+
+namespace demi {
+namespace {
+
+// --- TxScheduler: token bucket + weighted DRR ---
+
+TxScheduler::Frame MakeFrame(size_t bytes) {
+  TxScheduler::Frame f;
+  f.dst_mac = MacAddr{1};
+  f.dst_ip = Ipv4Addr::FromOctets(10, 0, 0, 1);
+  f.proto = IpProto::kTcp;
+  f.l4_bytes.assign(bytes, 0xAB);
+  return f;
+}
+
+TEST(TxSchedulerTest, UnconfiguredTenantBypassesScheduler) {
+  TxScheduler sched;
+  EXPECT_TRUE(sched.AdmitInline(42, 1'000'000, /*now=*/0));
+  EXPECT_FALSE(sched.IsLimited(42));
+  EXPECT_EQ(sched.backlog_frames(), 0u);
+}
+
+TEST(TxSchedulerTest, TokenBucketThrottlesAtConfiguredRate) {
+  TxScheduler sched;
+  // 8 Mbit/s = 1000 bytes per millisecond; burst of exactly 1000 bytes.
+  sched.Configure(/*tenant=*/1, /*rate_bps=*/8'000'000, /*burst_bytes=*/1000, /*weight=*/1);
+  EXPECT_TRUE(sched.IsLimited(1));
+
+  // The initial bucket is full: the first 1000 bytes pass inline.
+  EXPECT_TRUE(sched.AdmitInline(1, 1000, /*now=*/0));
+  // Bucket empty: the next frame must queue.
+  EXPECT_FALSE(sched.AdmitInline(1, 100, /*now=*/0));
+
+  // One millisecond of virtual time refills exactly 1000 bytes.
+  EXPECT_TRUE(sched.AdmitInline(1, 1000, /*now=*/1 * kMillisecond));
+  EXPECT_FALSE(sched.AdmitInline(1, 1, /*now=*/1 * kMillisecond));
+  EXPECT_EQ(sched.stats().inline_frames, 2u);
+}
+
+TEST(TxSchedulerTest, RefillNeverExceedsBurst) {
+  TxScheduler sched;
+  sched.Configure(1, 8'000'000, 1000, 1);
+  EXPECT_TRUE(sched.AdmitInline(1, 1000, 0));
+  // A long idle period refills to the burst cap, not beyond it.
+  EXPECT_FALSE(sched.AdmitInline(1, 1001, 10 * kSecond));
+  EXPECT_TRUE(sched.AdmitInline(1, 1000, 10 * kSecond));
+}
+
+TEST(TxSchedulerTest, ThrottledFramesDrainWhenTokensAccrue) {
+  TxScheduler sched;
+  sched.Configure(1, 8'000'000, 1000, 1);
+  EXPECT_TRUE(sched.AdmitInline(1, 1000, 0));
+  EXPECT_FALSE(sched.AdmitInline(1, 500, 0));
+  sched.Enqueue(1, MakeFrame(500), 0);
+  EXPECT_EQ(sched.backlog_frames(), 1u);
+  EXPECT_EQ(sched.GetTenantTxStats(1).throttled, 1u);
+
+  // No tokens yet: nothing drains.
+  size_t sent = sched.Drain(0, [](const TxScheduler::Frame&) { return Status::kOk; });
+  EXPECT_EQ(sent, 0u);
+
+  // 1ms refills 1000 bytes: the queued 500-byte frame goes out.
+  sent = sched.Drain(1 * kMillisecond, [](const TxScheduler::Frame&) { return Status::kOk; });
+  EXPECT_EQ(sent, 1u);
+  EXPECT_EQ(sched.backlog_frames(), 0u);
+  EXPECT_EQ(sched.stats().drained_frames, 1u);
+  EXPECT_EQ(sched.GetTenantTxStats(1).tx_bytes, 1500u);
+}
+
+TEST(TxSchedulerTest, InlineAdmissionPreservesFrameOrderBehindBacklog) {
+  TxScheduler sched;
+  sched.Configure(1, 8'000'000, 1000, 1);
+  EXPECT_TRUE(sched.AdmitInline(1, 1000, 0));
+  sched.Enqueue(1, MakeFrame(100), 0);
+  // Even with a full bucket, a tenant with queued frames may not jump its own queue.
+  EXPECT_FALSE(sched.AdmitInline(1, 10, 10 * kSecond));
+}
+
+TEST(TxSchedulerTest, WeightedDrrSharesDrainByWeight) {
+  TxScheduler sched;
+  // Both tenants have ample tokens; only the DRR deficit arbitrates. Weight 3 vs 1, with
+  // tenant 2's frames distinguishable by size.
+  sched.Configure(1, 8'000'000'000, 1 << 20, /*weight=*/3);
+  sched.Configure(2, 8'000'000'000, 1 << 20, /*weight=*/1);
+  for (int i = 0; i < 8; i++) {
+    sched.Enqueue(1, MakeFrame(1500), 0);
+    sched.Enqueue(2, MakeFrame(1400), 0);
+  }
+  size_t sent_total = 0;
+  size_t t1_in_first_8 = 0;
+  sched.Drain(1 * kSecond, [&](const TxScheduler::Frame& f) {
+    if (sent_total < 8 && f.l4_bytes.size() == 1500) {
+      t1_in_first_8++;
+    }
+    sent_total++;
+    return Status::kOk;
+  });
+  EXPECT_EQ(sent_total, 16u);
+  // Per DRR round: tenant 1 banks 3×1500 deficit (3 frames), tenant 2 banks 1500 (1 frame).
+  EXPECT_EQ(t1_in_first_8, 6u) << "weighted DRR did not honor the 3:1 split";
+}
+
+TEST(TxSchedulerTest, TailDropsAtPerTenantQueueCap) {
+  TxScheduler sched;
+  sched.Configure(1, 1'000'000, 100, 1);
+  for (size_t i = 0; i < TxScheduler::kMaxQueuedPerTenant + 5; i++) {
+    sched.Enqueue(1, MakeFrame(200), 0);
+  }
+  EXPECT_EQ(sched.backlog_frames(), TxScheduler::kMaxQueuedPerTenant);
+  EXPECT_EQ(sched.stats().dropped_frames, 5u);
+}
+
+// --- TenantTable: registration, accept admission, watermark shedding ---
+
+TEST(TenantTableTest, DefaultTenantIsNotRegistrable) {
+  TenantTable table;
+  table.Register(kDefaultTenant, TenantConfig{});
+  EXPECT_FALSE(table.IsRegistered(kDefaultTenant));
+  EXPECT_EQ(table.NumRegistered(), 0u);
+}
+
+TEST(TenantTableTest, RegisterStoresAndUpdatesConfig) {
+  TenantTable table;
+  TenantConfig cfg;
+  cfg.accept_backlog = 7;
+  table.Register(3, cfg);
+  ASSERT_TRUE(table.IsRegistered(3));
+  ASSERT_NE(table.Find(3), nullptr);
+  EXPECT_EQ(table.Find(3)->accept_backlog, 7u);
+  cfg.accept_backlog = 9;
+  table.Register(3, cfg);  // reconfigure in place
+  EXPECT_EQ(table.NumRegistered(), 1u);
+  EXPECT_EQ(table.Find(3)->accept_backlog, 9u);
+}
+
+TEST(TenantTableTest, AcceptAdmissionChargesAndReleasesSlots) {
+  TenantTable table;
+  TenantConfig cfg;
+  cfg.accept_backlog = 2;
+  table.Register(1, cfg);
+
+  EXPECT_TRUE(table.TryAdmitAccept(1));
+  EXPECT_TRUE(table.TryAdmitAccept(1));
+  EXPECT_FALSE(table.TryAdmitAccept(1)) << "third admit must shed at backlog 2";
+  EXPECT_EQ(table.GetStats(1).accept_admitted, 2u);
+  EXPECT_EQ(table.GetStats(1).accept_shed, 1u);
+  EXPECT_EQ(table.GetStats(1).accept_inflight, 2u);
+
+  table.ReleaseAccept(1);
+  EXPECT_TRUE(table.TryAdmitAccept(1)) << "released slot must be reusable";
+  // Underflow guard: extra releases never wrap the inflight counter.
+  table.ReleaseAccept(1);
+  table.ReleaseAccept(1);
+  table.ReleaseAccept(1);
+  EXPECT_EQ(table.GetStats(1).accept_inflight, 0u);
+}
+
+TEST(TenantTableTest, UnregisteredAndDefaultTenantsAlwaysAdmit) {
+  TenantTable table;
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(table.TryAdmitAccept(kDefaultTenant));
+    EXPECT_TRUE(table.TryAdmitAccept(55));
+  }
+  EXPECT_EQ(table.TotalAcceptShed(), 0u);
+}
+
+TEST(TenantTableTest, WatermarkShedsOnlyAtOrAboveLimit) {
+  TenantTable table;
+  TenantConfig cfg;
+  cfg.inflight_watermark = 4;
+  table.Register(2, cfg);
+
+  EXPECT_FALSE(table.ShouldShed(2, 3));
+  EXPECT_TRUE(table.ShouldShed(2, 4));
+  EXPECT_TRUE(table.ShouldShed(2, 100));
+  // The control domain and watermark-less tenants are never shed.
+  EXPECT_FALSE(table.ShouldShed(kDefaultTenant, 1 << 20));
+  EXPECT_FALSE(table.ShouldShed(9, 1 << 20));
+
+  table.CountOpShed(2);
+  table.CountOpShed(2);
+  EXPECT_EQ(table.GetStats(2).op_shed, 2u);
+  EXPECT_EQ(table.TotalOpShed(), 2u);
+}
+
+// --- PoolAllocator: per-tenant budgets and tags ---
+
+TEST(TenantMemoryTest, BudgetDeniesOverAllocationForThatTenantOnly) {
+  PoolAllocator alloc;
+  alloc.SetTenantBudget(1, 8 * 1024);
+
+  // Charges are in size-class capacity, so 4KB allocations land exactly on the budget.
+  void* a = alloc.AllocFor(4096, 1);
+  void* b = alloc.AllocFor(4096, 1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(alloc.AllocFor(4096, 1), nullptr) << "third 4KB alloc must exceed the 8KB budget";
+  EXPECT_GE(alloc.GetTenantMemStats(1).denials, 1u);
+
+  // The control domain and other tenants are untouched by tenant 1's exhaustion.
+  void* c = alloc.Alloc(4096);
+  void* d = alloc.AllocFor(4096, 2);
+  EXPECT_NE(c, nullptr);
+  EXPECT_NE(d, nullptr);
+
+  alloc.Free(a);
+  alloc.Free(b);
+  alloc.Free(c);
+  alloc.Free(d);
+}
+
+TEST(TenantMemoryTest, FreeingCreditsTheBudgetBack) {
+  PoolAllocator alloc;
+  alloc.SetTenantBudget(1, 8 * 1024);
+  void* a = alloc.AllocFor(4096, 1);
+  void* b = alloc.AllocFor(4096, 1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(alloc.AllocFor(4096, 1), nullptr);
+  alloc.Free(a);
+  void* again = alloc.AllocFor(4096, 1);
+  EXPECT_NE(again, nullptr) << "freed capacity must return to the tenant's budget";
+  alloc.Free(b);
+  alloc.Free(again);
+  EXPECT_EQ(alloc.GetTenantMemStats(1).used_bytes, 0u);
+}
+
+TEST(TenantMemoryTest, TenantTagFollowsObjectAndResetsOnRecycle) {
+  PoolAllocator alloc;
+  void* p = alloc.AllocFor(256, 5);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.TenantOf(p), 5);
+  alloc.Free(p);
+  // The recycled slot comes back off the LIFO free list for the control domain: its tag must
+  // not leak the previous tenant.
+  void* q = alloc.Alloc(256);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(alloc.TenantOf(q), kDefaultTenant);
+  alloc.Free(q);
+}
+
+TEST(TenantMemoryTest, HugeAllocationsChargeAndCreditTheBudget) {
+  PoolAllocator alloc;
+  const size_t huge = 2 * 1024 * 1024;  // beyond the largest size class
+  alloc.SetTenantBudget(1, huge);
+  void* p = alloc.AllocFor(huge, 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.TenantOf(p), 1);
+  EXPECT_EQ(alloc.AllocFor(huge, 1), nullptr) << "budget spent by the huge block";
+  alloc.Free(p);
+  EXPECT_EQ(alloc.GetTenantMemStats(1).used_bytes, 0u);
+  void* q = alloc.AllocFor(huge, 1);
+  EXPECT_NE(q, nullptr);
+  alloc.Free(q);
+}
+
+// --- QTokenTable: per-tenant inflight accounting and shutdown drain ---
+
+TEST(QTokenTenantTest, InflightPerTenantTracksAllocateAndTake) {
+  QTokenTable table;
+  const QToken a = table.Allocate(OpCode::kPop, 3, /*tenant=*/1);
+  const QToken b = table.Allocate(OpCode::kPop, 3, /*tenant=*/1);
+  const QToken c = table.Allocate(OpCode::kPush, 4, /*tenant=*/2);
+  EXPECT_EQ(table.InflightForTenant(1), 2u);
+  EXPECT_EQ(table.InflightForTenant(2), 1u);
+  EXPECT_EQ(table.TenantOf(a), 1);
+  EXPECT_EQ(table.TenantOf(c), 2);
+
+  table.Complete(a, QResult{});
+  EXPECT_EQ(table.InflightForTenant(1), 2u) << "completion alone does not release the charge";
+  ASSERT_TRUE(table.Take(a).ok());
+  EXPECT_EQ(table.InflightForTenant(1), 1u);
+
+  table.Complete(b, QResult{});
+  table.Complete(c, QResult{});
+  ASSERT_TRUE(table.Take(b).ok());
+  ASSERT_TRUE(table.Take(c).ok());
+  EXPECT_EQ(table.InflightForTenant(1), 0u);
+  EXPECT_EQ(table.InflightForTenant(2), 0u);
+}
+
+TEST(QTokenTenantTest, DrainDisposesCompletedResultsAndClearsInflight) {
+  QTokenTable table;
+  const QToken a = table.Allocate(OpCode::kPop, 3, 1);
+  (void)table.Allocate(OpCode::kPop, 3, 1);  // stays pending
+  QResult done;
+  done.status = Status::kOk;
+  table.Complete(a, done);
+
+  size_t disposed = 0;
+  const size_t drained = table.Drain([&](QResult& r) {
+    EXPECT_EQ(r.status, Status::kOk);
+    disposed++;
+  });
+  EXPECT_EQ(drained, 2u);
+  EXPECT_EQ(disposed, 1u) << "only the completed token carries a result to dispose";
+  EXPECT_EQ(table.NumInUse(), 0u);
+  EXPECT_EQ(table.InflightForTenant(1), 0u);
+}
+
+// --- FaultPlan: tenant_drop parsing and targeting ---
+
+TEST(TenantFaultTest, ParsesTenantDropSpec) {
+  std::string error;
+  auto plan = FaultPlan::Parse("tenant_drop=7:0.25,seed=3", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->tenant_drop_id, 7u);
+  EXPECT_DOUBLE_EQ(plan->tenant_drop, 0.25);
+  EXPECT_TRUE(plan->Any());
+
+  // ToString round-trips through Parse.
+  auto again = FaultPlan::Parse(plan->ToString(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->tenant_drop_id, 7u);
+  EXPECT_DOUBLE_EQ(again->tenant_drop, 0.25);
+}
+
+TEST(TenantFaultTest, RejectsMalformedTenantDrop) {
+  EXPECT_FALSE(FaultPlan::Parse("tenant_drop=1").has_value()) << "missing rate";
+  EXPECT_FALSE(FaultPlan::Parse("tenant_drop=99999999:0.5").has_value()) << "id over uint16";
+  EXPECT_FALSE(FaultPlan::Parse("tenant_drop=1:1.5").has_value()) << "rate over 1.0";
+  EXPECT_FALSE(FaultPlan::Parse("tenant_drop=x:0.5").has_value()) << "non-numeric id";
+}
+
+TEST(TenantFaultTest, TenantShouldDropTargetsOnlyThePlannedTenant) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.tenant_drop_id = 3;
+  plan.tenant_drop = 1.0;
+  FaultInjector fx(plan);
+  EXPECT_TRUE(fx.TenantShouldDrop(3, 100));
+  EXPECT_FALSE(fx.TenantShouldDrop(2, 100));
+  EXPECT_FALSE(fx.TenantShouldDrop(kDefaultTenant, 100));
+  EXPECT_EQ(fx.GetStats().tenant_frames_dropped, 1u);
+}
+
+// --- Catnip integration: end-to-end tenant plumbing over the simulated NIC ---
+
+QResult WaitStepped(LibOS& self, QToken qt, std::vector<LibOS*> world,
+                    int max_steps = 2'000'000) {
+  for (int i = 0; i < max_steps; i++) {
+    for (LibOS* os : world) {
+      os->PollOnce();
+    }
+    if (self.IsDone(qt)) {
+      auto r = self.TryTake(qt);
+      EXPECT_TRUE(r.ok());
+      return r.ok() ? *r : QResult{};
+    }
+  }
+  ADD_FAILURE() << "token did not complete";
+  return QResult{};
+}
+
+Sgarray MakeSga(LibOS& os, const std::string& data) {
+  void* buf = os.DmaMalloc(data.size());
+  std::memcpy(buf, data.data(), data.size());
+  return Sgarray::Of(buf, static_cast<uint32_t>(data.size()));
+}
+
+class TenantPairTest : public ::testing::Test {
+ protected:
+  TenantPairTest()
+      : net_(LinkConfig{}, 7),
+        server_(net_,
+                Catnip::Config{MacAddr{1}, Ipv4Addr::FromOctets(10, 0, 0, 1), TcpConfig{},
+                               nullptr},
+                clock_),
+        client_(net_,
+                Catnip::Config{MacAddr{2}, Ipv4Addr::FromOctets(10, 0, 0, 2), TcpConfig{},
+                               nullptr},
+                clock_) {
+    server_.ethernet().arp().Insert(client_.local_ip(), MacAddr{2});
+    client_.ethernet().arp().Insert(server_.local_ip(), MacAddr{1});
+  }
+
+  std::vector<LibOS*> World() { return {&server_, &client_}; }
+
+  // Establishes one client→server connection on a listener owned by `tenant` and returns
+  // {server conn qd, client conn qd}.
+  std::pair<QueueDesc, QueueDesc> ConnectOnce(TenantId tenant, uint16_t port) {
+    auto sqd = server_.Socket(SocketType::kStream);
+    EXPECT_TRUE(sqd.ok());
+    EXPECT_EQ(server_.Bind(*sqd, {server_.local_ip(), port}), Status::kOk);
+    if (tenant != kDefaultTenant) {
+      EXPECT_EQ(server_.SetQueueTenant(*sqd, tenant), Status::kOk);
+    }
+    EXPECT_EQ(server_.Listen(*sqd, 8), Status::kOk);
+    auto accept_qt = server_.Accept(*sqd);
+    EXPECT_TRUE(accept_qt.ok());
+
+    auto cqd = client_.Socket(SocketType::kStream);
+    EXPECT_TRUE(cqd.ok());
+    auto connect_qt = client_.Connect(*cqd, {server_.local_ip(), port});
+    EXPECT_TRUE(connect_qt.ok());
+    EXPECT_EQ(WaitStepped(client_, *connect_qt, World()).status, Status::kOk);
+    QResult acc = WaitStepped(server_, *accept_qt, World());
+    EXPECT_EQ(acc.status, Status::kOk);
+    return {acc.new_qd, *cqd};
+  }
+
+  MonotonicClock clock_;
+  SimNetwork net_;
+  Catnip server_;
+  Catnip client_;
+};
+
+TEST_F(TenantPairTest, RegisterTenantRejectsControlDomain) {
+  EXPECT_EQ(server_.RegisterTenant(kDefaultTenant, TenantConfig{}), Status::kInvalidArgument);
+  EXPECT_EQ(server_.RegisterTenant(1, TenantConfig{}), Status::kOk);
+  EXPECT_TRUE(server_.tenants().IsRegistered(1));
+}
+
+TEST_F(TenantPairTest, AcceptedConnectionsInheritTheListenerTenant) {
+  ASSERT_EQ(server_.RegisterTenant(4, TenantConfig{}), Status::kOk);
+  auto [server_conn, client_conn] = ConnectOnce(4, 7100);
+
+  // The accepted connection's queue is charged to tenant 4: its qtokens carry the tenant.
+  auto pop_qt = server_.Pop(server_conn);
+  ASSERT_TRUE(pop_qt.ok());
+  EXPECT_EQ(server_.tokens().TenantOf(*pop_qt), 4);
+  EXPECT_EQ(server_.tokens().InflightForTenant(4), 1u);
+  EXPECT_GE(server_.tenants().GetStats(4).accept_admitted, 1u);
+  EXPECT_EQ(server_.tenants().GetStats(4).accept_inflight, 0u)
+      << "Accept() must release the admission slot";
+
+  // Echo a message to prove the tenant-tagged datapath still moves bytes.
+  auto push_qt = client_.Push(client_conn, MakeSga(client_, "tenant four"));
+  ASSERT_TRUE(push_qt.ok());
+  EXPECT_EQ(WaitStepped(client_, *push_qt, World()).status, Status::kOk);
+  QResult pop_r = WaitStepped(server_, *pop_qt, World());
+  ASSERT_EQ(pop_r.status, Status::kOk);
+  server_.FreeSga(pop_r.sga);
+}
+
+TEST_F(TenantPairTest, AcceptBacklogShedsExcessHandshakes) {
+  TenantConfig cfg;
+  cfg.accept_backlog = 1;
+  ASSERT_EQ(server_.RegisterTenant(6, cfg), Status::kOk);
+
+  auto sqd = server_.Socket(SocketType::kStream);
+  ASSERT_TRUE(sqd.ok());
+  ASSERT_EQ(server_.Bind(*sqd, {server_.local_ip(), 7200}), Status::kOk);
+  ASSERT_EQ(server_.SetQueueTenant(*sqd, 6), Status::kOk);
+  ASSERT_EQ(server_.Listen(*sqd, 8), Status::kOk);
+
+  // First connection: admitted and parked in the accept queue (nobody calls Accept yet).
+  auto c1 = client_.Socket(SocketType::kStream);
+  ASSERT_TRUE(c1.ok());
+  auto qt1 = client_.Connect(*c1, {server_.local_ip(), 7200});
+  ASSERT_TRUE(qt1.ok());
+  EXPECT_EQ(WaitStepped(client_, *qt1, World()).status, Status::kOk);
+
+  // Second connection: the tenant is at accept_backlog=1, so its SYN is shed silently and the
+  // client handshake times out rather than completing.
+  auto c2 = client_.Socket(SocketType::kStream);
+  ASSERT_TRUE(c2.ok());
+  auto qt2 = client_.Connect(*c2, {server_.local_ip(), 7200});
+  ASSERT_TRUE(qt2.ok());
+  // The shed decision lands as soon as the second SYN reaches the listener; keep this loop
+  // short so a SYN retransmission cannot fire before we stop the second client below.
+  for (int i = 0; i < 2000; i++) {
+    server_.PollOnce();
+    client_.PollOnce();
+  }
+  EXPECT_FALSE(client_.IsDone(*qt2));
+  EXPECT_GE(server_.tenants().GetStats(6).accept_shed, 1u)
+      << "second handshake should have been shed at the admission limit";
+  // Stop the shed client before releasing the slot, so its SYN retransmit cannot steal it.
+  (void)client_.Close(*c2);
+
+  // Accepting the parked connection frees the slot; a third connect then succeeds.
+  auto accept_qt = server_.Accept(*sqd);
+  ASSERT_TRUE(accept_qt.ok());
+  EXPECT_EQ(WaitStepped(server_, *accept_qt, World()).status, Status::kOk);
+  EXPECT_EQ(server_.tenants().GetStats(6).accept_inflight, 0u);
+  auto c3 = client_.Socket(SocketType::kStream);
+  ASSERT_TRUE(c3.ok());
+  auto qt3 = client_.Connect(*c3, {server_.local_ip(), 7200});
+  ASSERT_TRUE(qt3.ok());
+  EXPECT_EQ(WaitStepped(client_, *qt3, World()).status, Status::kOk);
+}
+
+TEST_F(TenantPairTest, InflightWatermarkShedsWithQueueFull) {
+  TenantConfig cfg;
+  cfg.inflight_watermark = 3;
+  ASSERT_EQ(server_.RegisterTenant(5, cfg), Status::kOk);
+
+  // A memory queue keeps pops pending indefinitely — ideal for pinning inflight tokens.
+  auto mq = server_.MemoryQueue();
+  ASSERT_TRUE(mq.ok());
+  ASSERT_EQ(server_.SetQueueTenant(*mq, 5), Status::kOk);
+
+  auto p1 = server_.Pop(*mq);
+  auto p2 = server_.Pop(*mq);
+  auto p3 = server_.Pop(*mq);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(server_.tokens().InflightForTenant(5), 3u);
+
+  auto p4 = server_.Pop(*mq);
+  EXPECT_FALSE(p4.ok());
+  EXPECT_EQ(p4.error(), Status::kQueueFull) << "watermark breach must shed with kQueueFull";
+  EXPECT_GE(server_.tenants().GetStats(5).op_shed, 1u);
+
+  // The control domain (another queue, default tenant) is unaffected.
+  auto mq0 = server_.MemoryQueue();
+  ASSERT_TRUE(mq0.ok());
+  auto p0 = server_.Pop(*mq0);
+  EXPECT_TRUE(p0.ok());
+}
+
+TEST_F(TenantPairTest, TenantBudgetSurfacesAsNoMemoryOnOwnQtokensOnly) {
+  TenantConfig cfg;
+  cfg.mem_budget_bytes = 8 * 1024;
+  ASSERT_EQ(server_.RegisterTenant(9, cfg), Status::kOk);
+  auto [server_conn, client_conn] = ConnectOnce(9, 7300);
+
+  // A push of foreign (non-DMA) memory takes the copy path, which charges the queue's tenant.
+  // 16KB exceeds tenant 9's 8KB budget → kNoMemory on tenant 9's qtoken.
+  std::vector<uint8_t> foreign(16 * 1024, 0x5A);
+  Sgarray sga = Sgarray::Of(foreign.data(), static_cast<uint32_t>(foreign.size()));
+  auto push_qt = server_.Push(server_conn, sga);
+  ASSERT_TRUE(push_qt.ok());
+  QResult r = WaitStepped(server_, *push_qt, World());
+  EXPECT_EQ(r.status, Status::kNoMemory);
+  EXPECT_GE(server_.allocator().GetTenantMemStats(9).denials, 1u);
+
+  // The same push on a control-domain connection succeeds: the heap is not exhausted, only
+  // tenant 9's budget is.
+  auto [server_conn0, client_conn0] = ConnectOnce(kDefaultTenant, 7301);
+  auto push0 = server_.Push(server_conn0, sga);
+  ASSERT_TRUE(push0.ok());
+  EXPECT_EQ(WaitStepped(server_, *push0, World()).status, Status::kOk);
+}
+
+TEST_F(TenantPairTest, DmaMallocForHonorsBudget) {
+  TenantConfig cfg;
+  cfg.mem_budget_bytes = 4 * 1024;
+  ASSERT_EQ(server_.RegisterTenant(8, cfg), Status::kOk);
+  void* ok = server_.DmaMallocFor(8, 2048);
+  EXPECT_NE(ok, nullptr);
+  EXPECT_EQ(server_.DmaMallocFor(8, 4096), nullptr) << "over budget with 2KB already charged";
+  EXPECT_NE(server_.DmaMalloc(4096), nullptr) << "control domain unaffected";
+  server_.DmaFree(ok);
+}
+
+TEST_F(TenantPairTest, TenantMetricsAppearInSnapshot) {
+  ASSERT_EQ(server_.RegisterTenant(2, TenantConfig{}), Status::kOk);
+  bool saw_registered = false;
+  bool saw_labelled = false;
+  for (const auto& s : server_.metrics().Snapshot()) {
+    if (s.name == "tenant.registered") {
+      saw_registered = true;
+      EXPECT_EQ(s.value, 1);
+    }
+    if (s.name == "tenant.mem_used{tenant=2}") {
+      saw_labelled = true;
+    }
+  }
+  EXPECT_TRUE(saw_registered);
+  EXPECT_TRUE(saw_labelled);
+}
+
+// --- DemiSan: cross-tenant access aborts with a tenant-naming diagnostic ---
+
+TEST(TenantDemiSanDeathTest, CrossTenantPushAborts) {
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  PoolAllocator alloc;
+  // At or above kZeroCopyThreshold the push pins the object zero-copy, which is where the
+  // ownership check lives (smaller pushes copy into the accessor's own budget instead).
+  void* p = alloc.AllocFor(2048, /*tenant=*/1);
+  ASSERT_NE(p, nullptr);
+  // Tenant 2 pushes tenant 1's buffer zero-copy: the pin must abort and name both domains.
+  EXPECT_DEATH((void)Buffer::TryFromApp(alloc, p, 2048, /*tenant=*/2),
+               "cross-tenant access.*owner tenant=1 accessor tenant=2");
+#else
+  GTEST_SKIP() << "requires -DDEMI_OWNERSHIP_CHECKS=ON";
+#endif
+}
+
+TEST(TenantDemiSanDeathTest, ControlDomainAndOwnerMayTouchTaggedBuffers) {
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  PoolAllocator alloc;
+  void* p = alloc.AllocFor(512, 1);
+  ASSERT_NE(p, nullptr);
+  // The owning tenant and the control domain both pass the check.
+  alloc.AssertTenantAccess(p, 1, "owner access");
+  alloc.AssertTenantAccess(p, kDefaultTenant, "control-domain access");
+  alloc.Free(p);
+#else
+  GTEST_SKIP() << "requires -DDEMI_OWNERSHIP_CHECKS=ON";
+#endif
+}
+
+}  // namespace
+}  // namespace demi
