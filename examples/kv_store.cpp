@@ -91,7 +91,7 @@ int main() {
               static_cast<unsigned long long>(kv.stats().sets),
               static_cast<unsigned long long>(kv.stats().gets),
               static_cast<unsigned long long>(kv.stats().hits),
-              static_cast<unsigned long long>(disk.stats().bytes_written));
+              static_cast<unsigned long long>(disk.GetStats().bytes_written));
   (void)client.Close(*sock);  // process exit tears the queue down either way
   return 0;
 }

@@ -5,9 +5,11 @@
 #   2. the unit/integration test suite, including the perf smoke gates (perf_smoke_tcp,
 #      perf_smoke_multicore — self-skips on hosts with < 4 hardware threads —
 #      perf_smoke_c1m, the 100k-flow scaling gate from docs/SCALING.md, which self-skips
-#      on memory-starved hosts, and perf_smoke_tenant, the deterministic noisy-neighbor
-#      isolation gate from docs/TENANCY.md) plus the tenant isolation and chaos suites
-#      (tenant_test, tenant_chaos_test);
+#      on memory-starved hosts, perf_smoke_tenant, the deterministic noisy-neighbor
+#      isolation gate from docs/TENANCY.md, and perf_smoke_splice, the zero-copy
+#      network×storage splice goodput gate from docs/STORAGE.md) plus the tenant and
+#      splice chaos suites (tenant_test, tenant_chaos_test, splice_test,
+#      splice_chaos_test);
 #   3. the lint label (demilint over the tree, its fixture selftest, check_docs);
 #   4. clang-tidy, when installed (skips gracefully otherwise);
 #   5. the sanitizer sweep (ASan, UBSan, targeted TSan, targeted DemiSan for the

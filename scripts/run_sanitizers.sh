@@ -37,8 +37,11 @@ cmake --build "$bdir" -j "$JOBS" --target apps_test shard_test timer_wheel_test 
 # The 2-worker shard runs: every cross-core seam (per-queue delivery locks, SPSC descriptor
 # rings, shared fabric stats) executes under TSan here. This filter includes the sharded
 # tenant suite (ShardGroupTest.ShardedEchoUnderTenantAccountsEveryShard: per-shard tenant
-# registration + TX scheduling while client threads hammer the shared NIC) and the
-# shutdown-drain regression (StopWithInflightPopsDrainsTokensAndBuffers).
+# registration + TX scheduling while client threads hammer the shared NIC), the
+# shutdown-drain regression (StopWithInflightPopsDrainsTokensAndBuffers), and the
+# partitioned-storage cases (MultiWorkerStoragePartitioned*: per-shard log partitions
+# appending to one device whose only cross-core word is the shared allocation epoch —
+# docs/STORAGE.md).
 "$bdir/tests/shard_test" --gtest_filter='ShardGroup*'
 # The timer wheel is shard-local by design (one wheel per scheduler, no locks). Running its
 # suite under TSan documents and enforces that contract: any future cross-thread sharing of

@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Used by the log record format
+// (docs/STORAGE.md): recovery must distinguish a fully durable record from the prefix a torn
+// write left on the media, which magic+length alone cannot do.
+
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace demi {
+
+namespace crc32_internal {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; k++) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+// Incremental form: pass the previous return value as `seed` to continue a running CRC across
+// discontiguous spans (the scatter-gather append CRCs each payload slice in place).
+inline uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; i++) {
+    c = crc32_internal::kTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_CRC32_H_

@@ -61,6 +61,15 @@ class LibOS {
   // Asks for the next incoming operation; the qtoken completes with an app-owned sga.
   virtual Result<QToken> Pop(QueueDesc qd) = 0;
 
+  // Splice: moves a stream between two queues inside the libOS with no application-visible
+  // copy — pop src, push the same Buffer views into dst (sendfile, §5.3's zero-copy goal
+  // applied across devices). Runs until src reports end-of-stream (TCP FIN, log tail); the
+  // qtoken then completes with QResult::bytes = total payload moved. LibOSes without a
+  // device pair that can splice return kNotSupported.
+  virtual Result<QToken> Splice(QueueDesc src_qd, QueueDesc dst_qd) {
+    return Status::kNotSupported;
+  }
+
   // --- wait_*: PDPIX's epoll replacement (§4.2) ---
   // Blocks the calling thread, donating it to the libOS scheduler, until `qt` completes.
   // timeout 0 = wait forever.

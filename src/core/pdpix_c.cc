@@ -66,6 +66,7 @@ demi_qresult_t ToC(const QResult& r) {
     case OpCode::kPop: out.opcode = DEMI_OPC_POP; break;
     case OpCode::kAccept: out.opcode = DEMI_OPC_ACCEPT; break;
     case OpCode::kConnect: out.opcode = DEMI_OPC_CONNECT; break;
+    case OpCode::kSplice: out.opcode = DEMI_OPC_SPLICE; break;
     default: out.opcode = DEMI_OPC_INVALID; break;
   }
   out.qd = r.qd;
@@ -73,6 +74,7 @@ demi_qresult_t ToC(const QResult& r) {
   out.sga = ToC(r.sga);
   out.remote = {r.remote.ip.value, r.remote.port};
   out.new_qd = r.new_qd;
+  out.bytes = r.bytes;
   return out;
 }
 
@@ -187,6 +189,14 @@ demi_qtoken_t demi_pop(demi_qd_t qd) {
     return 0;
   }
   auto r = g_current_libos->Pop(qd);
+  return r.ok() ? *r : 0;
+}
+
+demi_qtoken_t demi_splice(demi_qd_t src_qd, demi_qd_t dst_qd) {
+  if (g_current_libos == nullptr) {
+    return 0;
+  }
+  auto r = g_current_libos->Splice(src_qd, dst_qd);
   return r.ok() ? *r : 0;
 }
 

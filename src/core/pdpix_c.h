@@ -46,6 +46,7 @@ typedef enum demi_opcode {
   DEMI_OPC_POP,
   DEMI_OPC_ACCEPT,
   DEMI_OPC_CONNECT,
+  DEMI_OPC_SPLICE,
 } demi_opcode_t;
 
 typedef struct demi_qresult {
@@ -55,6 +56,7 @@ typedef struct demi_qresult {
   demi_sgarray_t sga;      /* pop: app-owned buffers */
   demi_sockaddr_t remote;  /* accept/pop(udp): peer */
   demi_qd_t new_qd;        /* accept: connection queue */
+  uint64_t bytes;          /* splice: total payload bytes moved */
 } demi_qresult_t;
 
 /* Queue creation and management. type: 0 = stream (SOCK_STREAM), 1 = datagram (SOCK_DGRAM). */
@@ -74,6 +76,10 @@ demi_qtoken_t demi_push(demi_qd_t qd, const demi_sgarray_t* sga);
 demi_qtoken_t demi_pushto(demi_qd_t qd, const demi_sgarray_t* sga,
                           const demi_sockaddr_t* addr);
 demi_qtoken_t demi_pop(demi_qd_t qd);
+/* Zero-copy in-libOS stream move (sendfile): runs until src's end of stream, then the qtoken
+ * completes with bytes = total payload moved. Supported pairs are libOS-specific (the
+ * integrated network x storage libOSes splice TCP connections and log files either way). */
+demi_qtoken_t demi_splice(demi_qd_t src_qd, demi_qd_t dst_qd);
 
 /* Notification. timeout_ns 0 = wait forever. */
 int demi_wait(demi_qresult_t* out, demi_qtoken_t qt, uint64_t timeout_ns);

@@ -16,11 +16,13 @@ ShardGroup::ShardGroup(SimNetwork& network, Clock& clock, const Options& options
   if (options_.num_workers == 0) {
     options_.num_workers = 1;
   }
-  // The shared log device is single-consumer; the "per-shard Cattree partitions" ROADMAP item
-  // lifts this by giving each shard its own log partition.
-  DEMI_CHECK_MSG(options_.base.disk == nullptr || options_.num_workers == 1,
-                 "ShardGroup: storage requires num_workers=1 until per-shard Cattree "
-                 "partitions land (see ROADMAP.md)");
+  if (options_.base.disk != nullptr && options_.num_workers > 1) {
+    // Partition the shared log device: each shard gets one contiguous block range and one
+    // device completion queue; a shared epoch orders records across partitions so recovery
+    // stitches them back into one history (docs/STORAGE.md).
+    plog_ = std::make_unique<PartitionedLog>(*options_.base.disk, options_.num_workers);
+    plog_->RecoverAll();
+  }
   shards_.resize(options_.num_workers);
 }
 
@@ -47,6 +49,11 @@ void ShardGroup::WorkerMain(size_t shard_id) {
   cfg.num_workers = options_.num_workers;
   cfg.queue_id = shard_id;
   cfg.shared_nic = &nic_;
+  if (plog_ != nullptr) {
+    cfg.disk_partition = plog_->partition(shard_id);
+    cfg.log_epoch = &plog_->epoch();
+    cfg.recover_log = true;  // RecoverAll already scanned; this rebuilds the shard's tail cache
+  }
   auto os = std::make_unique<Catnip>(network_, cfg, clock_);
   for (const auto& [ip, mac] : options_.static_arp) {
     os->ethernet().arp().Insert(ip, mac);
@@ -122,11 +129,14 @@ std::vector<MetricsRegistry::Sample> ShardGroup::AggregateSnapshot() const {
       continue;
     }
     for (const MetricsRegistry::Sample& s : shards_[i]->metrics().Snapshot()) {
-      if (s.name == "shard.id" || s.name == "nic.queue_id") {
+      if (s.name == "shard.id" || s.name == "nic.queue_id" || s.name == "log.partition_id") {
         continue;  // per-shard identity, meaningless summed
       }
       if (s.component == "net" && i != 0) {
         continue;  // fabric-global counter, identical in every shard's view: count it once
+      }
+      if (plog_ != nullptr && s.component == "blockdev" && i != 0) {
+        continue;  // the shared device's counters are identical in every shard: count once
       }
       MetricsRegistry::Sample* agg = find(s.name);
       if (agg == nullptr) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/liboses/catnip.h"
+#include "src/storage/partitioned_log.h"
 
 namespace demi {
 
@@ -40,8 +41,11 @@ class ShardGroup {
   struct Options {
     size_t num_workers = 1;
     // Per-shard Catnip template: mac/ip/tcp/checksum/rx_burst are shared by all shards;
-    // num_workers, queue_id and shared_nic are overwritten per shard. Storage (base.disk) is
-    // only supported single-worker — the log device is not partitioned yet (ROADMAP).
+    // num_workers, queue_id, shared_nic and (with storage) disk_partition/log_epoch are
+    // overwritten per shard. With base.disk set and num_workers > 1, the group partitions the
+    // log device: each shard's Cattree engine owns one contiguous block range and one device
+    // completion queue, with record epochs drawn from a shared counter so recovery can stitch
+    // the partitions back into one ordered history (docs/STORAGE.md).
     Catnip::Config base;
     // Static ARP entries installed on every shard before its worker runs. Required for
     // num_workers > 1: RSS steers ARP (non-IPv4) to queue 0 only, so shards run with a warm
@@ -77,6 +81,9 @@ class ShardGroup {
   // Valid between Start() and destruction. Shard i is owned by worker thread i; cross-thread
   // access is only safe before Start or after Join.
   Catnip& shard(size_t i) { return *shards_[i]; }
+  // Non-null when storage runs partitioned (base.disk set with num_workers > 1). Exposed so
+  // tests can inspect partition geometry and perform stitched recovery checks.
+  PartitionedLog* partitioned_log() { return plog_.get(); }
 
   // --- Quiesced metric views (call after Join) ---
 
@@ -94,6 +101,9 @@ class ShardGroup {
   Clock& clock_;
   Options options_;
   SimNic nic_;  // the one multi-queue device all shards share
+  // Partition geometry + shared allocation epoch for the one log device all shards share;
+  // null single-worker (the shard owns the whole device, the classic layout).
+  std::unique_ptr<PartitionedLog> plog_;
   std::atomic<bool> stop_{false};
   WorkerFn fn_;
   std::vector<std::unique_ptr<Catnip>> shards_;  // slot i published by worker i

@@ -58,7 +58,7 @@ struct Sgarray {
   }
 };
 
-enum class OpCode : uint8_t { kInvalid, kPush, kPop, kAccept, kConnect };
+enum class OpCode : uint8_t { kInvalid, kPush, kPop, kAccept, kConnect, kSplice };
 
 // Completion record returned by wait_*; the qevent of the PDPIX API.
 struct QResult {
@@ -72,6 +72,8 @@ struct QResult {
   SocketAddress remote;
   // accept: descriptor of the new connection queue.
   QueueDesc new_qd = kInvalidQd;
+  // splice: total payload bytes moved end to end before the op completed.
+  uint64_t bytes = 0;
 };
 
 }  // namespace demi

@@ -46,11 +46,41 @@ Catnip::Catnip(SimNetwork& network, const Config& config, Clock& clock)
   tcp_.SetObservability(&metrics_, &tracer_);
   tcp_.SetTenantTable(&tenants_);
   if (config.disk != nullptr) {
-    storage_ = std::make_unique<StorageQueueEngine>(*config.disk, sched_, alloc_, tokens_);
-    disk_ = config.disk;
-    disk_->RegisterMetrics(metrics_);
-    disk_->SetTracer(&tracer_);
+    storage_ = std::make_unique<StorageQueueEngine>(*config.disk, sched_, alloc_, tokens_,
+                                                   config.disk_partition, config.log_epoch);
+    if (config.log_epoch == nullptr) {
+      // Sole owner of the device: attach tracer and register the device-wide counters. In the
+      // partitioned layout the device is shared across worker threads; its tracer ring is not
+      // thread-safe and ShardGroup registers device metrics through shard 0's view instead.
+      disk_ = config.disk;
+      disk_->RegisterMetrics(metrics_);
+      disk_->SetTracer(&tracer_);
+    } else {
+      config.disk->RegisterMetrics(metrics_);
+    }
+    if (config.recover_log) {
+      const Status rs = storage_->log().Recover();
+      DEMI_CHECK_MSG(rs == Status::kOk, "log partition recovery failed");
+      DEMI_LOG_DEBUG("catnip: recovered log partition %u, tail=%llu",
+                     storage_->log().partition().id,
+                     static_cast<unsigned long long>(storage_->log().tail()));
+    }
     storage_->log().RegisterMetrics(metrics_);
+    metrics_.RegisterCallback("splice.ops", "splice", "ops",
+                              "Completed splice operations",
+                              [this] { return splice_stats_.ops; });
+    metrics_.RegisterCallback("splice.active", "splice", "ops",
+                              "Splice operations currently running",
+                              [this] { return splice_stats_.active; });
+    metrics_.RegisterCallback("splice.bytes", "splice", "bytes",
+                              "Payload bytes moved end to end by splices",
+                              [this] { return splice_stats_.bytes; });
+    metrics_.RegisterCallback("splice.records", "splice", "records",
+                              "Log records written or read on behalf of splices",
+                              [this] { return splice_stats_.records; });
+    metrics_.RegisterCallback("splice.bounce_bytes", "splice", "bytes",
+                              "Payload bytes the log had to flatten instead of gather-DMA",
+                              [this] { return storage_->log().stats().bounce_bytes; });
   }
   sched_.Spawn(FastPathFiber());
 }
@@ -575,6 +605,185 @@ Task<void> Catnip::PopMemOp(QueueDesc qd, QToken qt, std::shared_ptr<MemChannel>
     }
     co_await mem->readable.Wait();
   }
+}
+
+// --- Splice (docs/STORAGE.md) ---
+
+Result<QToken> Catnip::Splice(QueueDesc src_qd, QueueDesc dst_qd) {
+  QueueState* src = Find(src_qd);
+  QueueState* dst = Find(dst_qd);
+  if (src == nullptr || src->closing || dst == nullptr || dst->closing) {
+    return Status::kBadQueueDescriptor;
+  }
+  if (storage_ == nullptr) {
+    return Status::kNotSupported;  // splice needs the integrated Catnip×Cattree build
+  }
+  if (ShedOp(src->tenant)) {
+    return Status::kQueueFull;
+  }
+  if (src->kind == QKind::kTcpConn && dst->kind == QKind::kFile) {
+    const QToken qt = tokens_.Allocate(OpCode::kSplice, src_qd, src->tenant);
+    tracer_.Record(TraceEventType::kSpliceStart, static_cast<uint32_t>(src_qd),
+                   static_cast<uint64_t>(dst_qd));
+    splice_stats_.active++;
+    auto st = std::make_shared<SpliceState>();
+    sched_.Spawn(SpliceAppendFiber(st));
+    sched_.Spawn(SpliceNetToDiskOp(src_qd, qt, src->conn, std::move(st)));
+    return qt;
+  }
+  if (src->kind == QKind::kFile && dst->kind == QKind::kTcpConn) {
+    const QToken qt = tokens_.Allocate(OpCode::kSplice, src_qd, src->tenant);
+    tracer_.Record(TraceEventType::kSpliceStart, static_cast<uint32_t>(src_qd),
+                   static_cast<uint64_t>(dst_qd));
+    splice_stats_.active++;
+    sched_.Spawn(SpliceDiskToNetOp(src_qd, qt, dst->conn, src->file_cursor));
+    return qt;
+  }
+  return Status::kNotSupported;  // only (TCP connection, file) pairs can splice
+}
+
+// Producer half of a TCP→disk splice: drains ready views off the connection into bounded
+// batches and hands them to the appender. Never copies — the batch holds references to the
+// same heap objects the NIC delivered into.
+Task<void> Catnip::SpliceNetToDiskOp(QueueDesc src_qd, QToken qt,
+                                     std::shared_ptr<TcpConnection> conn,
+                                     std::shared_ptr<SpliceState> st) {
+  for (;;) {
+    if (st->status != Status::kOk) {
+      break;  // the appender hit a terminal disk error
+    }
+    if (conn->HasReadyData()) {
+      SpliceBatch batch;
+      while (batch.bytes < kSpliceBatchBytes && batch.views.size() < kSpliceBatchMaxSlices &&
+             conn->HasReadyData()) {
+        auto data = conn->PopData();
+        DEMI_CHECK(data.has_value());
+        data->NoteOwner(src_qd, qt);
+        batch.bytes += data->size();
+        batch.views.push_back(std::move(*data));
+      }
+      while (st->batches.size() >= kSpliceMaxQueuedBatches && st->status == Status::kOk) {
+        co_await st->batch_space.Wait();  // pipeline full: let the appender drain
+      }
+      if (st->status != Status::kOk) {
+        break;
+      }
+      tracer_.Record(TraceEventType::kSpliceBatch, static_cast<uint32_t>(batch.views.size()),
+                     batch.bytes);
+      st->batches.push_back(std::move(batch));
+      st->batch_ready.Notify();
+      continue;
+    }
+    if (conn->EndOfStream()) {
+      break;  // FIN received and every byte consumed: clean end of the splice
+    }
+    if (conn->state() == TcpState::kClosed) {
+      if (st->status == Status::kOk && conn->error() != Status::kOk) {
+        st->status = conn->error();
+      }
+      break;
+    }
+    co_await conn->readable().Wait();
+  }
+  st->producer_done = true;
+  st->batch_ready.Notify();
+  while (!st->appender_done) {
+    co_await st->appender_finished.Wait();
+  }
+  splice_stats_.ops++;
+  splice_stats_.active--;
+  tracer_.Record(TraceEventType::kSpliceDone, st->status == Status::kOk ? 0 : 1, st->bytes);
+  QResult r;
+  r.status = st->status;
+  r.bytes = st->bytes;
+  CompleteToken(qt, r);
+}
+
+// Consumer half: gather-appends each batch as one log record. While this coroutine awaits the
+// device, the producer keeps popping the connection — the pipelining that overlaps disk
+// latency with transmission.
+Task<void> Catnip::SpliceAppendFiber(std::shared_ptr<SpliceState> st) {
+  while (!(st->batches.empty() && st->producer_done)) {
+    if (st->batches.empty()) {
+      co_await st->batch_ready.Wait();
+      continue;
+    }
+    SpliceBatch batch = std::move(st->batches.front());
+    st->batches.pop_front();
+    st->batch_space.Notify();
+    if (st->status != Status::kOk) {
+      continue;  // drain (and release) remaining batches after a terminal error
+    }
+    std::vector<std::span<const uint8_t>> slices;
+    slices.reserve(batch.views.size());
+    for (const Buffer& b : batch.views) {
+      slices.emplace_back(b.data(), b.size());
+    }
+    auto result = co_await storage_->log().AppendSg(slices);
+    if (!result.ok()) {
+      st->status = result.error();
+      st->batch_space.Notify();  // wake a producer parked on the full pipeline
+    } else {
+      st->bytes += batch.bytes;
+      st->records++;
+      splice_stats_.bytes += batch.bytes;
+      splice_stats_.records++;
+    }
+    // batch.views destruct here: the TCP rx buffers release only after the record is durable.
+  }
+  st->appender_done = true;
+  st->appender_finished.Notify();
+}
+
+// disk→net: read each record into one pooled allocation and push the payload view into the
+// connection; the NIC transmits straight from log-read memory. Backpressure bounds the send
+// backlog so a slow receiver cannot balloon the heap.
+Task<void> Catnip::SpliceDiskToNetOp(QueueDesc src_qd, QToken qt,
+                                     std::shared_ptr<TcpConnection> conn, uint64_t cursor) {
+  Status status = Status::kOk;
+  uint64_t total = 0;
+  uint64_t records = 0;
+  for (;;) {
+    auto result = co_await storage_->log().ReadZc(cursor, alloc_);
+    if (!result.ok()) {
+      if (result.error() != Status::kEndOfFile) {
+        status = result.error();  // reaching the tail is the clean end of the splice
+      }
+      break;
+    }
+    cursor = result->next_cursor;
+    const uint64_t len = result->payload.size();
+    while (conn->SendBacklogBytes() > kSpliceTxHighWater &&
+           conn->state() == TcpState::kEstablished) {
+      co_await Scheduler::Yield{};
+    }
+    if (conn->state() == TcpState::kClosed) {
+      status = conn->error() == Status::kOk ? Status::kConnectionReset : conn->error();
+      break;
+    }
+    result->payload.NoteOwner(src_qd, qt);
+    tracer_.Record(TraceEventType::kSpliceBatch, 1, len);
+    const Status push = conn->Push(std::move(result->payload));
+    if (push != Status::kOk) {
+      status = push;
+      break;
+    }
+    total += len;
+    records++;
+  }
+  QueueState* q = Find(src_qd);
+  if (q != nullptr && q->kind == QKind::kFile) {
+    q->file_cursor = cursor;  // the next pop/splice on this queue resumes where we stopped
+  }
+  splice_stats_.ops++;
+  splice_stats_.active--;
+  splice_stats_.bytes += total;
+  splice_stats_.records += records;
+  tracer_.Record(TraceEventType::kSpliceDone, status == Status::kOk ? 0 : 1, total);
+  QResult r;
+  r.status = status;
+  r.bytes = total;
+  CompleteToken(qt, r);
 }
 
 // --- Storage and memory queues ---

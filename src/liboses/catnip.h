@@ -50,6 +50,15 @@ class Catnip final : public LibOS {
     // When set, this instance attaches to an existing multi-queue NIC instead of creating its
     // own — how ShardGroup gives every worker the same port. The NIC must outlive the libOS.
     SimNic* shared_nic = nullptr;
+    // --- Storage partitioning (multi-worker Catnip×Cattree; docs/STORAGE.md) ---
+    // The log partition this shard's storage engine owns. The default is the whole device (the
+    // classic single-worker layout); ShardGroup assigns each worker its PartitionedLog range.
+    LogPartition disk_partition{};
+    // Allocation epoch shared across every partition of `disk` (owned by PartitionedLog). When
+    // set, the device is multi-owner: this instance must not attach its tracer to it.
+    std::atomic<uint64_t>* log_epoch = nullptr;
+    // Rebuild the log's head/tail from the media at construction (the restart/recovery path).
+    bool recover_log = false;
   };
 
   Catnip(SimNetwork& network, const Config& config, Clock& clock);
@@ -69,6 +78,12 @@ class Catnip final : public LibOS {
   Result<QToken> Push(QueueDesc qd, const Sgarray& sga) override;
   Result<QToken> PushTo(QueueDesc qd, const Sgarray& sga, SocketAddress to) override;
   Result<QToken> Pop(QueueDesc qd) override;
+  // Zero-copy splice (docs/STORAGE.md): TCP→file pops registered Buffer views off the
+  // connection and gather-DMAs them into the log (pipelined: the next batch is popped while
+  // the previous one is in flight on the disk); file→TCP reads each record into one pool
+  // allocation and pushes the payload view into the connection. Requires the integrated
+  // Catnip×Cattree build (a disk) and a (kTcpConn, kFile) queue pair in either order.
+  Result<QToken> Splice(QueueDesc src_qd, QueueDesc dst_qd) override;
   // Assigns a queue to an isolation domain: its qtokens, buffers, and TX frames are charged to
   // that tenant, and accepted connections inherit the listener's tenant.
   [[nodiscard]] Status SetQueueTenant(QueueDesc qd, TenantId tenant) override;
@@ -88,6 +103,45 @@ class Catnip final : public LibOS {
     std::deque<Buffer> items;
     Event readable;
     bool closed = false;
+  };
+
+  // One in-flight unit of a TCP→disk splice: the popped views travel to the log untouched.
+  struct SpliceBatch {
+    std::vector<Buffer> views;
+    size_t bytes = 0;
+  };
+
+  // Shared between the popper (producer) and appender (consumer) coroutines of one splice op.
+  // The bounded batch queue is the pipeline: while the appender awaits disk durability for one
+  // batch, the producer keeps draining the connection, so disk latency overlaps transmission.
+  struct SpliceState {
+    std::deque<SpliceBatch> batches;
+    Event batch_ready;
+    Event batch_space;
+    Event appender_finished;
+    bool producer_done = false;
+    bool appender_done = false;
+    Status status = Status::kOk;
+    uint64_t bytes = 0;    // durable payload bytes
+    uint64_t records = 0;  // log records written
+  };
+
+  // Batch sizing: bytes stay under the largest pooled size class even after MSS rounding and
+  // block alignment (so the reverse ReadZc span allocation recycles, keeping the heap flat)
+  // and slices stay under the device SGL limit (so AppendSg never has to flatten —
+  // splice.bounce_bytes == 0 on the happy path). 48 kB also amortizes the device's per-op
+  // write latency enough that the append pipeline outruns a 10 Gbps wire.
+  static constexpr size_t kSpliceBatchBytes = 48 * 1024;
+  static constexpr size_t kSpliceBatchMaxSlices = 64;
+  static constexpr size_t kSpliceMaxQueuedBatches = 8;
+  // disk→net backpressure: pause reads while the connection's send backlog is above this.
+  static constexpr size_t kSpliceTxHighWater = 256 * 1024;
+
+  struct SpliceStats {
+    uint64_t ops = 0;     // completed splice operations
+    uint64_t active = 0;  // currently running splice operations
+    uint64_t bytes = 0;   // payload bytes moved end to end
+    uint64_t records = 0; // log records written or read on behalf of splices
   };
 
   enum class QKind : uint8_t {
@@ -131,6 +185,12 @@ class Catnip final : public LibOS {
   Task<void> PopTcpOp(QueueDesc qd, QToken qt, std::shared_ptr<TcpConnection> conn);
   Task<void> PopUdpOp(QueueDesc qd, QToken qt);
   Task<void> PopMemOp(QueueDesc qd, QToken qt, std::shared_ptr<MemChannel> mem);
+  Task<void> SpliceNetToDiskOp(QueueDesc src_qd, QToken qt,
+                               std::shared_ptr<TcpConnection> conn,
+                               std::shared_ptr<SpliceState> st);
+  Task<void> SpliceAppendFiber(std::shared_ptr<SpliceState> st);
+  Task<void> SpliceDiskToNetOp(QueueDesc src_qd, QToken qt,
+                               std::shared_ptr<TcpConnection> conn, uint64_t cursor);
 
   // Completes a TCP pop from ready data (fast path and coroutine tail share this).
   void CompleteTcpPop(QToken qt, QueueDesc qd, TcpConnection& conn);
@@ -146,6 +206,7 @@ class Catnip final : public LibOS {
   std::deque<QueueDesc> deferred_close_;
   uint32_t reap_interval_ = 1024;
   bool shutdown_ = false;
+  SpliceStats splice_stats_;
 };
 
 }  // namespace demi

@@ -18,9 +18,13 @@ namespace demi {
 
 class StorageQueueEngine {
  public:
+  // `partition`/`epoch` select the block range and shared allocation epoch this engine's log
+  // owns (multi-worker Catnip×Cattree; see src/storage/partitioned_log.h). The defaults give
+  // the classic whole-device single-worker log.
   StorageQueueEngine(SimBlockDevice& disk, Scheduler& sched, PoolAllocator& alloc,
-                     QTokenTable& tokens)
-      : log_(disk, sched), alloc_(alloc), tokens_(tokens) {}
+                     QTokenTable& tokens, const LogPartition& partition = {},
+                     std::atomic<uint64_t>* epoch = nullptr)
+      : log_(disk, sched, partition, epoch), alloc_(alloc), tokens_(tokens) {}
 
   LogDevice& log() { return log_; }
   void Poll() { log_.PollDevice(); }

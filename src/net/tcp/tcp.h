@@ -182,6 +182,11 @@ class TcpConnection {
   const ConnStats& conn_stats() const;
   const RttEstimator& rtt_estimator() const { return rtt_; }
   size_t BytesInFlight() const { return cold_ == nullptr ? 0 : cold_->bytes_inflight; }
+  // Bytes accepted by Push but not yet acked (unsent + in flight); splice's disk→net
+  // backpressure signal — reading past this watermark would only grow the send queues.
+  size_t SendBacklogBytes() const {
+    return cold_ == nullptr ? 0 : cold_->unsent_bytes + cold_->bytes_inflight;
+  }
   size_t cwnd() const { return cold_ == nullptr ? 0 : cold_->cc->cwnd(); }
   // Wire payload budget per segment (MSS minus negotiated option overhead); what the
   // coalescer fills to and the "full-sized segment" threshold of the ack policy.

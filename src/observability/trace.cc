@@ -59,6 +59,12 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "tenant_tx_throttle";
     case TraceEventType::kFaultTenantDrop:
       return "fault_tenant_drop";
+    case TraceEventType::kSpliceStart:
+      return "splice_start";
+    case TraceEventType::kSpliceBatch:
+      return "splice_batch";
+    case TraceEventType::kSpliceDone:
+      return "splice_done";
   }
   return "unknown";
 }

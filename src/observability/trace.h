@@ -48,6 +48,10 @@ enum class TraceEventType : uint8_t {
   kTenantOpShed,       // arg1 = tenant id, arg2 = inflight qtokens at the watermark
   kTenantTxThrottle,   // arg1 = tenant id, arg2 = frame bytes queued behind the bucket
   kFaultTenantDrop,    // arg1 = tenant id, arg2 = frame bytes
+  // Zero-copy network×storage splice (docs/STORAGE.md).
+  kSpliceStart,        // arg1 = source queue descriptor, arg2 = destination queue descriptor
+  kSpliceBatch,        // arg1 = slices in the batch, arg2 = payload bytes
+  kSpliceDone,         // arg1 = 0 ok / 1 error, arg2 = total payload bytes moved
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -5,19 +5,29 @@
 // completes (durability), which Cattree awaits from an application coroutine while the fast-path
 // coroutine polls device completions — the SPDK interaction pattern the paper describes.
 //
-// On-device format: a sequence of records, each
-//   [magic u32][payload_len u32][payload bytes][zero padding to 8-byte alignment]
-// Recovery scans records from offset 0 until the magic breaks.
+// On-device format (docs/STORAGE.md): a sequence of records, each
+//   [magic u32][payload_len u32][epoch u64][payload_crc u32][header_crc u32]
+//   [payload bytes][zero padding to 8-byte alignment]
+// plus 8-byte pad markers ([pad magic u32][skip u32]) that block-align scatter-gather records.
+// Recovery scans from offset 0 and accepts a record only if both CRCs verify and its epoch is
+// strictly greater than the previous record's — a torn write (prefix on media, error returned)
+// can forge magic+length but not the payload CRC, so recovery stops at the last durable record.
+//
+// Partitioning: a LogDevice may own a contiguous block range of a shared device (LogPartition)
+// with an allocation epoch shared across all partitions; see PartitionedLog for the coordinator
+// that carves the ranges and stitches recovery back together in epoch order.
 
 #ifndef SRC_STORAGE_LOG_DEVICE_H_
 #define SRC_STORAGE_LOG_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/memory/buffer.h"
 #include "src/runtime/event.h"
 #include "src/runtime/scheduler.h"
 #include "src/runtime/task.h"
@@ -27,22 +37,52 @@ namespace demi {
 
 class MetricsRegistry;
 
+// A contiguous block range of a shared device owned by one LogDevice (one shard). The default
+// (num_blocks = 0) means "the whole device", which is the classic single-worker layout.
+struct LogPartition {
+  uint64_t first_block = 0;
+  uint64_t num_blocks = 0;  // 0 = to the end of the device
+  uint32_t id = 0;          // shard index; doubles as the device completion queue
+};
+
 class LogDevice {
  public:
-  LogDevice(SimBlockDevice& device, Scheduler& scheduler);
+  // `epoch` is the allocation epoch shared across every partition of one device (stamped into
+  // each record header; recovery orders cross-partition records by it). Null uses a private
+  // counter — correct for a sole whole-device log.
+  LogDevice(SimBlockDevice& device, Scheduler& scheduler, const LogPartition& partition = {},
+            std::atomic<uint64_t>* epoch = nullptr);
 
   struct ReadResult {
     std::vector<uint8_t> payload;
     uint64_t next_cursor;
   };
 
+  // Zero-copy read: the payload is a view into one pool allocation covering the record's
+  // blocks — no payload memcpy between the device and the consumer (e.g. a TCP push).
+  struct ZcReadResult {
+    Buffer payload;
+    uint64_t next_cursor = 0;
+  };
+
   // Appends one record; resumes when the write is durable on the device. Returns the record's
   // byte offset. Appends from multiple coroutines are serialized internally.
   Task<Result<uint64_t>> Append(std::span<const uint8_t> payload);
 
-  // Reads the record at `cursor`; fails with kEndOfFile at the tail, kProtocolError on a
-  // corrupt header, kInvalidArgument below the GC head.
+  // Scatter-gather append: one record whose payload is the concatenation of `slices`, written
+  // via the device's gather DMA — the payload bytes are never copied host-side. The record is
+  // placed on a block boundary (pad markers fill the gaps) so the tail-block cache never needs
+  // payload bytes. Slices must stay valid until the task completes (the awaiting splice op
+  // holds the Buffer references). Returns the record's byte offset.
+  Task<Result<uint64_t>> AppendSg(std::span<const std::span<const uint8_t>> slices);
+
+  // Reads the record at `cursor` (skipping pad markers); fails with kEndOfFile at the tail,
+  // kProtocolError on a corrupt header/CRC, kInvalidArgument below the GC head.
   Task<Result<ReadResult>> Read(uint64_t cursor);
+
+  // As Read, but the payload comes back as a Buffer view over a single pool allocation the
+  // device DMAed into (disk→NIC splice path). kNoMemory when the heap can't cover the span.
+  Task<Result<ZcReadResult>> ReadZc(uint64_t cursor, PoolAllocator& alloc);
 
   // Logical garbage collection: records below `offset` become unreadable.
   [[nodiscard]] Status Truncate(uint64_t offset);
@@ -57,9 +97,23 @@ class LogDevice {
 
   uint64_t head() const { return head_; }
   uint64_t tail() const { return tail_; }
+  const LogPartition& partition() const { return part_; }
+  uint64_t CapacityBytes() const { return part_bytes_; }
 
-  // Rebuilds head_/tail_ by scanning the device (crash-recovery path, synchronous).
+  // Rebuilds head_/tail_ by scanning this partition (crash-recovery path, synchronous). Only
+  // CRC-verified records with strictly increasing epochs count; a torn prefix is not recovered.
   [[nodiscard]] Status Recover();
+
+  // One recovered record's location (shared by Recover and PartitionedLog::RecoverAll).
+  struct RecordInfo {
+    uint64_t offset = 0;  // partition-relative byte offset of the header
+    uint32_t len = 0;     // payload bytes
+    uint64_t epoch = 0;
+  };
+  // Synchronous media scan of `partition` applying the recovery rules; appends accepted
+  // records to `out` (may be null) and returns the rebuilt tail offset.
+  static uint64_t ScanPartition(const SimBlockDevice& device, const LogPartition& partition,
+                                std::vector<RecordInfo>* out);
 
   // Bounded exponential backoff applied to transient device I/O errors (injected faults, flaky
   // media). After 1 + max_retries failed attempts the last error becomes terminal and
@@ -75,16 +129,25 @@ class LogDevice {
   struct Stats {
     uint64_t io_retries = 0;          // transient device errors absorbed by backoff+retry
     uint64_t io_terminal_errors = 0;  // retry budget exhausted; error surfaced to the caller
+    uint64_t sg_appends = 0;          // scatter-gather (splice) records written
+    uint64_t pad_bytes = 0;           // alignment pad bytes written around SG records
+    uint64_t bounce_bytes = 0;        // payload bytes the SG path had to flatten host-side
+                                      // (slice count over the device SGL limit); 0 = zero-copy
+    uint64_t last_epoch = 0;          // epoch stamped into the most recent append
   };
   const Stats& stats() const { return stats_; }
 
-  // Exposes the retry counters as `log.*` metrics (see docs/OBSERVABILITY.md).
+  // Exposes the retry counters and partition identity as `log.*` metrics
+  // (see docs/OBSERVABILITY.md).
   void RegisterMetrics(MetricsRegistry& registry);
+
+  static constexpr size_t kHeaderSize = 24;
 
  private:
   static constexpr uint32_t kRecordMagic = 0x4C4F4752;  // "LOGR"
-  static constexpr size_t kHeaderSize = 8;
+  static constexpr uint32_t kPadMagic = 0x4C4F4750;     // "LOGP"
   static constexpr size_t kAlign = 8;
+  static constexpr size_t kPadHeaderSize = 8;
 
   struct IoWait {
     bool done = false;
@@ -95,19 +158,32 @@ class LogDevice {
   // One submission attempt: retries while the device queue is full, then awaits the completion
   // and returns its status.
   Task<Status> SubmitOnceAndWait(bool is_read, uint64_t lba, std::span<const uint8_t> data,
+                                 std::span<const std::span<const uint8_t>> iov,
                                  std::span<uint8_t> out);
   // Issues a device op with transient-error retry per retry_policy(); returns the terminal
   // status once the op succeeds or the budget is spent.
   Task<Status> SubmitWriteAndWait(uint64_t lba, std::span<const uint8_t> data);
+  Task<Status> SubmitWritevAndWait(uint64_t lba, std::span<const std::span<const uint8_t>> iov);
   Task<Status> SubmitReadAndWait(uint64_t lba, std::span<uint8_t> out);
   Task<void> AcquireAppendLock();
+  void ReleaseAppendLock();
+  // Composes the 24-byte record header for `payload_len` bytes with `crc`, stamping a fresh
+  // epoch. Must run under the append lock so per-partition epochs stay strictly increasing.
+  std::vector<uint8_t> MakeHeader(uint32_t payload_len, uint32_t payload_crc);
+  uint64_t DeviceLba(uint64_t byte_offset) const {
+    return part_.first_block + byte_offset / block_size_;
+  }
 
   SimBlockDevice& device_;
   Scheduler& scheduler_;
   const size_t block_size_;
+  LogPartition part_;
+  uint64_t part_bytes_ = 0;
+  std::atomic<uint64_t> local_epoch_{1};
+  std::atomic<uint64_t>* epoch_;  // shared across partitions, or &local_epoch_
 
-  uint64_t head_ = 0;  // oldest readable byte
-  uint64_t tail_ = 0;  // next append offset
+  uint64_t head_ = 0;  // oldest readable byte (partition-relative)
+  uint64_t tail_ = 0;  // next append offset (partition-relative)
   std::vector<uint8_t> tail_block_cache_;  // in-memory copy of the partial tail block
 
   bool append_locked_ = false;

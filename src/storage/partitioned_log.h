@@ -1,0 +1,61 @@
+// PartitionedLog: carves one SimBlockDevice into per-shard log partitions (docs/STORAGE.md).
+//
+// Each ShardGroup worker gets a contiguous, equal block range and its own device completion
+// queue; every partition's LogDevice stamps records with the one allocation epoch owned here,
+// so the global order of appends across shards is recoverable even though each shard owns its
+// tail block exclusively (shared-nothing on the datapath — the epoch counter is the only
+// cross-core word, advanced with a relaxed fetch_add).
+//
+// Recovery is the inverse: RecoverAll scans every partition with the per-partition rules
+// (CRC-verified records, strictly increasing epochs), seeds the shared epoch past the global
+// maximum, and can return the records of all partitions stitched into one epoch-ordered stream.
+
+#ifndef SRC_STORAGE_PARTITIONED_LOG_H_
+#define SRC_STORAGE_PARTITIONED_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/log_device.h"
+
+namespace demi {
+
+class PartitionedLog {
+ public:
+  // Sizes the device's completion-queue set to `num_partitions` and splits its blocks into
+  // equal contiguous ranges (the first partitions absorb the remainder blocks). The device must
+  // be idle.
+  PartitionedLog(SimBlockDevice& device, size_t num_partitions);
+
+  size_t num_partitions() const { return parts_.size(); }
+  const LogPartition& partition(size_t i) const { return parts_[i]; }
+  // The allocation epoch shared by every partition's LogDevice.
+  std::atomic<uint64_t>& epoch() { return epoch_; }
+
+  // One record as seen by cross-partition recovery.
+  struct StitchedRecord {
+    uint32_t partition = 0;
+    uint64_t offset = 0;  // partition-relative byte offset of the record header
+    uint32_t len = 0;     // payload bytes
+    uint64_t epoch = 0;
+  };
+
+  // Scans every partition and advances the shared epoch past the global maximum. When `out` is
+  // non-null it receives all partitions' records merged in epoch order (the global append
+  // order). Synchronous: call before workers start, exactly like per-shard LogDevice::Recover.
+  void RecoverAll(std::vector<StitchedRecord>* out = nullptr);
+
+  // Reads a stitched record's payload straight from the media (recovery tooling, not a
+  // datapath API).
+  std::vector<uint8_t> ReadPayload(const StitchedRecord& rec) const;
+
+ private:
+  SimBlockDevice& device_;
+  std::vector<LogPartition> parts_;
+  std::atomic<uint64_t> epoch_{1};
+};
+
+}  // namespace demi
+
+#endif  // SRC_STORAGE_PARTITIONED_LOG_H_

@@ -11,26 +11,58 @@
 namespace demi {
 
 SimBlockDevice::SimBlockDevice(const Config& config, Clock& clock)
-    : config_(config), clock_(clock), media_(config.block_size * config.num_blocks, 0) {}
+    : config_(config), clock_(clock), media_(config.block_size * config.num_blocks, 0),
+      ready_(1) {}
+
+void SimBlockDevice::ConfigureQueues(size_t num_queues) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEMI_CHECK_MSG(pending_.empty(), "ConfigureQueues with I/O in flight");
+  for (const auto& q : ready_) {
+    DEMI_CHECK_MSG(q.empty(), "ConfigureQueues with undrained completions");
+  }
+  ready_.assign(std::max<size_t>(num_queues, 1), {});
+}
+
+size_t SimBlockDevice::num_queues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_.size();
+}
+
+SimBlockDevice::Stats SimBlockDevice::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimBlockDevice::SetTracer(Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracer_ = tracer;
+}
+
+void SimBlockDevice::SetFaultInjector(FaultInjector* faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = faults;
+}
 
 void SimBlockDevice::RegisterMetrics(MetricsRegistry& registry) {
   registry.RegisterCallback("blockdev.reads", "blockdev", "ops", "Read operations submitted",
-                            [this] { return stats_.reads; });
+                            [this] { return GetStats().reads; });
   registry.RegisterCallback("blockdev.writes", "blockdev", "ops", "Write operations submitted",
-                            [this] { return stats_.writes; });
+                            [this] { return GetStats().writes; });
   registry.RegisterCallback("blockdev.bytes_read", "blockdev", "bytes", "Bytes read",
-                            [this] { return stats_.bytes_read; });
+                            [this] { return GetStats().bytes_read; });
   registry.RegisterCallback("blockdev.bytes_written", "blockdev", "bytes", "Bytes written",
-                            [this] { return stats_.bytes_written; });
+                            [this] { return GetStats().bytes_written; });
   registry.RegisterCallback("blockdev.queue_full_rejections", "blockdev", "ops",
                             "Submissions rejected because the queue was full",
-                            [this] { return stats_.queue_full_rejections; });
+                            [this] { return GetStats().queue_full_rejections; });
   registry.RegisterCallback("blockdev.pending", "blockdev", "ops",
-                            "Operations submitted and not yet completed",
-                            [this] { return pending_.size(); });
+                            "Operations submitted and not yet completed", [this] {
+                              std::lock_guard<std::mutex> lock(mu_);
+                              return pending_.size();
+                            });
   registry.RegisterCallback("blockdev.io_errors", "blockdev", "ops",
                             "Completions delivered with an error status",
-                            [this] { return stats_.io_errors; });
+                            [this] { return GetStats().io_errors; });
 }
 
 TimeNs SimBlockDevice::CompletionTimeFor(size_t bytes, bool is_read) {
@@ -39,16 +71,16 @@ TimeNs SimBlockDevice::CompletionTimeFor(size_t bytes, bool is_read) {
   if (config_.bandwidth_bytes_per_sec != 0) {
     transfer = static_cast<DurationNs>(bytes) * kSecond / config_.bandwidth_bytes_per_sec;
   }
-  // The device processes one transfer at a time (single submission queue model).
+  // The device processes one transfer at a time (single media channel model).
   device_free_at_ = std::max<TimeNs>(device_free_at_, now) + transfer;
   return device_free_at_ + (is_read ? config_.read_latency : config_.write_latency);
 }
 
-Status SimBlockDevice::SubmitWrite(uint64_t lba, std::span<const uint8_t> data, uint64_t cookie) {
-  if (data.size() % config_.block_size != 0 || data.empty()) {
+Status SimBlockDevice::SubmitWriteLocked(uint64_t lba, Pending&& p, size_t total_bytes) {
+  if (total_bytes % config_.block_size != 0 || total_bytes == 0) {
     return Status::kInvalidArgument;
   }
-  const uint64_t nblocks = data.size() / config_.block_size;
+  const uint64_t nblocks = total_bytes / config_.block_size;
   if (lba + nblocks > config_.num_blocks) {
     return Status::kInvalidArgument;
   }
@@ -56,16 +88,13 @@ Status SimBlockDevice::SubmitWrite(uint64_t lba, std::span<const uint8_t> data, 
     stats_.queue_full_rejections++;
     return Status::kQueueFull;
   }
-  Pending p;
-  p.complete_at = CompletionTimeFor(data.size(), /*is_read=*/false);
+  p.complete_at = CompletionTimeFor(total_bytes, /*is_read=*/false);
   p.seq = next_seq_++;
-  p.cookie = cookie;
   p.is_read = false;
   p.lba = lba;
-  p.write_data.assign(data.begin(), data.end());
-  p.media_bytes = p.write_data.size();
+  p.media_bytes = total_bytes;
   if (faults_ != nullptr) {
-    const auto fault = faults_->DiskOnSubmit(/*is_read=*/false, data.size(), cookie);
+    const auto fault = faults_->DiskOnSubmit(/*is_read=*/false, total_bytes, p.cookie);
     p.complete_at += fault.extra_latency;
     if (fault.io_error) {
       p.status = Status::kIoError;
@@ -76,14 +105,51 @@ Status SimBlockDevice::SubmitWrite(uint64_t lba, std::span<const uint8_t> data, 
   }
   pending_.push(std::move(p));
   stats_.writes++;
-  stats_.bytes_written += data.size();
+  stats_.bytes_written += total_bytes;
   if (tracer_ != nullptr) {
-    tracer_->Record(TraceEventType::kDiskSubmit, 0, data.size());
+    tracer_->Record(TraceEventType::kDiskSubmit, 0, total_bytes);
   }
   return Status::kOk;
 }
 
-Status SimBlockDevice::SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t cookie) {
+Status SimBlockDevice::SubmitWrite(uint64_t lba, std::span<const uint8_t> data, uint64_t cookie,
+                                   size_t queue) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEMI_CHECK(queue < ready_.size());
+  Pending p;
+  p.cookie = cookie;
+  p.queue = queue;
+  p.write_data.assign(data.begin(), data.end());
+  return SubmitWriteLocked(lba, std::move(p), data.size());
+}
+
+Status SimBlockDevice::SubmitWritev(uint64_t lba, std::span<const std::span<const uint8_t>> iov,
+                                    uint64_t cookie, size_t queue) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEMI_CHECK(queue < ready_.size());
+  if (iov.size() > kMaxWritevSegments) {
+    return Status::kMessageTooLong;
+  }
+  Pending p;
+  p.cookie = cookie;
+  p.queue = queue;
+  size_t total = 0;
+  for (const auto& seg : iov) {
+    total += seg.size();
+  }
+  // Gather at submit time: this models the controller DMAing each registered slice straight
+  // from the heap — the captured image is device state, not a host bounce buffer.
+  p.write_data.reserve(total);
+  for (const auto& seg : iov) {
+    p.write_data.insert(p.write_data.end(), seg.begin(), seg.end());
+  }
+  return SubmitWriteLocked(lba, std::move(p), total);
+}
+
+Status SimBlockDevice::SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t cookie,
+                                  size_t queue) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEMI_CHECK(queue < ready_.size());
   if (out.size() % config_.block_size != 0 || out.empty()) {
     return Status::kInvalidArgument;
   }
@@ -99,6 +165,7 @@ Status SimBlockDevice::SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t
   p.complete_at = CompletionTimeFor(out.size(), /*is_read=*/true);
   p.seq = next_seq_++;
   p.cookie = cookie;
+  p.queue = queue;
   p.is_read = true;
   p.lba = lba;
   p.read_target = out;
@@ -118,10 +185,8 @@ Status SimBlockDevice::SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t
   return Status::kOk;
 }
 
-size_t SimBlockDevice::PollCompletions(std::span<Completion> out) {
-  const TimeNs now = clock_.Now();
-  size_t n = 0;
-  while (n < out.size() && !pending_.empty() && pending_.top().complete_at <= now) {
+void SimBlockDevice::RetireDueLocked(TimeNs now) {
+  while (!pending_.empty() && pending_.top().complete_at <= now) {
     // priority_queue::top is const; we move out then pop, which is safe because nothing reads
     // the moved-from element before the pop.
     Pending p = std::move(const_cast<Pending&>(pending_.top()));
@@ -137,19 +202,38 @@ size_t SimBlockDevice::PollCompletions(std::span<Completion> out) {
     if (p.status != Status::kOk) {
       stats_.io_errors++;
     }
-    out[n++] = Completion{p.cookie, p.status};
+    ready_[p.queue < ready_.size() ? p.queue : 0].push_back(Completion{p.cookie, p.status});
     if (tracer_ != nullptr) {
       tracer_->Record(TraceEventType::kDiskComplete, p.is_read ? 1 : 0, p.cookie);
     }
+  }
+}
+
+size_t SimBlockDevice::PollCompletions(std::span<Completion> out, size_t queue) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEMI_CHECK(queue < ready_.size());
+  RetireDueLocked(clock_.Now());
+  size_t n = 0;
+  auto& q = ready_[queue];
+  while (n < out.size() && !q.empty()) {
+    out[n++] = q.front();
+    q.pop_front();
   }
   return n;
 }
 
 TimeNs SimBlockDevice::NextCompletionTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& q : ready_) {
+    if (!q.empty()) {
+      return clock_.Now();  // already retired, deliverable on the owner's next poll
+    }
+  }
   return pending_.empty() ? 0 : pending_.top().complete_at;
 }
 
 void SimBlockDevice::RawRead(uint64_t byte_offset, std::span<uint8_t> out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   DEMI_CHECK(byte_offset + out.size() <= media_.size());
   std::memcpy(out.data(), media_.data() + byte_offset, out.size());
 }

@@ -4,11 +4,19 @@
 // block-addressed submit/poll interface with a configurable latency model (default tuned to the
 // paper's 3D-XPoint device: ~10 µs writes). Cattree drives this exactly as it would drive SPDK:
 // submit, yield, poll completions from the fast-path coroutine.
+//
+// Multi-queue: like an NVMe controller, the device exposes N completion queues
+// (ConfigureQueues). Each submitter tags its ops with a queue id and polls only that queue, so
+// per-shard LogDevice partitions (docs/STORAGE.md) never observe each other's completions. All
+// entry points take an internal mutex — the device is the one piece of storage state ShardGroup
+// workers share, exactly as the NIC's fabric locks are on the network side.
 
 #ifndef SRC_STORAGE_SIM_BLOCK_DEVICE_H_
 #define SRC_STORAGE_SIM_BLOCK_DEVICE_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <queue>
 #include <span>
 #include <vector>
@@ -38,20 +46,41 @@ class SimBlockDevice {
     Status status;
   };
 
+  // Largest scatter-gather list SubmitWritev accepts (models the controller's SGL descriptor
+  // limit; callers with more slices must coalesce — LogDevice counts those as bounce bytes).
+  static constexpr size_t kMaxWritevSegments = 128;
+
   SimBlockDevice(const Config& config, Clock& clock);
+
+  // Sizes the completion-queue set (NVMe queue pairs). Must be called before any I/O is
+  // submitted on queues >= 1; existing completions must be drained first. Queue 0 always
+  // exists.
+  void ConfigureQueues(size_t num_queues);
+  size_t num_queues() const;
 
   // Submits an asynchronous write of `data` (must be a whole number of blocks) at `lba`.
   // The data is captured at submit time (models DMA from the submission ring).
-  [[nodiscard]] Status SubmitWrite(uint64_t lba, std::span<const uint8_t> data, uint64_t cookie);
+  [[nodiscard]] Status SubmitWrite(uint64_t lba, std::span<const uint8_t> data, uint64_t cookie,
+                                   size_t queue = 0);
+
+  // Scatter-gather write: the device gathers `iov` at submit time (controller-side DMA from
+  // the registered slices — the host never concatenates them). Total bytes must be a whole
+  // number of blocks.
+  [[nodiscard]] Status SubmitWritev(uint64_t lba, std::span<const std::span<const uint8_t>> iov,
+                                    uint64_t cookie, size_t queue = 0);
 
   // Submits an asynchronous read of `out.size()` bytes (whole blocks) at `lba`; `out` must stay
   // valid until the completion is polled. Data lands in `out` when the completion is delivered.
-  [[nodiscard]] Status SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t cookie);
+  [[nodiscard]] Status SubmitRead(uint64_t lba, std::span<uint8_t> out, uint64_t cookie,
+                                  size_t queue = 0);
 
-  // Polls for finished operations; returns the number written to `out`.
-  size_t PollCompletions(std::span<Completion> out);
+  // Polls for finished operations on `queue`; returns the number written to `out`. Due
+  // completions for other queues are moved to their ready lists (any poller advances the
+  // device; only the owning queue sees the cookie).
+  size_t PollCompletions(std::span<Completion> out, size_t queue = 0);
 
-  // Earliest pending completion time (0 if idle) for stepped VirtualClock tests.
+  // Earliest pending completion time (0 if idle) for stepped VirtualClock tests. Spans every
+  // queue: a conservative wake-up for any poller.
   TimeNs NextCompletionTime() const;
 
   const Config& config() const { return config_; }
@@ -65,17 +94,20 @@ class SimBlockDevice {
     uint64_t queue_full_rejections = 0;
     uint64_t io_errors = 0;  // completions delivered with a non-kOk status (injected faults)
   };
-  const Stats& stats() const { return stats_; }
+  Stats GetStats() const;
 
   // Registers the blockdev.* counters as callback gauges (docs/OBSERVABILITY.md). Called by
-  // whichever libOS is driving this device; the registry must not outlive the device.
+  // whichever libOS is driving this device; the registry must not outlive the device. Safe to
+  // call from several shard registries — callbacks read under the device mutex and ShardGroup's
+  // rollup counts blockdev.* once.
   void RegisterMetrics(MetricsRegistry& registry);
-  // Attaches a tracer for kDiskSubmit/kDiskComplete events.
-  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  // Attaches a tracer for kDiskSubmit/kDiskComplete events. The tracer's ring is not
+  // thread-safe, so multi-worker setups (a shared partitioned device) must leave this unset.
+  void SetTracer(Tracer* tracer);
 
   // Optional chaos hook (null by default): consulted per submitted op for injected transient
   // I/O errors, latency spikes and crash-point torn writes. See src/faults/fault_injector.h.
-  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+  void SetFaultInjector(FaultInjector* faults);
 
   // Direct synchronous access for tests/recovery tooling (not a datapath API).
   void RawRead(uint64_t byte_offset, std::span<uint8_t> out) const;
@@ -85,6 +117,7 @@ class SimBlockDevice {
     TimeNs complete_at;
     uint64_t seq;
     uint64_t cookie;
+    size_t queue;
     bool is_read;
     uint64_t lba;
     Status status = Status::kOk;      // injected fault outcome, decided at submit time
@@ -97,16 +130,21 @@ class SimBlockDevice {
   };
 
   TimeNs CompletionTimeFor(size_t bytes, bool is_read);
+  [[nodiscard]] Status SubmitWriteLocked(uint64_t lba, Pending&& p, size_t total_bytes);
+  // Moves every due pending op to its queue's ready list (applies media effects).
+  void RetireDueLocked(TimeNs now);
 
   Config config_;
   Clock& clock_;
   std::vector<uint8_t> media_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>> pending_;
+  std::vector<std::deque<Completion>> ready_;  // per completion queue
   uint64_t next_seq_ = 0;
   TimeNs device_free_at_ = 0;
   Stats stats_;
   Tracer* tracer_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  mutable std::mutex mu_;
 };
 
 }  // namespace demi

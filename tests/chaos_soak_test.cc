@@ -586,7 +586,7 @@ void RunMiniKvScenario(uint64_t seed) {
 
   // Fault accounting is consistent from injector to device to log engine.
   const FaultInjector::Stats fs = w.faults.GetStats();
-  EXPECT_EQ(w.disk.stats().io_errors, fs.disk_io_errors);
+  EXPECT_EQ(w.disk.GetStats().io_errors, fs.disk_io_errors);
   EXPECT_EQ(ls.io_retries + ls.io_terminal_errors, fs.disk_io_errors)
       << "every error completion must be either retried or terminal";
   EXPECT_GT(fs.disk_io_errors + fs.disk_delays, 0u) << "plan should have injected disk faults";

@@ -333,18 +333,140 @@ TEST(ShardGroupTest, ShardedEchoUnderTenantAccountsEveryShard) {
   EXPECT_GE(tenant_tx_bytes, bytes_sent);
 }
 
-// The shared log device is single-consumer: a multi-worker group with storage attached must
-// refuse loudly and point at the ROADMAP item that lifts the restriction, not deadlock or
-// corrupt the log at runtime.
-TEST(ShardGroupTest, MultiWorkerWithStorageDiesWithRoadmapPointer) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+// Deterministic per-(shard, record) payload so recovery checks can be byte-exact.
+std::vector<uint8_t> ShardRecordPayload(size_t shard_id, size_t record) {
+  const size_t len = 64 + (record * 13) % 128;
+  std::vector<uint8_t> payload(len);
+  for (size_t i = 0; i < len; i++) {
+    payload[i] = static_cast<uint8_t>(0x40 * (shard_id + 1) ^ (record * 31 + i));
+  }
+  return payload;
+}
+
+// Multi-worker storage — the layout the EXPECT_DEATH test used to guard against: each shard's
+// Cattree engine owns its own log partition and completion queue, so a 2-worker Catnip×Cattree
+// group appends concurrently without sharing any datapath state but the epoch counter.
+TEST(ShardGroupTest, MultiWorkerStoragePartitionedAppends) {
+  constexpr size_t kRecordsPerShard = 24;
   MonotonicClock clock;
   SimNetwork net(LinkConfig{}, /*seed=*/13);
   SimBlockDevice disk(SimBlockDevice::Config{}, clock);
-  ShardGroup::Options opts;
-  opts.num_workers = 2;
-  opts.base = Catnip::Config{kServerMac, kServerIp, TcpConfig{}, &disk};
-  EXPECT_DEATH(ShardGroup(net, clock, opts), "per-shard Cattree partitions");
+  ShardGroup::Options opts = TwoWorkerOptions();
+  opts.base.disk = &disk;
+  ShardGroup group(net, clock, opts);
+
+  ASSERT_NE(group.partitioned_log(), nullptr);
+  // Geometry: two contiguous non-overlapping ranges covering the whole device, ids = shard.
+  const LogPartition p0 = group.partitioned_log()->partition(0);
+  const LogPartition p1 = group.partitioned_log()->partition(1);
+  EXPECT_EQ(p0.first_block, 0u);
+  EXPECT_EQ(p1.first_block, p0.num_blocks);
+  EXPECT_EQ((p0.num_blocks + p1.num_blocks) * disk.config().block_size, disk.CapacityBytes());
+  EXPECT_EQ(p0.id, 0u);
+  EXPECT_EQ(p1.id, 1u);
+
+  group.Start([&](size_t shard_id, Catnip& os) {
+    auto fqd = os.Open("log");
+    ASSERT_TRUE(fqd.ok());
+    for (size_t r = 0; r < kRecordsPerShard; r++) {
+      const std::vector<uint8_t> payload = ShardRecordPayload(shard_id, r);
+      void* buf = os.DmaMalloc(payload.size());
+      ASSERT_NE(buf, nullptr);
+      std::memcpy(buf, payload.data(), payload.size());
+      auto qt = os.Push(*fqd, Sgarray::Of(buf, static_cast<uint32_t>(payload.size())));
+      ASSERT_TRUE(qt.ok());
+      auto res = os.Wait(*qt, 5 * kSecond);
+      os.DmaFree(buf);
+      ASSERT_TRUE(res.ok());
+      EXPECT_EQ(res->status, Status::kOk) << "shard " << shard_id << " record " << r;
+    }
+  });
+  group.RequestStop();
+  group.Join();
+
+  for (size_t i = 0; i < 2; i++) {
+    EXPECT_GT(group.shard(i).storage()->log().tail(), 0u) << "shard " << i;
+    EXPECT_EQ(group.shard(i).tokens().NumInUse(), 0u);
+  }
+  // Stitched recovery scan: every record from both partitions, globally ordered by epoch.
+  std::vector<PartitionedLog::StitchedRecord> records;
+  group.partitioned_log()->RecoverAll(&records);
+  ASSERT_EQ(records.size(), 2 * kRecordsPerShard);
+  uint64_t last_epoch = 0;
+  size_t next_record[2] = {0, 0};
+  for (const auto& rec : records) {
+    EXPECT_GT(rec.epoch, last_epoch) << "epochs must be globally unique and ordered";
+    last_epoch = rec.epoch;
+    ASSERT_LT(rec.partition, 2u);
+    const std::vector<uint8_t> expect =
+        ShardRecordPayload(rec.partition, next_record[rec.partition]++);
+    EXPECT_EQ(group.partitioned_log()->ReadPayload(rec), expect);
+  }
+  EXPECT_EQ(next_record[0], kRecordsPerShard);
+  EXPECT_EQ(next_record[1], kRecordsPerShard);
+}
+
+// Restart byte-exactness: a second group over the same device recovers every partition's tail
+// by scanning the media, and each shard pops back exactly the records it wrote pre-restart.
+TEST(ShardGroupTest, MultiWorkerStoragePartitionedRecoveryAfterRestart) {
+  constexpr size_t kRecordsPerShard = 12;
+  MonotonicClock clock;
+  SimNetwork net(LinkConfig{}, /*seed=*/17);
+  SimBlockDevice disk(SimBlockDevice::Config{}, clock);
+  ShardGroup::Options opts = TwoWorkerOptions();
+  opts.base.disk = &disk;
+  {
+    ShardGroup group(net, clock, opts);
+    group.Start([&](size_t shard_id, Catnip& os) {
+      auto fqd = os.Open("log");
+      ASSERT_TRUE(fqd.ok());
+      for (size_t r = 0; r < kRecordsPerShard; r++) {
+        const std::vector<uint8_t> payload = ShardRecordPayload(shard_id, r);
+        void* buf = os.DmaMalloc(payload.size());
+        ASSERT_NE(buf, nullptr);
+        std::memcpy(buf, payload.data(), payload.size());
+        auto qt = os.Push(*fqd, Sgarray::Of(buf, static_cast<uint32_t>(payload.size())));
+        ASSERT_TRUE(qt.ok());
+        auto res = os.Wait(*qt, 5 * kSecond);
+        os.DmaFree(buf);
+        ASSERT_TRUE(res.ok());
+        EXPECT_EQ(res->status, Status::kOk);
+      }
+    });
+    group.RequestStop();
+    group.Join();
+  }  // the first group (and its shards) is gone; only the media survives
+
+  // Ports never detach from a fabric, so the "rebooted host" gets a fresh network; the disk —
+  // the only thing recovery may rely on — is carried over.
+  SimNetwork net2(LinkConfig{}, /*seed=*/18);
+  ShardGroup restarted(net2, clock, opts);
+  restarted.Start([&](size_t shard_id, Catnip& os) {
+    EXPECT_GT(os.storage()->log().tail(), 0u) << "shard " << shard_id << " recovered nothing";
+    auto fqd = os.Open("log");  // cursor starts at the recovered head
+    ASSERT_TRUE(fqd.ok());
+    for (size_t r = 0; r < kRecordsPerShard; r++) {
+      auto qt = os.Pop(*fqd);
+      ASSERT_TRUE(qt.ok());
+      auto res = os.Wait(*qt, 5 * kSecond);
+      ASSERT_TRUE(res.ok());
+      ASSERT_EQ(res->status, Status::kOk) << "shard " << shard_id << " record " << r;
+      const std::vector<uint8_t> expect = ShardRecordPayload(shard_id, r);
+      ASSERT_EQ(res->sga.num_segs, 1u);
+      ASSERT_EQ(res->sga.segs[0].len, expect.size());
+      EXPECT_EQ(std::memcmp(res->sga.segs[0].buf, expect.data(), expect.size()), 0)
+          << "shard " << shard_id << " record " << r << " not byte-exact after restart";
+      os.FreeSga(res->sga);
+    }
+    // Nothing beyond the recovered tail: the next pop must report end-of-log.
+    auto qt = os.Pop(*fqd);
+    ASSERT_TRUE(qt.ok());
+    auto res = os.Wait(*qt, 5 * kSecond);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res->status, Status::kEndOfFile);
+  });
+  restarted.RequestStop();
+  restarted.Join();
 }
 
 }  // namespace

@@ -72,7 +72,7 @@ TEST_F(BlockDeviceTest, QueueDepthEnforced) {
   }
   EXPECT_EQ(s, Status::kQueueFull);
   EXPECT_EQ(accepted, dev_.config().queue_depth);
-  EXPECT_GT(dev_.stats().queue_full_rejections, 0u);
+  EXPECT_GT(dev_.GetStats().queue_full_rejections, 0u);
 }
 
 TEST_F(BlockDeviceTest, CompletionsOrderedByTime) {
