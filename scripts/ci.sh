@@ -10,10 +10,15 @@
 #      network×storage splice goodput gate from docs/STORAGE.md) plus the tenant and
 #      splice chaos suites (tenant_test, tenant_chaos_test, splice_test,
 #      splice_chaos_test);
-#   3. the lint label (demilint over the tree, its fixture selftest, check_docs);
-#   4. clang-tidy, when installed (skips gracefully otherwise);
-#   5. the sanitizer sweep (ASan, UBSan, targeted TSan, targeted DemiSan for the
-#      cross-tenant ownership death tests).
+#   3. the lint label (demilint over the tree — including the concurrency rules:
+#      shard-local reachability, shared mutable statics, atomic-ordering justification,
+#      lock-free fastpath regions — its fixture selftest, and check_docs);
+#   4. clang-tidy, when installed (skips gracefully otherwise; concurrency-* findings are
+#      errors);
+#   5. the sanitizer sweep (ASan, UBSan, TSan over the threaded suites incl. the splice and
+#      tenant chaos soaks, and the DemiSan tree: cross-tenant ownership, thread-affinity and
+#      qtoken-lifecycle death tests plus the shard/chaos suites as zero-false-positive
+#      soaks — scripts/run_sanitizers.sh).
 #
 # Usage: scripts/ci.sh [repo_root]
 # Set DEMI_CI_SKIP_SANITIZERS=1 to stop after the lint stage (useful while iterating).

@@ -47,13 +47,27 @@ cmake --build "$bdir" -j "$JOBS" --target apps_test shard_test timer_wheel_test 
 # suite under TSan documents and enforces that contract: any future cross-thread sharing of
 # a wheel must surface here, not as corruption in a shard soak.
 "$bdir/tests/timer_wheel_test"
+# Full multi-threaded chaos under TSan: the sharded splice pipeline (network->storage handoff
+# over per-shard log partitions) and the multi-tenant overload scenario, both with faults
+# injected. These run their full suites — the memory-ordering audit in docs/STORAGE.md leans
+# on these passing.
+"$bdir/tests/splice_chaos_test"
+"$bdir/tests/tenant_chaos_test"
 
-echo "=== DEMI_OWNERSHIP_CHECKS=ON (targeted: cross-tenant + ownership death tests) ==="
-# The DemiSan death tests (tests/tenant_test.cc TenantDemiSanDeathTest.*, docs/TENANCY.md)
-# GTEST_SKIP themselves in normal builds; this tree is where they actually abort.
+echo "=== DEMI_OWNERSHIP_CHECKS=ON (DemiSan: ownership + thread-affinity + qtoken lifecycle) ==="
+# The DemiSan death tests (tests/tenant_test.cc TenantDemiSanDeathTest.* and
+# tests/affinity_test.cc AffinityDeathTest.*) GTEST_SKIP or compile themselves out in normal
+# builds; this tree is where they actually abort. The shard/chaos suites then run end to end
+# under the affinity tags as the zero-false-positive soak: any wrong-thread touch of a bound
+# heap, flow table, TCB slab, or qtoken table aborts the run.
 bdir="$ROOT/build-demisan"
 cmake -B "$bdir" -S "$ROOT" -DDEMI_OWNERSHIP_CHECKS=ON > /dev/null
-cmake --build "$bdir" -j "$JOBS" --target tenant_test > /dev/null
+cmake --build "$bdir" -j "$JOBS" --target tenant_test affinity_test shard_test \
+  tenant_chaos_test splice_chaos_test > /dev/null
 "$bdir/tests/tenant_test" --gtest_filter='TenantDemiSan*'
+"$bdir/tests/affinity_test"
+"$bdir/tests/shard_test" --gtest_filter='ShardGroup*'
+"$bdir/tests/tenant_chaos_test"
+"$bdir/tests/splice_chaos_test"
 
 echo "All sanitizer sweeps passed."

@@ -131,6 +131,7 @@ size_t EchoServerApp::Pump() {
 void RunEchoServer(LibOS& os, const EchoServerOptions& options, std::atomic<bool>& stop,
                    EchoServerStats* stats) {
   EchoServerApp app(os, options);
+  // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
   while (!stop.load(std::memory_order_relaxed)) {
     os.PollOnce();
     app.Pump();
@@ -309,6 +310,7 @@ void RunPosixEchoServer(const EchoServerOptions& options, std::atomic<bool>& sto
   if (options.type == SocketType::kDatagram) {
     timeval tv{0, 2000};  // 2 ms: bounded blocking so `stop` is honored
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
     while (!stop.load(std::memory_order_relaxed)) {
       sockaddr_in peer{};
       socklen_t peer_len = sizeof(peer);
@@ -330,6 +332,7 @@ void RunPosixEchoServer(const EchoServerOptions& options, std::atomic<bool>& sto
     DEMI_CHECK(::listen(fd, 64) == 0);
     timeval tv{0, 2000};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
     while (!stop.load(std::memory_order_relaxed)) {
       sockaddr_in peer{};
       socklen_t peer_len = sizeof(peer);
@@ -350,6 +353,7 @@ void RunPosixEchoServer(const EchoServerOptions& options, std::atomic<bool>& sto
       const int nodelay = 1;
       ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
       ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
       while (!stop.load(std::memory_order_relaxed)) {
         const ssize_t n = ::read(conn, buf.data(), buf.size());
         if (n == 0) {

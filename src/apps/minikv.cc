@@ -361,6 +361,7 @@ size_t MiniKvServerApp::Pump() {
 void RunMiniKvServer(LibOS& os, const MiniKvOptions& options, std::atomic<bool>& stop,
                      MiniKvStats* stats) {
   MiniKvServerApp app(os, options);
+  // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
   while (!stop.load(std::memory_order_relaxed)) {
     os.PollOnce();
     app.Pump();
@@ -504,6 +505,7 @@ void RunPosixMiniKvServer(const MiniKvOptions& options, std::atomic<bool>& stop,
   std::vector<uint8_t> rx(64 * 1024);
   std::vector<uint8_t> tx;
 
+  // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
   while (!stop.load(std::memory_order_relaxed)) {
     fd_set rfds;
     FD_ZERO(&rfds);

@@ -58,6 +58,7 @@ size_t MiniRpcServer::PollOnce() {
 }
 
 void MiniRpcServer::Run(std::atomic<bool>& stop) {
+  // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
   while (!stop.load(std::memory_order_relaxed)) {
     PollOnce();
   }

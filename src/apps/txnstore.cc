@@ -397,6 +397,7 @@ size_t RawRdmaKvReplicaApp::PollOnce() {
 void RunRawRdmaKvReplica(SimNetwork& network, MacAddr mac, Clock& clock,
                          std::atomic<bool>& stop) {
   RawRdmaKvReplicaApp app(network, mac, clock);
+  // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
   while (!stop.load(std::memory_order_relaxed)) {
     app.PollOnce();
   }

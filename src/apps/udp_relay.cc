@@ -59,6 +59,7 @@ size_t UdpRelayApp::Pump() {
 void RunUdpRelay(LibOS& os, const RelayOptions& options, std::atomic<bool>& stop,
                  RelayStats* stats) {
   UdpRelayApp app(os, options);
+  // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
   while (!stop.load(std::memory_order_relaxed)) {
     os.PollOnce();
     app.Pump();
@@ -79,6 +80,7 @@ void RunPosixUdpRelay(const RelayOptions& options, std::atomic<bool>& stop, Rela
   sockaddr_in target = RelaySockaddr(options.target);
 
   std::vector<uint8_t> buf(64 * 1024);
+  // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
   while (!stop.load(std::memory_order_relaxed)) {
     const ssize_t n = ::recvfrom(fd, buf.data(), buf.size(), 0, nullptr, nullptr);
     if (n <= 0) {
@@ -113,6 +115,7 @@ void RunBatchedPosixUdpRelay(const RelayOptions& options, std::atomic<bool>& sto
   mmsghdr tx_msgs[kBatch];
   iovec tx_iov[kBatch];
 
+  // demilint: atomic(stop latch with no payload; relaxed poll — thread join is the sync point)
   while (!stop.load(std::memory_order_relaxed)) {
     for (int i = 0; i < kBatch; i++) {
       rx_iov[i] = {bufs[i].data(), bufs[i].size()};

@@ -1,0 +1,112 @@
+// ShardAffinity: DemiSan thread-affinity tags for shard-owned state (docs/STATIC_ANALYSIS.md).
+//
+// The multi-worker runtime is shared-nothing: each shard's heap, qtoken table, flow table and
+// TCB slab belong to exactly one worker thread, and the demilint `shard-local` rule guards the
+// source. This is the runtime half of that contract: under DEMI_OWNERSHIP_CHECKS the shard's
+// structures carry a ShardAffinity that ShardGroup binds to the owning worker at shard spawn,
+// and every hot-path access revalidates the calling thread — a cross-shard touch aborts
+// deterministically on the FIRST wrong-thread access, naming the owning shard and both thread
+// ids, instead of hoping TSan happens to interleave the race. Legitimate cross-domain access
+// (post-Join inspection is handled by unbinding at worker exit; explicit handoffs like splice
+// bracket themselves with AffinityExemptScope). Unbound tags check nothing, so single-threaded
+// tests and benches run unchanged. With the option off, everything here is an empty inline.
+
+#ifndef SRC_COMMON_AFFINITY_H_
+#define SRC_COMMON_AFFINITY_H_
+
+#include <cstdint>
+
+#if defined(DEMI_OWNERSHIP_CHECKS)
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#endif
+
+namespace demi {
+
+#if defined(DEMI_OWNERSHIP_CHECKS)
+
+class ShardAffinity {
+ public:
+  // Binds to the calling thread; call on the owning worker itself at shard spawn
+  // (LibOS::BindShardAffinity). Rebinding moves ownership to the caller.
+  void Bind(int shard_id) {
+    owner_tag_ = CurrentThreadTag();
+    shard_id_ = shard_id;
+    bound_ = true;
+  }
+  // Worker-exit release: post-Join control-plane inspection is unchecked by design.
+  void Unbind() { bound_ = false; }
+  bool bound() const { return bound_; }
+  int shard_id() const { return shard_id_; }
+
+  // Aborts with a two-thread diagnostic unless called on the owning thread (or unbound, or
+  // inside an AffinityExemptScope).
+  void Check(const char* what) const {
+    if (!bound_ || exempt_depth_ > 0) {
+      return;
+    }
+    const uint64_t tag = CurrentThreadTag();
+    if (tag != owner_tag_) {
+      Violation(what, tag);
+    }
+  }
+
+ private:
+  friend class AffinityExemptScope;
+
+  [[noreturn]] void Violation(const char* what, uint64_t accessor_tag) const {
+    std::fprintf(stderr,
+                 "[demi] DemiSan: cross-shard access: %s: owner shard=%d owner thread=0x%llx "
+                 "accessor thread=0x%llx\n",
+                 what, shard_id_, static_cast<unsigned long long>(owner_tag_),
+                 static_cast<unsigned long long>(accessor_tag));
+    std::abort();
+  }
+
+  static uint64_t CurrentThreadTag() {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+  }
+
+  // Depth of AffinityExemptScope nesting on the calling thread (handoff points).
+  inline static thread_local int exempt_depth_ = 0;
+
+  uint64_t owner_tag_ = 0;
+  int shard_id_ = -1;
+  bool bound_ = false;
+};
+
+// RAII exemption for annotated handoff points: code inside the scope may touch another
+// shard's tagged state on this thread. Use sparingly and say why at the construction site.
+class AffinityExemptScope {
+ public:
+  AffinityExemptScope() { ShardAffinity::exempt_depth_++; }
+  ~AffinityExemptScope() { ShardAffinity::exempt_depth_--; }
+  AffinityExemptScope(const AffinityExemptScope&) = delete;
+  AffinityExemptScope& operator=(const AffinityExemptScope&) = delete;
+};
+
+#else  // !DEMI_OWNERSHIP_CHECKS: zero-cost stand-ins.
+
+class ShardAffinity {
+ public:
+  void Bind(int /*shard_id*/) {}
+  void Unbind() {}
+  bool bound() const { return false; }
+  int shard_id() const { return -1; }
+  void Check(const char* /*what*/) const {}
+};
+
+class AffinityExemptScope {
+ public:
+  AffinityExemptScope() = default;
+  AffinityExemptScope(const AffinityExemptScope&) = delete;
+  AffinityExemptScope& operator=(const AffinityExemptScope&) = delete;
+};
+
+#endif
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_AFFINITY_H_

@@ -5,12 +5,16 @@
 namespace demi {
 
 namespace {
+// demilint: atomic(process-wide verbosity knob: a plain int flag with no data published
+// through it — a logger that observes the old level for a few more calls is harmless)
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 }  // namespace
 
+// demilint: atomic(see g_log_level — flag read, staleness acceptable)
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed)); }
 
 void SetLogLevel(LogLevel level) {
+  // demilint: atomic(see g_log_level — flag write, no ordering with other state)
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 

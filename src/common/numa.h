@@ -1,0 +1,35 @@
+// Best-effort NUMA introspection without a libnuma dependency.
+//
+// PoolAllocator uses this for first-touch placement: a shard's heap records the NUMA node its
+// worker thread runs on at bind time (BindShard), touches every new superblock's pages on that
+// thread so the kernel's first-touch policy backs them from the local socket, and exports the
+// node as the `pool.numa_node` gauge. On non-Linux hosts (or kernels without getcpu) the node
+// reads as -1 and placement degrades to whatever the system default is — correctness is
+// unaffected, this is purely a locality optimization.
+
+#ifndef SRC_COMMON_NUMA_H_
+#define SRC_COMMON_NUMA_H_
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace demi {
+
+// NUMA node the calling thread is currently running on, or -1 if unknown. Raw getcpu syscall:
+// vDSO-speed on modern kernels and, unlike sched_getcpu+parsing sysfs, also returns the node.
+inline int CurrentNumaNode() {
+#if defined(__linux__) && defined(SYS_getcpu)
+  unsigned int cpu = 0;
+  unsigned int node = 0;
+  if (syscall(SYS_getcpu, &cpu, &node, nullptr) == 0) {
+    return static_cast<int>(node);
+  }
+#endif
+  return -1;
+}
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_NUMA_H_

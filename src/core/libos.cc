@@ -97,6 +97,23 @@ void LibOS::InitObservability() {
   metrics_.RegisterCallback("tenant.mem_used_bytes", "tenant", "bytes",
                             "DMA-heap bytes currently charged to registered tenants",
                             [this] { return static_cast<uint64_t>(alloc_.TenantBytesUsed()); });
+
+  metrics_.RegisterCallback("qtoken.lifecycle_violations", "qtoken", "violations",
+                            "Stale-token misuses classified by the lifecycle checker "
+                            "(double-wait, harvest-after-drop, complete-after-free)",
+                            [this] { return tokens_.lifecycle_violations(); });
+  Gauge& demisan = metrics_.RegisterGauge(
+      "demisan.enabled", "demisan", "bool",
+      "1 when the DemiSan ownership/affinity sanitizer (DEMI_OWNERSHIP_CHECKS) is compiled in");
+#if defined(DEMI_OWNERSHIP_CHECKS)
+  demisan.Set(1);
+#else
+  demisan.Set(0);
+#endif
+  numa_gauge_ = &metrics_.RegisterGauge(
+      "pool.numa_node", "pool", "node",
+      "NUMA node the shard's DMA heap is first-touch placed on (-1 = unplaced/unknown)");
+  numa_gauge_->Set(-1);
 }
 
 Status LibOS::RegisterTenant(TenantId tenant, const TenantConfig& config) {

@@ -144,6 +144,25 @@ class LibOS {
   // in-flight pop at stop time cannot leak its completion buffer.
   size_t DrainPendingTokens();
 
+  // --- DemiSan thread-affinity (docs/STATIC_ANALYSIS.md) ---
+  // Called by ShardGroup on the owning worker thread right after the shard's libOS is
+  // constructed: tags the DMA heap and qtoken table with that thread (concrete libOSes
+  // override to add their own shard-local structures) and records first-touch NUMA placement
+  // into the `pool.numa_node` gauge. The inverse runs on the same thread right before it
+  // exits, so post-Join control-plane inspection and teardown stay exempt. The affinity tags
+  // compile to nothing without DEMI_OWNERSHIP_CHECKS; the NUMA side is live in every build.
+  virtual void BindShardAffinity(int shard_id) {
+    alloc_.BindShard(shard_id);
+    tokens_.BindShard(shard_id);
+    if (numa_gauge_ != nullptr) {
+      numa_gauge_->Set(alloc_.numa_node());
+    }
+  }
+  virtual void UnbindShardAffinity() {
+    tokens_.UnbindShard();
+    alloc_.UnbindShard();
+  }
+
   // Single-process benchmarking hook: a function invoked on every wait_* polling round, used to
   // pump a peer libOS (and its server application) on the same thread. This emulates the
   // paper's two-machine topology without kernel scheduler noise — essential on small hosts
@@ -192,6 +211,7 @@ class LibOS {
   Counter* wait_calls_ = nullptr;
   Counter* wait_poll_rounds_ = nullptr;
   Histogram* wait_ns_ = nullptr;
+  Gauge* numa_gauge_ = nullptr;  // pool.numa_node; set by BindShardAffinity
   // Rotating scan start for WaitAny/WaitAnyHarvest: scanning from index 0 every call lets a
   // busy low-index qtoken shadow completions on higher indices indefinitely.
   size_t wait_any_rr_ = 0;

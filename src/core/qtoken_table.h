@@ -4,6 +4,18 @@
 // The paper allocates the waiting coroutine only when the application calls wait (§5.2); here
 // the table itself is the cheap part allocated at op submission, and completion either happens
 // inline on the fast path or from a libOS coroutine.
+//
+// Lifecycle checking (docs/STATIC_ANALYSIS.md): every qtoken moves through
+// alloc -> pending -> completed -> harvested, and each slot remembers the generation it most
+// recently released plus whether that release came from a shutdown Drain. A stale Take or
+// Complete against that remembered generation is therefore classifiable:
+//   - Take of an already-harvested token   -> double-wait
+//   - Take of a token released by Drain    -> harvest-after-drop
+//   - Complete of a released token         -> complete-after-free
+// In the default build these bump the `qtoken.lifecycle_violations` counter and the caller
+// still gets kBadQToken/false (unchanged API); under DEMI_OWNERSHIP_CHECKS they abort with a
+// diagnostic naming the kind, token, slot and the released op's queue. Tokens staler than one
+// recycle are indistinguishable from corruption and stay plain kBadQToken (best effort).
 
 #ifndef SRC_CORE_QTOKEN_TABLE_H_
 #define SRC_CORE_QTOKEN_TABLE_H_
@@ -11,18 +23,35 @@
 #include <memory>
 #include <vector>
 
+#if defined(DEMI_OWNERSHIP_CHECKS)
+#include <cstdio>
+#include <cstdlib>
+#endif
+
+#include "src/common/affinity.h"
 #include "src/core/types.h"
 #include "src/observability/trace.h"
 #include "src/runtime/event.h"
 
 namespace demi {
 
-class QTokenTable {
+class QTokenTable {  // demilint: shard-local
  public:
   // Attaches a tracer for kQTokenIssued events (the redeem side is traced by LibOS::Wait*).
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // DemiSan thread-affinity (docs/STATIC_ANALYSIS.md): the owning worker binds the table at
+  // shard spawn; Allocate/Complete/Take then revalidate the calling thread. Zero-cost unless
+  // built with DEMI_OWNERSHIP_CHECKS.
+  void BindShard(int shard_id) { affinity_.Bind(shard_id); }
+  void UnbindShard() { affinity_.Unbind(); }
+
+  // Stale-token misuses detected since construction (see the lifecycle comment up top). Only
+  // ever increments; exported as the `qtoken.lifecycle_violations` metric.
+  uint64_t lifecycle_violations() const { return lifecycle_violations_; }
+
   QToken Allocate(OpCode op, QueueDesc qd, TenantId tenant = kDefaultTenant) {
+    affinity_.Check("QTokenTable::Allocate");
     uint32_t slot;
     if (!free_.empty()) {
       slot = free_.back();
@@ -68,8 +97,13 @@ class QTokenTable {
   // Completes a pending token. Returns false if the token is stale (e.g., queue closed and the
   // token already cancelled and consumed).
   bool Complete(QToken qt, QResult result) {
+    affinity_.Check("QTokenTable::Complete");
     Entry* e = Lookup(qt);
-    if (e == nullptr || e->done) {
+    if (e == nullptr) {
+      NoteStaleOp(qt, /*is_complete=*/true);
+      return false;
+    }
+    if (e->done) {
       return false;
     }
     // Preserve opcode/qd recorded at Allocate when the completer didn't fill them.
@@ -86,8 +120,10 @@ class QTokenTable {
 
   // Consumes a completed token; invalidates it.
   Result<QResult> Take(QToken qt) {
+    affinity_.Check("QTokenTable::Take");
     Entry* e = Lookup(qt);
     if (e == nullptr) {
+      NoteStaleOp(qt, /*is_complete=*/false);
       return Status::kBadQToken;
     }
     if (!e->done) {
@@ -161,7 +197,7 @@ class QTokenTable {
       if (e.done) {
         dispose(e.result);
       }
-      ReleaseSlot(slot);
+      ReleaseSlot(slot, /*drained=*/true);
       drained++;
     }
     return drained;
@@ -170,6 +206,11 @@ class QTokenTable {
  private:
   struct Entry {
     uint32_t generation = 0;
+    // Lifecycle memory: the generation this slot most recently released (0 = never released)
+    // and whether that release came from a shutdown Drain rather than a harvest. Lets a stale
+    // Take/Complete against the previous incarnation be classified instead of just rejected.
+    uint32_t last_released_gen = 0;
+    bool drain_released = false;
     bool in_use = false;
     bool done = false;
     TenantId tenant = kDefaultTenant;
@@ -192,8 +233,10 @@ class QTokenTable {
 
   void Release(QToken qt) { ReleaseSlot(static_cast<uint32_t>(qt & 0xFFFFFFFF)); }
 
-  void ReleaseSlot(uint32_t slot) {
+  void ReleaseSlot(uint32_t slot, bool drained = false) {
     Entry& e = *entries_[slot];
+    e.last_released_gen = e.generation;
+    e.drain_released = drained;
     e.in_use = false;
     e.generation++;
     if (e.generation == 0) {
@@ -205,10 +248,45 @@ class QTokenTable {
     free_.push_back(slot);
   }
 
+  // Classifies a Take/Complete whose token failed Lookup. Only the slot's most recently
+  // released generation is classifiable (older tokens are indistinguishable from garbage and
+  // stay plain kBadQToken). Default build: count and carry on; DemiSan build: abort naming the
+  // kind, the token, and the queue the released op belonged to.
+  void NoteStaleOp(QToken qt, bool is_complete) {
+    const uint32_t slot = static_cast<uint32_t>(qt & 0xFFFFFFFF);
+    const uint32_t gen = static_cast<uint32_t>(qt >> 32);
+    if (slot >= entries_.size()) {
+      return;
+    }
+    const Entry& e = *entries_[slot];
+    if (e.last_released_gen == 0 || gen != e.last_released_gen) {
+      return;
+    }
+    const char* kind = is_complete ? "complete-after-free"
+                       : e.drain_released ? "harvest-after-drop"
+                                          : "double-wait";
+    lifecycle_violations_++;
+#if defined(DEMI_OWNERSHIP_CHECKS)
+    // qd/op are best-effort: ReleaseSlot never clears e.result, so they name the released op
+    // unless the slot was already reallocated to a new one (then they name the new occupant).
+    std::fprintf(stderr,
+                 "[demi] DemiSan: qtoken lifecycle violation: %s: qt=0x%llx slot=%u gen=%u "
+                 "last qd=%d op=%d shard=%d\n",
+                 kind, static_cast<unsigned long long>(qt), slot, gen,
+                 static_cast<int>(e.result.qd), static_cast<int>(e.result.opcode),
+                 affinity_.shard_id());
+    std::abort();
+#else
+    (void)kind;
+#endif
+  }
+
   std::vector<std::unique_ptr<Entry>> entries_;
   std::vector<uint32_t> free_;
   std::vector<size_t> inflight_by_tenant_;
   Tracer* tracer_ = nullptr;
+  ShardAffinity affinity_;  // empty (zero-cost) unless DEMI_OWNERSHIP_CHECKS
+  uint64_t lifecycle_violations_ = 0;
 };
 
 }  // namespace demi

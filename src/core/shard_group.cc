@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/common/affinity.h"
 #include "src/common/logging.h"
 
 namespace demi {
@@ -31,6 +32,9 @@ ShardGroup::~ShardGroup() {
   Join();
 }
 
+// Runs on the spawning thread: shard-local state (per-worker tables, stacks, pools) must
+// not be touched here while workers are live — demilint enforces the region.
+// demilint: control-plane
 void ShardGroup::Start(WorkerFn fn) {
   DEMI_CHECK_MSG(threads_.empty(), "ShardGroup::Start called twice");
   fn_ = std::move(fn);
@@ -43,7 +47,11 @@ void ShardGroup::Start(WorkerFn fn) {
   std::unique_lock<std::mutex> lock(init_mu_);
   init_cv_.wait(lock, [this] { return ready_ == options_.num_workers; });
 }
+// demilint: end-control-plane
 
+// Runs on the worker's own thread: this is the one context allowed to touch shard
+// `shard_id`'s state, and only that shard's slot (demilint flags shards_[anything-else]).
+// demilint: worker-context
 void ShardGroup::WorkerMain(size_t shard_id) {
   Catnip::Config cfg = options_.base;
   cfg.num_workers = options_.num_workers;
@@ -72,22 +80,35 @@ void ShardGroup::WorkerMain(size_t shard_id) {
     // never steers a SYN at a shard that does not exist yet.
     init_cv_.wait(lock, [this] { return ready_ == options_.num_workers; });
   }
+  // DemiSan: tag the shard's heap, qtoken table and TCP state with this thread. From here to
+  // the matching unbind, any other thread touching them aborts with a two-thread diagnostic.
+  // Also records first-touch NUMA placement for the shard's future superblocks.
+  shards_[shard_id]->BindShardAffinity(static_cast<int>(shard_id));
   fn_(shard_id, *shards_[shard_id]);
   // Drain before the thread exits: a pop still in flight when RequestStop lands would leak its
   // qtoken slot and — if it completed after the app stopped waiting — its sga buffer. Disposal
   // happens on the owning worker thread while the shard's heap and stacks are fully alive.
   shards_[shard_id]->DrainPendingTokens();
+  // Release the affinity tags on the owning thread itself, so post-Join control-plane
+  // inspection and teardown (metric export, destructors) stay exempt by construction.
+  shards_[shard_id]->UnbindShardAffinity();
 }
 
 void ShardGroup::ServeLoop(Catnip& os, const std::function<void()>& pump) {
   // demilint: fastpath
+  // demilint: atomic(stop_ is a latch with no payload; relaxed keeps the poll loop free of
+  // fences and the one-iteration observation lag is irrelevant to shutdown)
   while (!stop_.load(std::memory_order_relaxed)) {
     os.PollOnce();
     pump();
   }
   // demilint: end-fastpath
 }
+// demilint: end-worker-context
 
+// Control plane again: Join/metric aggregation run on the spawning thread and only read
+// shard state once workers have quiesced (the thread join is the synchronization edge).
+// demilint: control-plane
 void ShardGroup::Join() {
   for (std::thread& t : threads_) {
     if (t.joinable()) {
@@ -97,6 +118,10 @@ void ShardGroup::Join() {
 }
 
 std::string ShardGroup::ExportMetricsText() const {
+  // Annotated control-domain exemption (docs/STATIC_ANALYSIS.md): scraping metrics reads
+  // shard-owned instruments from the spawning thread. Counters/gauges are relaxed atomics and
+  // callback-backed stats tolerate staleness, so this cross-domain read is deliberate.
+  [[maybe_unused]] AffinityExemptScope metrics_scrape;
   std::ostringstream out;
   for (size_t i = 0; i < shards_.size(); i++) {
     out << "# shard=" << i << "\n";
@@ -115,6 +140,8 @@ std::string ShardGroup::ExportMetricsText() const {
 }
 
 std::vector<MetricsRegistry::Sample> ShardGroup::AggregateSnapshot() const {
+  // Same control-domain exemption as ExportMetricsText: telemetry reads only.
+  [[maybe_unused]] AffinityExemptScope metrics_scrape;
   std::vector<MetricsRegistry::Sample> rollup;
   auto find = [&rollup](const std::string& name) -> MetricsRegistry::Sample* {
     for (auto& s : rollup) {
@@ -166,5 +193,6 @@ std::vector<MetricsRegistry::Sample> ShardGroup::AggregateSnapshot() const {
             });
   return rollup;
 }
+// demilint: end-control-plane
 
 }  // namespace demi

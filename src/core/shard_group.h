@@ -67,6 +67,9 @@ class ShardGroup {
   void Start(WorkerFn fn);
 
   // Asks worker loops (ServeLoop / stop_flag observers) to exit; returns immediately.
+  // demilint: atomic(release so a worker that observes stop=true also observes every write
+  // the stopping thread made before requesting the stop — cheap insurance on a cold path;
+  // workers poll with relaxed loads, and Join() is the real synchronization point)
   void RequestStop() { stop_.store(true, std::memory_order_release); }
   // Joins every worker thread. Idempotent; shards stay alive for post-join inspection.
   void Join();
@@ -104,6 +107,8 @@ class ShardGroup {
   // Partition geometry + shared allocation epoch for the one log device all shards share;
   // null single-worker (the shard owns the whole device, the classic layout).
   std::unique_ptr<PartitionedLog> plog_;
+  // demilint: atomic(one-way stop latch: set once by the control plane, polled relaxed by
+  // every worker's ServeLoop; carries no payload — thread join is the real sync point)
   std::atomic<bool> stop_{false};
   WorkerFn fn_;
   std::vector<std::unique_ptr<Catnip>> shards_;  // slot i published by worker i

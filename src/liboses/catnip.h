@@ -88,6 +88,17 @@ class Catnip final : public LibOS {
   // that tenant, and accepted connections inherit the listener's tenant.
   [[nodiscard]] Status SetQueueTenant(QueueDesc qd, TenantId tenant) override;
 
+  // DemiSan thread-affinity: the common tags (heap, qtoken table) plus Catnip's shard-local
+  // TCP state (flow table, TCB slab). See LibOS::BindShardAffinity.
+  void BindShardAffinity(int shard_id) override {
+    LibOS::BindShardAffinity(shard_id);
+    tcp_.BindShard(shard_id);
+  }
+  void UnbindShardAffinity() override {
+    tcp_.UnbindShard();
+    LibOS::UnbindShardAffinity();
+  }
+
   // --- Introspection ---
   EthernetLayer& ethernet() { return eth_; }
   TcpStack& tcp() { return tcp_; }

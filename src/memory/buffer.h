@@ -22,7 +22,7 @@
 
 namespace demi {
 
-class Buffer {
+class Buffer {  // demilint: shard-local
  public:
   Buffer() = default;
 
@@ -167,8 +167,13 @@ class Buffer {
   // Compiles to nothing unless built with DEMI_OWNERSHIP_CHECKS.
   void ValidateAccess() const {
 #if defined(DEMI_OWNERSHIP_CHECKS)
-    if (base_ != nullptr && alloc_->Generation(base_) != gen_) {
-      alloc_->OwnershipViolation(base_, gen_, "Buffer access after underlying object recycled");
+    if (base_ != nullptr) {
+      // Thread-affinity first: a cross-shard touch is a race even when the object is still
+      // live, so report it as such rather than as a generation mismatch.
+      alloc_->AssertShardAccess("Buffer data access");
+      if (alloc_->Generation(base_) != gen_) {
+        alloc_->OwnershipViolation(base_, gen_, "Buffer access after underlying object recycled");
+      }
     }
 #endif
   }

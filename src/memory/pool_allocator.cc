@@ -6,6 +6,7 @@
 
 #include "src/common/bitops.h"
 #include "src/common/logging.h"
+#include "src/common/numa.h"
 #include "src/faults/fault_injector.h"
 
 namespace demi {
@@ -120,6 +121,13 @@ PoolAllocator::Superblock* PoolAllocator::NewSuperblock(size_t class_index, size
   if (mem == nullptr) {
     return nullptr;
   }
+  // First-touch NUMA placement: once the heap is bound to a worker (BindShard records the
+  // node), fault every page in from this thread so the kernel backs the superblock from the
+  // worker's local socket. Unbound heaps (single-threaded tests, control-plane pools) skip the
+  // sweep — their pages get touched by the carving below anyway.
+  if (numa_node_ >= 0) {
+    std::memset(mem, 0, block_size);
+  }
   auto* sb = new (mem) Superblock();
   sb->magic = kSuperblockMagic;
   sb->class_index = static_cast<uint32_t>(class_index);
@@ -216,7 +224,19 @@ void PoolAllocator::CreditTenant(TenantId tenant, size_t bytes) {
   }
 }
 
+void PoolAllocator::BindShard(int shard_id) {
+  affinity_.Bind(shard_id);
+  numa_node_ = CurrentNumaNode();
+}
+
+void PoolAllocator::UnbindShard() {
+  // numa_node_ survives the unbind: it records where the heap's pages were placed, which is
+  // still the right answer for post-Join metric snapshots.
+  affinity_.Unbind();
+}
+
 void* PoolAllocator::AllocFor(size_t size, TenantId tenant) {
+  affinity_.Check("PoolAllocator::AllocFor");
   if (size == 0) {
     size = 1;
   }
@@ -351,6 +371,7 @@ void PoolAllocator::FreeHugeBlock(Superblock* sb) {
 }
 
 void PoolAllocator::Free(void* ptr) {
+  affinity_.Check("PoolAllocator::Free");
   if (ptr == nullptr) {
     return;
   }
@@ -371,6 +392,7 @@ void PoolAllocator::Free(void* ptr) {
 }
 
 void PoolAllocator::IncRef(void* ptr) {
+  affinity_.Check("PoolAllocator::IncRef");
   Superblock* sb = HeaderOf(ptr);
   DEMI_CHECK(sb->magic == kSuperblockMagic && sb->owner == this);
   const uint32_t index = sb->IndexOf(ptr);
@@ -391,6 +413,7 @@ void PoolAllocator::IncRef(void* ptr) {
 }
 
 void PoolAllocator::DecRef(void* ptr) {
+  affinity_.Check("PoolAllocator::DecRef");
   Superblock* sb = HeaderOf(ptr);
   DEMI_CHECK(sb->magic == kSuperblockMagic && sb->owner == this);
   const uint32_t index = sb->IndexOf(ptr);

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/affinity.h"
 #include "src/common/status.h"
 #include "src/core/types.h"
 #include "src/memory/dma.h"
@@ -29,7 +30,7 @@ namespace demi {
 
 class FaultInjector;
 
-class PoolAllocator {
+class PoolAllocator {  // demilint: shard-local
  public:
   // Superblocks are 256 kB and 256 kB-aligned; objects larger than kMaxPooledObject get a
   // dedicated variable-size (still size-aligned) superblock.
@@ -98,6 +99,20 @@ class PoolAllocator {
   // Optional chaos hook (null by default): consulted per Alloc for injected failures, which
   // surface as nullptr exactly like real heap exhaustion. See src/faults/fault_injector.h.
   void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
+  // --- Shard affinity & NUMA placement ---
+  // Called by the owning worker thread at shard spawn (LibOS::BindShardAffinity): tags the
+  // heap with the calling thread for DemiSan cross-shard checks and records the worker's
+  // NUMA node so future superblocks are first-touched locally (docs/STATIC_ANALYSIS.md).
+  void BindShard(int shard_id);
+  // Worker-exit release: post-Join control-plane inspection is unchecked by design.
+  void UnbindShard();
+  // NUMA node recorded at BindShard (-1 before binding or when unknown); feeds the
+  // `pool.numa_node` gauge.
+  int numa_node() const { return numa_node_; }
+  // DemiSan: aborts — naming the owning shard and both thread ids — when a bound heap is
+  // touched from a foreign thread. No-op when unbound or when the checks are compiled out.
+  void AssertShardAccess(const char* what) const { affinity_.Check(what); }
 
   // --- Tenant memory domains (docs/TENANCY.md) ---
   // Every object carries a 16-bit tenant tag (parallel to the DemiSan generation array).
@@ -173,6 +188,8 @@ class PoolAllocator {
   std::unordered_map<const void*, uint32_t> overflow_refs_;
   Stats stats_;
   FaultInjector* faults_ = nullptr;
+  ShardAffinity affinity_;  // empty (zero-cost) unless DEMI_OWNERSHIP_CHECKS
+  int numa_node_ = -1;      // worker's socket, recorded at BindShard; -1 = unplaced
   struct TenantMem {
     size_t budget_bytes = 0;
     size_t used_bytes = 0;

@@ -17,13 +17,14 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/affinity.h"
 #include "src/common/logging.h"
 
 namespace demi {
 
 class TcpConnection;
 
-class FlowTable {
+class FlowTable {  // demilint: shard-local
  public:
   using Value = std::shared_ptr<TcpConnection>;
 
@@ -39,9 +40,16 @@ class FlowTable {
   size_t capacity() const { return ctrl_.size(); }
   bool empty() const { return size_ == 0; }
 
+  // DemiSan thread-affinity (docs/STATIC_ANALYSIS.md): the owning worker binds the table at
+  // shard spawn; afterwards every lookup/mutation revalidates the calling thread. Zero-cost
+  // unless built with DEMI_OWNERSHIP_CHECKS.
+  void BindShard(int shard_id) { affinity_.Bind(shard_id); }
+  void UnbindShard() { affinity_.Unbind(); }
+
   // Returns the connection for `key`, or nullptr. The hot-path lookup: no allocation, no
   // shared_ptr copy.
   TcpConnection* Find(uint64_t key) const {
+    affinity_.Check("FlowTable::Find");
     const size_t mask = ctrl_.size() - 1;
     size_t i = Hash(key) & mask;
     size_t probes = 1;
@@ -61,6 +69,7 @@ class FlowTable {
 
   // Shared-ptr variant for callers that need ownership (accept delivery, erase-and-keep).
   Value FindShared(uint64_t key) const {
+    affinity_.Check("FlowTable::FindShared");
     const size_t mask = ctrl_.size() - 1;
     size_t i = Hash(key) & mask;
     while (true) {
@@ -76,6 +85,7 @@ class FlowTable {
 
   // Inserts; returns false (and leaves the table unchanged) if the key is already present.
   bool Insert(uint64_t key, Value v) {
+    affinity_.Check("FlowTable::Insert");
     MaybeGrow();
     const size_t mask = ctrl_.size() - 1;
     size_t i = Hash(key) & mask;
@@ -104,6 +114,7 @@ class FlowTable {
   }
 
   bool Erase(uint64_t key) {
+    affinity_.Check("FlowTable::Erase");
     const size_t mask = ctrl_.size() - 1;
     size_t i = Hash(key) & mask;
     while (true) {
@@ -134,6 +145,7 @@ class FlowTable {
   // Erases every flow for which fn(key, value) returns true; returns the number erased.
   template <typename Fn>
   size_t EraseIf(Fn&& fn) {
+    affinity_.Check("FlowTable::EraseIf");
     size_t erased = 0;
     for (size_t i = 0; i < ctrl_.size(); i++) {
       if (ctrl_[i] == kFull && fn(keys_[i], vals_[i])) {
@@ -148,6 +160,7 @@ class FlowTable {
   }
 
   void Clear() {
+    affinity_.Check("FlowTable::Clear");
     for (size_t i = 0; i < ctrl_.size(); i++) {
       ctrl_[i] = kEmpty;
       vals_[i].reset();
@@ -239,6 +252,7 @@ class FlowTable {
   size_t size_ = 0;
   size_t tombstones_ = 0;
   mutable Stats stats_;
+  ShardAffinity affinity_;  // empty (zero-cost) unless DEMI_OWNERSHIP_CHECKS
 };
 
 }  // namespace demi

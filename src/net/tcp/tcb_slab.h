@@ -20,9 +20,11 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/affinity.h"
+
 namespace demi {
 
-class TcbSlab {
+class TcbSlab {  // demilint: shard-local
  public:
   static constexpr size_t kSlotBytes = 256;
   static constexpr size_t kSlotsPerChunk = 4096;  // 1 MB chunks
@@ -44,6 +46,14 @@ class TcbSlab {
   uint64_t oversize_allocs() const { return state_->oversize; }
   uint64_t total_allocs() const { return state_->allocs; }
 
+  // DemiSan thread-affinity (docs/STATIC_ANALYSIS.md): binds the arena to the owning worker at
+  // shard spawn so a foreign thread allocating or returning a TCB slot aborts deterministically.
+  // The tag lives in the shared State so slots returned through application-held connection
+  // handles are checked too; ShardGroup unbinds at worker exit, so post-Join teardown on the
+  // control thread is legal. Zero-cost unless built with DEMI_OWNERSHIP_CHECKS.
+  void BindShard(int shard_id) { state_->affinity.Bind(shard_id); }
+  void UnbindShard() { state_->affinity.Unbind(); }
+
  private:
   struct State {
     std::vector<std::unique_ptr<uint8_t[]>> chunks;
@@ -51,8 +61,10 @@ class TcbSlab {
     size_t live = 0;
     uint64_t allocs = 0;
     uint64_t oversize = 0;
+    ShardAffinity affinity;  // empty (zero-cost) unless DEMI_OWNERSHIP_CHECKS
 
     void* AllocSlot() {
+      affinity.Check("TcbSlab::AllocSlot");
       if (free_head == nullptr) {
         auto chunk = std::make_unique<uint8_t[]>(kSlotsPerChunk * kSlotBytes);
         uint8_t* base = chunk.get();
@@ -71,6 +83,7 @@ class TcbSlab {
     }
 
     void FreeSlot(void* slot) {
+      affinity.Check("TcbSlab::FreeSlot");
       *static_cast<void**>(slot) = free_head;
       free_head = slot;
       live--;

@@ -416,6 +416,18 @@ class TcpStack final : public Ipv4Receiver {
   const TcbSlab& tcb_slab() const { return slab_; }
   size_t TcbBytesReserved() const { return slab_.ReservedBytes() + conns_.ReservedBytes(); }
 
+  // DemiSan thread-affinity (docs/STATIC_ANALYSIS.md): tags the flow table and TCB slab with
+  // the owning worker thread. Called from Catnip::BindShardAffinity at shard spawn; zero-cost
+  // unless built with DEMI_OWNERSHIP_CHECKS.
+  void BindShard(int shard_id) {
+    conns_.BindShard(shard_id);
+    slab_.BindShard(shard_id);
+  }
+  void UnbindShard() {
+    conns_.UnbindShard();
+    slab_.UnbindShard();
+  }
+
   // Registers the tcp.* metrics into `registry` and (optionally) attaches a tracer for
   // kRetransmit events; either pointer may be null (docs/OBSERVABILITY.md).
   void SetObservability(MetricsRegistry* registry, Tracer* tracer);

@@ -43,7 +43,10 @@ SimNetwork::Port* SimNetwork::FindPort(MacAddr mac) const {
 }
 
 void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) {
+  // demilint: atomic(relaxed stats bump; see AtomicStats in the header)
   stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  // demilint: atomic(acquire pairs with the release in EnablePcap so a sender that sees
+  // the gate up also sees pcap_ fully constructed; gate-down senders skip the mutex)
   if (pcap_on_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(pcap_mu_);
     if (pcap_ != nullptr) {
@@ -71,6 +74,7 @@ void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) 
   if (stochastic) {
     std::lock_guard<std::mutex> lock(rng_mu_);
     if (rng_.NextBool(link_.loss)) {
+      // demilint: atomic(relaxed stats bump; see AtomicStats in the header)
       stats_.frames_dropped_loss.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -79,13 +83,17 @@ void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) 
   // Injected faults, after the stochastic link model so existing seeds are undisturbed when no
   // injector is attached: flap/partition windows swallow the frame, corruption flips bits and
   // delivers it anyway (the stacks' checksums must catch it). The injector locks itself.
+  // demilint: atomic(acquire pairs with SetFaultInjector's release: a non-null pointer
+  // implies a fully constructed injector)
   FaultInjector* faults = faults_.load(std::memory_order_acquire);
   if (faults != nullptr) {
     if (faults->NetShouldDrop(src, dst, now)) {
+      // demilint: atomic(relaxed stats bump; see AtomicStats in the header)
       stats_.frames_dropped_fault.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (faults->NetMaybeCorrupt(frame)) {
+      // demilint: atomic(relaxed stats bump; see AtomicStats in the header)
       stats_.frames_corrupted.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -96,6 +104,7 @@ void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) 
     std::lock_guard<std::mutex> lock(rng_mu_);
     if (link_.reorder > 0 && rng_.NextBool(link_.reorder)) {
       deliver_at += link_.reorder_extra;
+      // demilint: atomic(relaxed stats bump; see AtomicStats in the header)
       stats_.frames_reordered.fetch_add(1, std::memory_order_relaxed);
     }
     duplicate = link_.duplicate > 0 && rng_.NextBool(link_.duplicate);
@@ -117,6 +126,7 @@ void SimNetwork::Deliver(MacAddr src, MacAddr dst, WireFrame frame, TimeNs now) 
     return;  // no such host: frame vanishes, like a real switch with no matching port
   }
   if (duplicate) {
+    // demilint: atomic(relaxed stats bump; see AtomicStats in the header)
     stats_.frames_duplicated.fetch_add(1, std::memory_order_relaxed);
     DeliverToPort(dst_port, frame, deliver_at + 1);
   }
@@ -131,26 +141,38 @@ void SimNetwork::DeliverToPort(Port* port, WireFrame frame, TimeNs deliver_at) {
   Port::RxQueue& q = *port->queues_[queue];
   std::unique_lock<std::mutex> lock(q.mu, std::try_to_lock);
   if (!lock.owns_lock()) {
+    // demilint: atomic(relaxed stats bump; see AtomicStats in the header)
     stats_.port_lock_contention.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
   }
   if (q.inbound.size() + q.ring.SizeApprox() >= link_.rx_queue_frames) {
+    // demilint: atomic(relaxed stats bump; see AtomicStats in the header)
     stats_.frames_dropped_queue.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // demilint: atomic(ticket draw: uniqueness needs only the RMW modification order; the
+  // frame itself is published by q.mu, held here)
   q.inbound.push(PendingFrame{deliver_at, next_seq_.fetch_add(1, std::memory_order_relaxed),
                               std::move(frame)});
 }
 
 SimNetwork::Stats SimNetwork::GetStats() const {
   Stats s;
+  // demilint: atomic(relaxed stats snapshot; see AtomicStats in the header)
   s.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
+  // demilint: atomic(relaxed stats snapshot; see AtomicStats in the header)
   s.frames_dropped_loss = stats_.frames_dropped_loss.load(std::memory_order_relaxed);
+  // demilint: atomic(relaxed stats snapshot; see AtomicStats in the header)
   s.frames_dropped_queue = stats_.frames_dropped_queue.load(std::memory_order_relaxed);
+  // demilint: atomic(relaxed stats snapshot; see AtomicStats in the header)
   s.frames_dropped_fault = stats_.frames_dropped_fault.load(std::memory_order_relaxed);
+  // demilint: atomic(relaxed stats snapshot; see AtomicStats in the header)
   s.frames_duplicated = stats_.frames_duplicated.load(std::memory_order_relaxed);
+  // demilint: atomic(relaxed stats snapshot; see AtomicStats in the header)
   s.frames_reordered = stats_.frames_reordered.load(std::memory_order_relaxed);
+  // demilint: atomic(relaxed stats snapshot; see AtomicStats in the header)
   s.frames_corrupted = stats_.frames_corrupted.load(std::memory_order_relaxed);
+  // demilint: atomic(relaxed stats snapshot; see AtomicStats in the header)
   s.port_lock_contention = stats_.port_lock_contention.load(std::memory_order_relaxed);
   return s;
 }
@@ -162,12 +184,15 @@ bool SimNetwork::EnablePcap(const std::string& path) {
     return false;
   }
   pcap_ = std::move(writer);
+  // demilint: atomic(release publishes pcap_'s construction to senders' acquire loads)
   pcap_on_.store(true, std::memory_order_release);
   return true;
 }
 
 void SimNetwork::DisablePcap() {
   std::lock_guard<std::mutex> lock(pcap_mu_);
+  // demilint: atomic(lowers the gate before pcap_ is destroyed; in-flight writers that
+  // already saw the gate up finish under pcap_mu_, which we hold)
   pcap_on_.store(false, std::memory_order_release);
   pcap_.reset();
 }

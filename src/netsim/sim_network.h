@@ -85,10 +85,13 @@ class SimNetwork {
   // Optional chaos hook (null by default): consulted per frame for injected corruption, link
   // flaps and pairwise partitions. See src/faults/fault_injector.h.
   void SetFaultInjector(FaultInjector* faults) {
+    // demilint: atomic(release publishes the injector's construction: a shard that loads
+    // this pointer with acquire sees a fully built FaultInjector)
     faults_.store(faults, std::memory_order_release);
   }
   // The armed injector (null when chaos is off). EthernetLayer consults this for tenant-scoped
   // TX drops so a test arming the fabric after libOS construction is still honored.
+  // demilint: atomic(acquire pairs with the release in SetFaultInjector)
   FaultInjector* fault_injector() const { return faults_.load(std::memory_order_acquire); }
 
   struct Stats {
@@ -127,15 +130,18 @@ class SimNetwork {
   };
 
   // Internal counters are relaxed atomics so concurrent senders never share a stats lock.
+  // demilint: atomic(pure statistics bumped from any delivering shard; relaxed RMWs keep
+  // each counter exact and no other memory is published through them — GetStats snapshots
+  // are approximate by contract while shards are live)
   struct AtomicStats {
-    std::atomic<uint64_t> frames_sent{0};
-    std::atomic<uint64_t> frames_dropped_loss{0};
-    std::atomic<uint64_t> frames_dropped_queue{0};
-    std::atomic<uint64_t> frames_dropped_fault{0};
-    std::atomic<uint64_t> frames_duplicated{0};
-    std::atomic<uint64_t> frames_reordered{0};
-    std::atomic<uint64_t> frames_corrupted{0};
-    std::atomic<uint64_t> port_lock_contention{0};
+    std::atomic<uint64_t> frames_sent{0};            // demilint: atomic(see struct comment)
+    std::atomic<uint64_t> frames_dropped_loss{0};    // demilint: atomic(see struct comment)
+    std::atomic<uint64_t> frames_dropped_queue{0};   // demilint: atomic(see struct comment)
+    std::atomic<uint64_t> frames_dropped_fault{0};   // demilint: atomic(see struct comment)
+    std::atomic<uint64_t> frames_duplicated{0};      // demilint: atomic(see struct comment)
+    std::atomic<uint64_t> frames_reordered{0};       // demilint: atomic(see struct comment)
+    std::atomic<uint64_t> frames_corrupted{0};       // demilint: atomic(see struct comment)
+    std::atomic<uint64_t> port_lock_contention{0};   // demilint: atomic(see struct comment)
   };
 
   Port* FindPort(MacAddr mac) const;
@@ -144,13 +150,19 @@ class SimNetwork {
   LinkConfig link_;
   Rng rng_;                        // stochastic link model; guarded by rng_mu_
   mutable std::mutex rng_mu_;
+  // demilint: atomic(FIFO tie-break ticket: uniqueness comes from the RMW modification
+  // order alone; the frames the seq numbers order travel under the rx-queue lock)
   std::atomic<uint64_t> next_seq_{0};
   mutable std::shared_mutex ports_mu_;  // registration (exclusive) vs delivery lookup (shared)
   std::map<uint64_t, std::unique_ptr<Port>> ports_;  // keyed by MAC value
+  // demilint: atomic(fast-path gate for the capture hook: senders read it relaxed to skip
+  // the pcap mutex entirely; the writer itself is guarded by pcap_mu_)
   std::atomic<bool> pcap_on_{false};
   mutable std::mutex pcap_mu_;
   std::unique_ptr<PcapWriter> pcap_;
   mutable AtomicStats stats_;
+  // demilint: atomic(armed-once chaos hook published with release/acquire — see
+  // SetFaultInjector/fault_injector above)
   std::atomic<FaultInjector*> faults_{nullptr};
 
  public:

@@ -34,23 +34,35 @@ const char* MetricTypeName(MetricType type);
 // Monotonically increasing, lock-free.
 class Counter {
  public:
+  // demilint: atomic(pure statistic: no other memory is published through a counter, so
+  // relaxed RMWs lose nothing — fetch_add is still atomic and the value stays exact; a
+  // snapshot may lag concurrent increments, which is fine for telemetry)
   void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  // demilint: atomic(see Inc — telemetry read, staleness acceptable)
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  // demilint: atomic(see Inc — test-only reset, never raced with readers that care)
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  // demilint: atomic(single word updated with relaxed RMWs; see Inc for why relaxed holds)
   std::atomic<uint64_t> value_{0};
 };
 
 // Point-in-time signed value, lock-free.
 class Gauge {
  public:
+  // demilint: atomic(pure statistic, same contract as Counter: no ordering with other
+  // state is implied by a gauge update, and RMW atomicity keeps Add/Sub pairs exact)
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  // demilint: atomic(see Set)
   void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  // demilint: atomic(see Set)
   void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  // demilint: atomic(see Set — telemetry read, staleness acceptable)
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  // demilint: atomic(single word updated with relaxed RMWs; see Set for why relaxed holds)
   std::atomic<int64_t> value_{0};
 };
 

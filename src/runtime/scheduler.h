@@ -55,7 +55,7 @@ class Waker {
   uint64_t mask_ = 0;
 };
 
-class Scheduler {
+class Scheduler {  // demilint: shard-local
  public:
   using FiberId = uint32_t;
   static constexpr FiberId kInvalidFiber = UINT32_MAX;

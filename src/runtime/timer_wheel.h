@@ -44,7 +44,7 @@ namespace demi {
 using TimerId = uint64_t;
 inline constexpr TimerId kInvalidTimerId = 0;
 
-class TimerWheel {
+class TimerWheel {  // demilint: shard-local
  public:
   using Callback = void (*)(void* ctx, uint64_t arg);
 

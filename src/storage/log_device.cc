@@ -83,6 +83,10 @@ void LogDevice::ReleaseAppendLock() {
 }
 
 std::vector<uint8_t> LogDevice::MakeHeader(uint32_t payload_len, uint32_t payload_crc) {
+  // demilint: atomic(relaxed is sufficient: the single modification order of the shared
+  // epoch makes every draw unique across shards, and one shard's draws are monotonic
+  // because its own RMWs are ordered. The record carrying this epoch travels through the
+  // shard's own partition, never through the counter — see docs/STORAGE.md audit)
   const uint64_t epoch = epoch_->fetch_add(1, std::memory_order_relaxed);
   stats_.last_epoch = epoch;
   std::vector<uint8_t> hdr(kHeaderSize, 0);
@@ -537,9 +541,13 @@ Status LogDevice::Recover() {
   // this covers the standalone whole-device log.)
   uint64_t max_epoch = records.empty() ? 0 : records.back().epoch;
   stats_.last_epoch = max_epoch;
+  // demilint: atomic(recovery is synchronous — no concurrent appenders — so the relaxed
+  // CAS only has to win the modification order when several partitions recover in turn)
   uint64_t cur = epoch_->load(std::memory_order_relaxed);
+  // demilint: atomic(see load above)
   while (cur <= max_epoch &&
-         !epoch_->compare_exchange_weak(cur, max_epoch + 1, std::memory_order_relaxed)) {
+         !epoch_->compare_exchange_weak(  // demilint: atomic(see load above)
+             cur, max_epoch + 1, std::memory_order_relaxed)) {
   }
   // Rebuild the tail-block cache from media.
   std::fill(tail_block_cache_.begin(), tail_block_cache_.end(), 0);

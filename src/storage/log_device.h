@@ -179,6 +179,9 @@ class LogDevice {
   const size_t block_size_;
   LogPartition part_;
   uint64_t part_bytes_ = 0;
+  // demilint: atomic(standalone-log fallback for the shared allocation epoch; atomic only
+  // so epoch_ has one type whether it points here (single owner) or at PartitionedLog's
+  // truly shared counter — see partitioned_log.h for the relaxed-ordering argument)
   std::atomic<uint64_t> local_epoch_{1};
   std::atomic<uint64_t>* epoch_;  // shared across partitions, or &local_epoch_
 

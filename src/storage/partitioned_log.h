@@ -53,6 +53,13 @@ class PartitionedLog {
  private:
   SimBlockDevice& device_;
   std::vector<LogPartition> parts_;
+  // demilint: atomic(the one cross-core word of partitioned storage. Relaxed fetch_add is
+  // sufficient for both invariants that matter: uniqueness — all RMWs on one atomic form a
+  // single modification order, so no two shards ever draw the same epoch — and per-shard
+  // monotonicity — one thread's successive RMWs read its own prior writes. No other memory
+  // is published through the epoch; record payloads reach the device via that shard's own
+  // partition, and recovery runs before workers start / after they join, so thread
+  // create/join provides the happens-before. Audit: docs/STORAGE.md "Memory-ordering audit".)
   std::atomic<uint64_t> epoch_{1};
 };
 

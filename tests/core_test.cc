@@ -54,9 +54,17 @@ TEST(QTokenTableTest, StaleTokenRejectedAfterRecycle) {
             static_cast<uint32_t>(first & 0xFFFFFFFF));  // same slot
   EXPECT_NE(second, first);                              // different generation
   EXPECT_FALSE(table.IsValid(first));
+#if !defined(DEMI_OWNERSHIP_CHECKS)
+  // Default build: stale ops are rejected as before but now ALSO classified and counted
+  // (double-wait, then complete-after-free). Under DEMI_OWNERSHIP_CHECKS these abort instead —
+  // covered by the death tests in affinity_test.cc.
+  EXPECT_EQ(table.lifecycle_violations(), 0u);
   EXPECT_EQ(table.Take(first).error(), Status::kBadQToken);
+  EXPECT_EQ(table.lifecycle_violations(), 1u);
   EXPECT_FALSE(table.Complete(first, QResult{}));  // completing a stale token is a no-op
-  EXPECT_FALSE(table.IsDone(second));              // and doesn't leak into the new owner
+  EXPECT_EQ(table.lifecycle_violations(), 2u);
+  EXPECT_FALSE(table.IsDone(second));  // and doesn't leak into the new owner
+#endif
 }
 
 TEST(QTokenTableTest, CancelCompletesWithStatus) {

@@ -11,6 +11,23 @@ invariants the compiler cannot see:
                      regions — the datapath allocates only from the DMA pool it polls.
   fastpath-syscall   no blocking syscalls or stdio inside fastpath regions — a poll loop
                      that sleeps in the kernel has lost its microsecond budget (paper §3).
+  lock-in-fastpath   no mutex acquisition (std::mutex/lock_guard/unique_lock/...) inside
+                     fastpath regions — the shared-nothing datapath is lock-free by design
+                     (paper §4); a lock on the poll loop is a cross-core serialization bug.
+  shard-local        types/fields annotated `// demilint: shard-local` are owned by exactly
+                     one shard's worker thread. They may not be referenced inside
+                     `// demilint: control-plane` regions (ShardGroup code running on the
+                     spawning thread), and worker-context code may not index another
+                     shard's slot (`shards_[x]` with x != shard_id).
+  shared-state       no mutable namespace-scope or function-local static state in datapath
+                     files (src/net/, src/liboses/, src/memory/) — a mutable global on the
+                     shared-nothing datapath is a silent cross-shard race. `const`,
+                     `constexpr` and `thread_local` are fine; deliberate shared state needs
+                     `// demilint: allow(shared-state) why`.
+  atomic-justify     every `std::atomic` object declaration and every explicit
+                     `std::memory_order_*` argument in src/ carries a
+                     `// demilint: atomic(<invariant>)` comment naming the invariant that
+                     makes the ordering sufficient — "it compiles" is not a memory model.
   nodiscard-status   every Status-returning declaration in a src/ header carries
                      [[nodiscard]]; Result<T> must be class-level [[nodiscard]].
   metric-name-drift  the set of metric names registered in src/ equals the set documented
@@ -23,9 +40,15 @@ invariants the compiler cannot see:
 
 Region and suppression directives (in source comments):
 
-  // demilint: fastpath          begin a fastpath region
-  // demilint: end-fastpath      end it
-  // demilint: allow(rule) why   suppress `rule` on this line or the next code line
+  // demilint: fastpath             begin a fastpath region
+  // demilint: end-fastpath         end it
+  // demilint: control-plane        begin a region that runs on the spawning/control thread
+  // demilint: end-control-plane    end it
+  // demilint: worker-context       begin a region that runs on a worker's own thread
+  // demilint: end-worker-context   end it
+  // demilint: shard-local          trailing: this type/field is owned by one shard thread
+  // demilint: atomic(<invariant>)  trailing or preceding: justifies an atomic/ordering site
+  // demilint: allow(rule) why      suppress `rule` on this line or the next code line
 
 Usage:
   demilint.py --root REPO_ROOT        lint the tree (exit 1 on violations)
@@ -42,6 +65,12 @@ import sys
 # Anchored to end-of-line so prose that merely *mentions* the directive doesn't open a region.
 FASTPATH_BEGIN = re.compile(r"//\s*demilint:\s*fastpath\s*$")
 FASTPATH_END = re.compile(r"//\s*demilint:\s*end-fastpath\s*$")
+CONTROL_BEGIN = re.compile(r"//\s*demilint:\s*control-plane\s*$")
+CONTROL_END = re.compile(r"//\s*demilint:\s*end-control-plane\s*$")
+WORKER_BEGIN = re.compile(r"//\s*demilint:\s*worker-context\s*$")
+WORKER_END = re.compile(r"//\s*demilint:\s*end-worker-context\s*$")
+SHARD_LOCAL = re.compile(r"//\s*demilint:\s*shard-local\s*$")
+ATOMIC_JUSTIFY = re.compile(r"//\s*demilint:\s*atomic\(")
 ALLOW = re.compile(r"//\s*demilint:\s*allow\(([a-z-]+)\)")
 EXPECT = re.compile(r"//\s*demilint-expect:\s*([a-z-]+)")
 
@@ -69,6 +98,27 @@ RE_SYSCALL = re.compile(
     r"printf|fprintf|puts|fputs|fflush|fwrite|fread)\s*\("
 )
 
+# lock-in-fastpath: mutex types, RAII guards, and raw lock calls. `.lock()` also catches
+# weak_ptr::lock-style spellings, which is deliberate: promoting a weak_ptr on the poll
+# loop is a shared_ptr refcount bounce that deserves a look (annotate if intended).
+RE_LOCK = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|"
+    r"shared_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"(?<![A-Za-z0-9_])pthread_(?:mutex|rwlock|spin)_\w+\s*\(|"
+    r"\.lock\s*\(\s*\)|->lock\s*\(\s*\)"
+)
+
+# shared-state: a `static` (or `inline static`) object declaration that is not const,
+# constexpr, or thread_local. Function declarations/definitions are excluded separately
+# (their name is followed by a parameter list before any initializer).
+RE_STATIC_CANDIDATE = re.compile(r"^\s*(?:inline\s+)?static\s+(?!const\b|constexpr\b|thread_local\b)")
+
+# atomic-justify: an owning std::atomic declaration — `std::atomic<T> name` followed by an
+# initializer or terminator. References/pointers to atomics (`std::atomic<T>&`, `...*`) are
+# uses of someone else's atomic: the owner carries the justification.
+RE_ATOMIC_DECL = re.compile(r"std::atomic<[^<>]*>\s+\w+\s*[{=;,)]|std::atomic<[^<>]*>\s+\w+\s*$")
+RE_MEMORY_ORDER = re.compile(r"std::memory_order_(?:relaxed|consume|acquire|release|acq_rel|seq_cst)")
+
 # nodiscard-status: a Status-returning declaration/definition line in a header.
 RE_STATUS_DECL = re.compile(r"^\s*(?:virtual\s+|static\s+|inline\s+|constexpr\s+)*Status\s+\w+\s*\(")
 
@@ -79,6 +129,15 @@ RE_TRACE_NAME = re.compile(r"return\s+\"([a-z0-9_]+)\"\s*;")
 RE_DOC_METRIC = re.compile(r"^\| `([a-z0-9_]+\.[a-z0-9_]+)`", re.M)
 RE_DOC_TRACE = re.compile(r"^\| `([a-z0-9_]+)` \|", re.M)
 RE_INCLUDE_Q = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# Directories whose files are the shared-nothing datapath: mutable static state here is a
+# cross-shard race by construction. `src/fixtures/` is the selftest namespace — fixture
+# files pose as datapath files so the rule can be regression-tested.
+DATAPATH_DIRS = ("src/net/", "src/liboses/", "src/memory/", "src/fixtures/")
+
+RE_CLASS_DECL = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)")
+RE_FIELD_DECL = re.compile(r"\b([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^}]*\})?\s*;")
+RE_SHARDS_INDEX = re.compile(r"\bshards_\s*\[\s*([A-Za-z_]\w*)\s*\]")
 
 
 class Diagnostic:
@@ -146,20 +205,53 @@ def collect_allows(lines):
     return allows
 
 
-def lint_file(path, rel, text):
-    """All per-file rules. Returns a list of Diagnostic."""
+def collect_shard_local_names(text):
+    """Identifiers declared with a trailing `// demilint: shard-local` annotation.
+
+    On a class/struct declaration line the class name is registered; on a member/variable
+    declaration line the declared identifier is."""
+    names = set()
+    lines = text.splitlines()
+    code = strip_comments_and_strings(lines)
+    for idx, raw in enumerate(lines, start=1):
+        if not SHARD_LOCAL.search(raw):
+            continue
+        line = code[idx - 1]
+        m = RE_CLASS_DECL.search(line)
+        if m:
+            names.add(m.group(1))
+            continue
+        m = RE_FIELD_DECL.search(line)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def lint_file(path, rel, text, shard_local_names=None):
+    """All per-file rules. Returns a list of Diagnostic. `shard_local_names` is the
+    repo-wide set of `// demilint: shard-local` identifiers (the file's own annotations
+    are always included)."""
     diags = []
     lines = text.splitlines()
     code = strip_comments_and_strings(lines)
     allows = collect_allows(lines)
+    shard_local = set(shard_local_names or ())
+    shard_local |= collect_shard_local_names(text)
+    shard_local_re = None
+    if shard_local:
+        shard_local_re = re.compile(
+            r"(?<![A-Za-z0-9_])(?:" + "|".join(re.escape(n) for n in sorted(shard_local)) +
+            r")(?![A-Za-z0-9_])")
 
     def emit(lineno, rule, message):
         if rule not in allows.get(lineno, ()):  # suppressed by demilint: allow(rule)
             diags.append(Diagnostic(rel, lineno, rule, message))
 
-    # --- fastpath region rules ---
+    # --- region rules (fastpath / control-plane / worker-context) ---
     in_fast = False
     fast_open_line = 0
+    in_control = False
+    in_worker = False
     for idx, raw in enumerate(lines, start=1):
         if FASTPATH_BEGIN.search(raw):
             if in_fast:
@@ -172,9 +264,39 @@ def lint_file(path, rel, text):
                 emit(idx, "fastpath-abort", "`end-fastpath` without an open region")
             in_fast = False
             continue
-        if not in_fast:
+        if CONTROL_BEGIN.search(raw):
+            if in_control:
+                emit(idx, "shard-local", "nested `demilint: control-plane` region")
+            in_control = True
+            continue
+        if CONTROL_END.search(raw):
+            if not in_control:
+                emit(idx, "shard-local", "`end-control-plane` without an open region")
+            in_control = False
+            continue
+        if WORKER_BEGIN.search(raw):
+            if in_worker:
+                emit(idx, "shard-local", "nested `demilint: worker-context` region")
+            in_worker = True
+            continue
+        if WORKER_END.search(raw):
+            if not in_worker:
+                emit(idx, "shard-local", "`end-worker-context` without an open region")
+            in_worker = False
             continue
         line = code[idx - 1]
+        if in_control and shard_local_re is not None and shard_local_re.search(line):
+            emit(idx, "shard-local",
+                 "shard-local state referenced from control-plane code (runs on the "
+                 "spawning thread, not the owning shard's worker)")
+        if in_worker:
+            for m in RE_SHARDS_INDEX.finditer(line):
+                if m.group(1) != "shard_id":
+                    emit(idx, "shard-local",
+                         f"worker-context code indexes another shard's slot "
+                         f"(shards_[{m.group(1)}]); a worker may only touch its own shard")
+        if not in_fast:
+            continue
         if RE_ABORT.search(line):
             emit(idx, "fastpath-abort",
                  "aborting check on the fast path (use DEMI_DCHECK or an error return)")
@@ -183,9 +305,56 @@ def lint_file(path, rel, text):
                  "heap allocation / container growth on the fast path")
         if RE_SYSCALL.search(line):
             emit(idx, "fastpath-syscall", "blocking syscall or stdio on the fast path")
+        if RE_LOCK.search(line):
+            emit(idx, "lock-in-fastpath",
+                 "lock acquisition on the fast path (the shared-nothing datapath is "
+                 "lock-free; move the serialization off the poll loop)")
     if in_fast:
         diags.append(Diagnostic(rel, fast_open_line, "fastpath-abort",
                                 "fastpath region never closed with `end-fastpath`"))
+
+    # --- shared-state: mutable static storage in datapath files ---
+    if rel.startswith(DATAPATH_DIRS):
+        for idx, line in enumerate(code, start=1):
+            if not RE_STATIC_CANDIDATE.search(line):
+                continue
+            # Exclude functions: their name is followed by a parameter list before any
+            # initializer. `static Foo Bar(...)` declares/defines a function; a variable
+            # with an initializer has `=` or `{` first.
+            head = re.split(r"[={]", line, maxsplit=1)[0]
+            if re.search(r"\w\s*\(", head):
+                continue
+            emit(idx, "shared-state",
+                 "mutable static state in a datapath file is shared across shards "
+                 "(annotate `// demilint: allow(shared-state) why` if deliberate)")
+
+    # --- atomic-justify: every owning atomic decl / explicit ordering carries an invariant ---
+    for idx, line in enumerate(code, start=1):
+        if not (RE_ATOMIC_DECL.search(line) or RE_MEMORY_ORDER.search(line)):
+            continue
+        # A justification counts on the same line, on the line directly above (covers a
+        # trailing comment on an earlier line of a multi-line statement), or anywhere in
+        # the contiguous block of comment-only lines above (multi-line invariants are
+        # encouraged).
+        justified = bool(ATOMIC_JUSTIFY.search(lines[idx - 1]))
+        if not justified and idx >= 2:
+            # A trailing justification on the previous line counts only if that line is an
+            # unterminated statement (this line is its continuation) — a completed atomic
+            # site's own annotation must not leak onto its neighbor.
+            prev_code = code[idx - 2].rstrip()
+            if prev_code and prev_code[-1] not in ";{}" and ATOMIC_JUSTIFY.search(lines[idx - 2]):
+                justified = True
+            j = idx - 2
+            while not justified and j >= 0 and lines[j].strip().startswith("//"):
+                justified = bool(ATOMIC_JUSTIFY.search(lines[j]))
+                j -= 1
+        if justified:
+            continue
+        what = "std::atomic declaration" if RE_ATOMIC_DECL.search(line) else \
+            "explicit memory_order argument"
+        emit(idx, "atomic-justify",
+             f"{what} without a `// demilint: atomic(<invariant>)` justification "
+             "(same line or the comment block above)")
 
     # --- header rules ---
     if rel.endswith(".h"):
@@ -278,15 +447,21 @@ def iter_sources(root):
 
 def run_lint(root):
     diags = []
-    for path, rel, text in iter_sources(root):
-        diags.extend(lint_file(path, rel, text))
+    # Pass 1: shard-local annotations are repo-wide (a type annotated in its header is
+    # guarded in every control-plane region, whichever file that region lives in).
+    sources = list(iter_sources(root))
+    shard_local_names = set()
+    for path, rel, text in sources:
+        shard_local_names |= collect_shard_local_names(text)
+    for path, rel, text in sources:
+        diags.extend(lint_file(path, rel, text, shard_local_names))
     diags.extend(lint_repo_consistency(root))
     for d in diags:
         print(d)
     if diags:
         print(f"demilint: FAILED ({len(diags)} violation(s))")
         return 1
-    print("demilint: OK")
+    print(f"demilint: OK ({len(shard_local_names)} shard-local identifiers guarded)")
     return 0
 
 
@@ -304,7 +479,8 @@ def run_selftest():
         path = os.path.join(fixtures, name)
         with open(path, encoding="utf-8") as f:
             text = f.read()
-        # Fixtures pose as files under src/ so header-guard expectations are stable.
+        # Fixtures pose as files under src/ so header-guard expectations are stable (and
+        # src/fixtures/ counts as a datapath dir so shared-state can be exercised).
         rel = f"src/fixtures/{name}"
         expected = set()
         for idx, line in enumerate(text.splitlines(), start=1):
@@ -330,6 +506,15 @@ def run_selftest():
         failed = True
     if {n for n in RE_DOC_TRACE.findall(doc) if "." not in n} != {"packet_tx"}:
         print("selftest MISS: doc trace parsing")
+        failed = True
+
+    # shard-local name collection, exercised against an embedded miniature declaration set.
+    names = collect_shard_local_names(
+        "class FlowTable {  // demilint: shard-local\n"
+        "  QTokenTable tokens_;  // demilint: shard-local\n"
+        "  int plain_field_;\n")
+    if names != {"FlowTable", "tokens_"}:
+        print(f"selftest MISS: shard-local name collection got {sorted(names)}")
         failed = True
     if not seen_any:
         print("selftest: no fixtures found")

@@ -1,0 +1,93 @@
+// Seeded violations for the demilint concurrency rules: shard-local, shared-state,
+// atomic-justify, lock-in-fastpath. Every marked line must be flagged with exactly the
+// named rule, and every unmarked line must stay clean — the selftest fails on both a
+// miss and an extra. This file is never compiled; it only has to look like datapath code
+// (the selftest lints it as src/fixtures/concurrency_violations.cc, which counts as a
+// datapath path so shared-state is exercised).
+#include "src/common/status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace demi {
+
+// The trailing annotation registers `ConnCache` repo-wide as owned by one shard thread.
+class ConnCache {  // demilint: shard-local
+ public:
+  int Lookup(int k) const { return k; }
+};
+
+// --- shared-state: mutable statics in a datapath file --------------------------------
+static int g_reassembly_drops = 0;         // demilint-expect: shared-state
+static const int kTableSize = 128;         // const: immutable, fine
+static thread_local int t_scratch = 0;     // per-thread: fine
+// demilint: allow(shared-state) simulation-wide fault epoch, mutated only under DeviceMutex
+static int g_fault_epoch = 0;
+
+inline int NextConnId() {
+  static int next = 0;                     // demilint-expect: shared-state
+  return ++next;
+}
+
+// --- shard-local: control-plane and cross-shard escapes ------------------------------
+class WorkerPool {
+ public:
+  // demilint: control-plane
+  int Aggregate() {
+    ConnCache scratch;                     // demilint-expect: shard-local
+    return scratch.Lookup(0) + kTableSize + g_fault_epoch;
+  }
+  // demilint: end-control-plane
+
+  // demilint: worker-context
+  int Steal(int shard_id, int victim) {
+    int own = shards_[shard_id].Lookup(1);  // a worker's own slot: fine
+    return own + shards_[victim].Lookup(1);  // demilint-expect: shard-local
+  }
+  // demilint: end-worker-context
+
+ private:
+  ConnCache shards_[4];
+};
+
+// --- atomic-justify: every owning atomic decl / explicit ordering names its invariant --
+class Epoch {
+ public:
+  uint64_t Advance() {
+    return value_.fetch_add(1, std::memory_order_relaxed);  // demilint-expect: atomic-justify
+  }
+  uint64_t Read() const {
+    // demilint: atomic(single-writer counter; readers only need eventual visibility)
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};         // demilint-expect: atomic-justify
+  // demilint: atomic(monotonic stats mirror; no ordering with other state required)
+  std::atomic<uint64_t> justified_{0};
+};
+
+// --- lock-in-fastpath: mutex acquisition on the poll loop ----------------------------
+class RxPath {
+ public:
+  // demilint: fastpath
+  int Poll() {
+    std::lock_guard<std::mutex> g(mu_);    // demilint-expect: lock-in-fastpath
+    return budget_;
+  }
+  // demilint: end-fastpath
+
+  int ControlReset() {
+    std::lock_guard<std::mutex> g(mu_);    // off the fast path: fine
+    budget_ = 42;
+    return budget_;
+  }
+
+ private:
+  std::mutex mu_;
+  int budget_ = 42;
+  int use_[3] = {g_reassembly_drops, t_scratch, NextConnId()};
+};
+
+}  // namespace demi
